@@ -1,0 +1,286 @@
+package vmtherm_test
+
+// Benchmark harness: one benchmark per paper artifact. Each bench executes
+// the full experiment that regenerates the corresponding figure and reports
+// the headline accuracy metric alongside timing, so
+//
+//	go test -bench=. -benchmem
+//
+// reproduces the evaluation end to end. cmd/vmtherm-bench renders the same
+// experiments as human-readable tables.
+//
+// Paper targets (ICDCS 2016, Wu et al.):
+//   - Fig 1(a): stable prediction, 20 randomized 2–12 VM cases, MSE ≤ 1.10
+//   - Fig 1(b): dynamic prediction case study, calibration lowers MSE
+//   - Fig 1(c): MSE over Δ_gap × Δ_update with 4 fans, range ≈ 0.70–1.50
+
+import (
+	"context"
+	"testing"
+
+	"vmtherm"
+	"vmtherm/internal/dataset"
+	"vmtherm/internal/experiments"
+	"vmtherm/internal/svm"
+	"vmtherm/internal/testbed"
+	"vmtherm/internal/thermal"
+	"vmtherm/internal/workload"
+)
+
+// benchSeed keeps benchmark runs reproducible.
+const benchSeed = 2016
+
+// BenchmarkFig1aStablePrediction regenerates Fig. 1(a): train on 160
+// simulated experiments, evaluate stable-temperature prediction on 20
+// randomized held-out cases with 2–12 VMs. Reports the test MSE
+// (paper: within 1.10).
+func BenchmarkFig1aStablePrediction(b *testing.B) {
+	cfg := experiments.DefaultFig1aConfig(benchSeed)
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig1a(context.Background(), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.MSE, "MSE")
+	}
+}
+
+// BenchmarkFig1bDynamicCalibration regenerates Fig. 1(b): one dynamic
+// 8-VM case study, dynamic prediction with and without calibration.
+// Reports both MSEs (paper: calibrated is lower; ≈1.60 in most scenarios).
+func BenchmarkFig1bDynamicCalibration(b *testing.B) {
+	cfg := experiments.DefaultFig1bConfig(benchSeed)
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig1b(context.Background(), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.WithMSE, "MSE-calibrated")
+		b.ReportMetric(res.WithoutMSE, "MSE-uncalibrated")
+	}
+}
+
+// BenchmarkFig1cGapUpdateSweep regenerates Fig. 1(c): the Δ_gap × Δ_update
+// MSE matrix with 4 server fans. Reports the matrix extremes
+// (paper: 0.70–1.50 across the sweep).
+func BenchmarkFig1cGapUpdateSweep(b *testing.B) {
+	cfg := experiments.DefaultFig1cConfig(benchSeed)
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig1c(context.Background(), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		lo, hi := res.MSE[0][0], res.MSE[0][0]
+		for _, row := range res.MSE {
+			for _, v := range row {
+				if v < lo {
+					lo = v
+				}
+				if v > hi {
+					hi = v
+				}
+			}
+		}
+		b.ReportMetric(lo, "MSE-min")
+		b.ReportMetric(hi, "MSE-max")
+	}
+}
+
+// BenchmarkAblationLambda sweeps the calibration learning rate λ (Abl. A).
+func BenchmarkAblationLambda(b *testing.B) {
+	cfg := experiments.DefaultFig1bConfig(benchSeed)
+	cfg.TrainCases = 48
+	lambdas := []float64{0, 0.2, 0.4, 0.6, 0.8, 1.0}
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunAblationLambda(context.Background(), cfg, lambdas, 6)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.MSEs[0], "MSE-lambda0")
+		b.ReportMetric(res.MSEs[4], "MSE-lambda0.8")
+	}
+}
+
+// BenchmarkAblationCurveDelta sweeps the Eq. (3) curvature δ (Abl. B).
+func BenchmarkAblationCurveDelta(b *testing.B) {
+	cfg := experiments.DefaultFig1bConfig(benchSeed)
+	cfg.TrainCases = 48
+	deltas := []float64{5, 15, 30, 60, 120}
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunAblationCurveDelta(context.Background(), cfg, deltas, 6)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.MSEs[2], "MSE-delta30")
+	}
+}
+
+// BenchmarkAblationBaselines compares the SVM against the task-profile, RC,
+// linear and mean baselines on one split (Abl. C).
+func BenchmarkAblationBaselines(b *testing.B) {
+	cfg := experiments.DefaultFig1aConfig(benchSeed)
+	cfg.TrainCases = 96
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunAblationBaselines(context.Background(), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range res.Rows {
+			b.ReportMetric(row.MSE, "MSE-"+row.Name)
+		}
+	}
+}
+
+// BenchmarkAblationFans measures prediction error per fan count (Abl. D).
+func BenchmarkAblationFans(b *testing.B) {
+	cfg := experiments.DefaultFig1aConfig(benchSeed)
+	cfg.TrainCases = 96
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunAblationFans(context.Background(), cfg, []int{1, 2, 4, 6, 8}, 6)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.MSEs[2], "MSE-4fans")
+	}
+}
+
+// --- Micro-benchmarks for the substrates ---
+
+// BenchmarkThermalAdvance measures one simulated second of the server
+// thermal model, the inner loop of every experiment.
+func BenchmarkThermalAdvance(b *testing.B) {
+	srv, err := thermal.NewServer(thermal.DefaultServerParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv.SetLoad(0.7, 0.3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := srv.Advance(1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRigRun measures one full 1800 s simulated experiment.
+func BenchmarkRigRun(b *testing.B) {
+	opts := workload.DefaultGenOptions()
+	c, err := workload.GenerateCase(opts, benchSeed, "bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rig, err := testbed.New(c, testbed.Options{Seed: int64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := rig.Run(testbed.DefaultRunConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDatasetBuild measures parallel dataset generation for 32 cases.
+func BenchmarkDatasetBuild(b *testing.B) {
+	cases, err := workload.GenerateCases(workload.DefaultGenOptions(), benchSeed, "ds", 32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := dataset.DefaultBuildOptions(benchSeed)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dataset.Build(context.Background(), cases, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSVMTrain measures ε-SVR training on a 160×16 dataset.
+func BenchmarkSVMTrain(b *testing.B) {
+	cases, err := workload.GenerateCases(workload.DefaultGenOptions(), benchSeed, "svm", 160)
+	if err != nil {
+		b.Fatal(err)
+	}
+	recs, err := dataset.Build(context.Background(), cases, dataset.DefaultBuildOptions(benchSeed))
+	if err != nil {
+		b.Fatal(err)
+	}
+	x, y := dataset.FeaturesAndTargets(recs)
+	scaler, err := svm.NewScaler(-1, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := scaler.Fit(x); err != nil {
+		b.Fatal(err)
+	}
+	xs, err := scaler.TransformAll(x)
+	if err != nil {
+		b.Fatal(err)
+	}
+	params := svm.TrainParams{Kernel: svm.Kernel{Type: svm.RBF, Gamma: 0.1}, C: 16, Epsilon: 0.1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := svm.Train(xs, y, params); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSVMPredict measures single-record prediction latency, the
+// operation a deployed predictd serves per request.
+func BenchmarkSVMPredict(b *testing.B) {
+	ctx := context.Background()
+	cases, err := vmtherm.GenerateCases(vmtherm.DefaultGenOptions(), benchSeed, "pl", 48)
+	if err != nil {
+		b.Fatal(err)
+	}
+	recs, err := vmtherm.BuildDataset(ctx, cases, vmtherm.DefaultBuildOptions(benchSeed))
+	if err != nil {
+		b.Fatal(err)
+	}
+	model, err := vmtherm.TrainStable(ctx, recs, vmtherm.FastStableConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	features := recs[0].Features
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := model.PredictFeatures(features); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMigrationStudy measures dynamic prediction through a live VM
+// migration — the "dynamic scenario" the paper's introduction motivates.
+func BenchmarkMigrationStudy(b *testing.B) {
+	cfg := experiments.DefaultFig1bConfig(benchSeed)
+	cfg.TrainCases = 48
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunMigrationStudy(context.Background(), cfg, 900)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.WithMSE, "MSE-calibrated")
+		b.ReportMetric(res.WithoutMSE, "MSE-uncalibrated")
+	}
+}
+
+// BenchmarkAblationSensorNoise sweeps sensor noise σ (Abl. E): how much of
+// the prediction error floor is the sensor path.
+func BenchmarkAblationSensorNoise(b *testing.B) {
+	cfg := experiments.DefaultFig1aConfig(benchSeed)
+	cfg.TrainCases = 96
+	cfg.TestCases = 12
+	sigmas := []float64{0, 0.2, 0.4, 0.8, 1.6}
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunAblationSensorNoise(context.Background(), cfg, sigmas)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.MSEs[0], "MSE-sigma0")
+		b.ReportMetric(res.MSEs[2], "MSE-sigma0.4")
+		b.ReportMetric(res.MSEs[4], "MSE-sigma1.6")
+	}
+}

@@ -1,0 +1,95 @@
+// vmtherm-predictd serves temperature predictions over HTTP, the deployment
+// shape the paper describes: "the model received data collected online and
+// output prediction values".
+//
+// Endpoints:
+//
+//	GET    /healthz                      liveness probe
+//	POST   /v1/predict/stable            {"features": [16 floats]} → ψ_stable
+//	POST   /v1/session                   create a dynamic-prediction session
+//	POST   /v1/session/{id}/observe      feed φ(t); calibrates per Δ_update
+//	GET    /v1/session/{id}/predict?t=   ψ(t + Δ_gap) with current γ
+//	DELETE /v1/session/{id}              drop a session
+//
+// Usage:
+//
+//	vmtherm-train -fast -out model.svm
+//	vmtherm-predictd -model model.svm -addr :8080
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"vmtherm"
+	"vmtherm/internal/predictserver"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("vmtherm-predictd: ")
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		modelPath = flag.String("model", "model.svm", "trained stable model path")
+	)
+	flag.Parse()
+
+	f, err := os.Open(*modelPath)
+	if err != nil {
+		return err
+	}
+	model, err := vmtherm.LoadStable(f)
+	if cerr := f.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("loading model: %w", err)
+	}
+
+	srv, err := predictserver.New(model)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	log.Printf("serving on %s (model %s)", *addr, *modelPath)
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+		log.Print("shutting down")
+		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutCtx); err != nil {
+			return err
+		}
+		if err := <-errCh; !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		return nil
+	}
+}

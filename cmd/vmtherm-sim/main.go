@@ -1,0 +1,109 @@
+// vmtherm-sim runs one simulated thermal experiment and emits the
+// temperature/utilization trace as CSV.
+//
+// Usage:
+//
+//	vmtherm-sim -vms 8 -fans 4 -ambient 22 -duration 1800 -seed 1 > trace.csv
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+
+	"vmtherm"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("vmtherm-sim: ")
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	var (
+		vms      = flag.Int("vms", 6, "number of VMs on the host (2-12 in the paper)")
+		fans     = flag.Int("fans", 4, "healthy fan count")
+		ambient  = flag.Float64("ambient", 22, "rack inlet temperature, °C")
+		duration = flag.Float64("duration", 1800, "experiment length, seconds")
+		sample   = flag.Float64("sample", 5, "sensor sampling interval, seconds")
+		seed     = flag.Int64("seed", 1, "deterministic seed")
+		dynamic  = flag.Bool("dynamic", false, "use time-varying task load profiles")
+		out      = flag.String("out", "", "output CSV path (default stdout)")
+	)
+	flag.Parse()
+
+	opts := vmtherm.DefaultGenOptions()
+	opts.VMCountMin, opts.VMCountMax = *vms, *vms
+	opts.FanChoices = []int{*fans}
+	opts.AmbientMinC, opts.AmbientMaxC = *ambient, *ambient
+	opts.Dynamic = *dynamic
+
+	c, err := vmtherm.GenerateCase(opts, *seed, "sim")
+	if err != nil {
+		return err
+	}
+	rig, err := vmtherm.NewRig(c, vmtherm.RigOptions{Seed: *seed})
+	if err != nil {
+		return err
+	}
+	runCfg := vmtherm.DefaultRunConfig()
+	runCfg.DurationS = *duration
+	runCfg.SampleS = *sample
+	res, err := rig.Run(runCfg)
+	if err != nil {
+		return err
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if cerr := f.Close(); cerr != nil {
+				log.Printf("closing %s: %v", *out, cerr)
+			}
+		}()
+		w = f
+	}
+
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"t_s", "sensor_temp_c", "true_temp_c", "utilization", "mem_active"}); err != nil {
+		return err
+	}
+	truePts := res.TrueTemps.Points()
+	utilPts := res.Utilization.Points()
+	memPts := res.MemActive.Points()
+	for i, p := range res.SensorTemps.Points() {
+		row := []string{
+			strconv.FormatFloat(p.T, 'f', 1, 64),
+			strconv.FormatFloat(p.V, 'f', 3, 64),
+			strconv.FormatFloat(truePts[i].V, 'f', 3, 64),
+			strconv.FormatFloat(utilPts[i].V, 'f', 4, 64),
+			strconv.FormatFloat(memPts[i].V, 'f', 4, 64),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return err
+	}
+
+	stable, err := res.StableTemp(vmtherm.TBreakSeconds)
+	if err != nil {
+		return err
+	}
+	log.Printf("case %s: %d VMs, %d fans, ambient %.1f°C", c.Name, len(c.VMs), c.FanCount, c.AmbientC)
+	log.Printf("psi_stable (Eq. 1, t_break=%.0fs) = %.2f°C", vmtherm.TBreakSeconds, stable)
+	fmt.Fprintln(os.Stderr)
+	return nil
+}

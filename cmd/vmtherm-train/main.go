@@ -1,0 +1,157 @@
+// vmtherm-train generates a training corpus of simulated experiments, runs
+// the easygrid-equivalent (C, γ, ε) search with k-fold cross-validation, and
+// saves the trained stable-temperature model.
+//
+// Usage:
+//
+//	vmtherm-train -cases 160 -seed 1 -out model.svm -data dataset.csv
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"vmtherm"
+	"vmtherm/internal/dataset"
+	"vmtherm/internal/mathx"
+	"vmtherm/internal/mlgrid"
+	"vmtherm/internal/svm"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("vmtherm-train: ")
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	var (
+		cases    = flag.Int("cases", 160, "number of simulated training experiments")
+		testFrac = flag.Float64("test-frac", 0.15, "held-out fraction for the final report")
+		seed     = flag.Int64("seed", 1, "deterministic seed")
+		out      = flag.String("out", "model.svm", "model output path")
+		data     = flag.String("data", "", "optional dataset CSV output path")
+		libsvm   = flag.String("libsvm", "", "optional LIBSVM-format dataset output path")
+		fast     = flag.Bool("fast", false, "use the reduced grid (quick runs)")
+		refine   = flag.Bool("refine", false, "two-stage coarse→fine grid search (easy.py style)")
+	)
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	log.Printf("generating %d randomized cases (seed %d)", *cases, *seed)
+	cs, err := vmtherm.GenerateCases(vmtherm.DefaultGenOptions(), *seed, "train", *cases)
+	if err != nil {
+		return err
+	}
+	log.Printf("simulating %d experiments (1800 s each, t_break 600 s)", len(cs))
+	records, err := vmtherm.BuildDataset(ctx, cs, vmtherm.DefaultBuildOptions(*seed))
+	if err != nil {
+		return err
+	}
+
+	if *data != "" {
+		if err := writeFile(*data, func(w io.Writer) error {
+			return dataset.WriteCSV(w, records)
+		}); err != nil {
+			return err
+		}
+		log.Printf("dataset CSV written to %s", *data)
+	}
+	if *libsvm != "" {
+		if err := writeFile(*libsvm, func(w io.Writer) error {
+			return dataset.WriteLIBSVM(w, records)
+		}); err != nil {
+			return err
+		}
+		log.Printf("LIBSVM dataset written to %s", *libsvm)
+	}
+
+	train, test, err := vmtherm.SplitDataset(records, *testFrac, *seed)
+	if err != nil {
+		return err
+	}
+	cfg := vmtherm.DefaultStableConfig()
+	if *fast {
+		cfg = vmtherm.FastStableConfig()
+	}
+	if *refine {
+		// Two-stage search: replace the grid with a refined one before the
+		// final training pass.
+		x, y := dataset.FeaturesAndTargets(train)
+		scaler, err := svm.NewScaler(cfg.ScaleLower, cfg.ScaleUpper)
+		if err != nil {
+			return err
+		}
+		if err := scaler.Fit(x); err != nil {
+			return err
+		}
+		xs, err := scaler.TransformAll(x)
+		if err != nil {
+			return err
+		}
+		best, err := mlgrid.SearchRefined(ctx, xs, y, cfg.Grid)
+		if err != nil {
+			return err
+		}
+		log.Printf("refined winner: C=%g gamma=%g eps=%g (cv MSE %.3f)",
+			best.Point.C, best.Point.Gamma, best.Point.Epsilon, best.MSE)
+		cfg.Grid.Cs = []float64{best.Point.C}
+		cfg.Grid.Gammas = []float64{best.Point.Gamma}
+		cfg.Grid.Epsilons = []float64{best.Point.Epsilon}
+	}
+	nPoints := len(cfg.Grid.Cs) * len(cfg.Grid.Gammas) * len(cfg.Grid.Epsilons)
+	log.Printf("grid search: %d points × %d-fold CV on %d records", nPoints, cfg.Grid.Folds, len(train))
+	model, err := vmtherm.TrainStable(ctx, train, cfg)
+	if err != nil {
+		return err
+	}
+	log.Printf("best point: C=%g gamma=%g eps=%g (cv MSE %.3f, %d SVs)",
+		model.Best().C, model.Best().Gamma, model.Best().Epsilon, model.CVMSE(), model.NumSV())
+
+	if len(test) > 0 {
+		var ps, as []float64
+		for _, r := range test {
+			p, err := model.PredictFeatures(r.Features)
+			if err != nil {
+				return err
+			}
+			ps = append(ps, p)
+			as = append(as, r.StableTemp)
+		}
+		mse, err := mathx.MSE(ps, as)
+		if err != nil {
+			return err
+		}
+		log.Printf("held-out MSE on %d records: %.3f (paper band: ≤1.10)", len(test), mse)
+	}
+
+	if err := writeFile(*out, model.Save); err != nil {
+		return err
+	}
+	log.Printf("model written to %s", *out)
+	return nil
+}
+
+// writeFile creates path, runs write, and closes with error propagation.
+func writeFile(path string, write func(io.Writer) error) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("closing %s: %w", path, cerr)
+		}
+	}()
+	return write(f)
+}

@@ -1,0 +1,63 @@
+package vmtherm
+
+import (
+	"vmtherm/internal/cluster"
+)
+
+// Datacenter-layer re-exports: racks, CRAC cooling, hotspot detection, and
+// the placement policies that turn temperature prediction into thermal
+// management (the paper's motivating use case).
+type (
+	// Datacenter is a set of racks under one CRAC.
+	Datacenter = cluster.Datacenter
+	// Rack is an ordered set of hosts with inlet offsets.
+	Rack = cluster.Rack
+	// CRAC models the room cooling unit.
+	CRAC = cluster.CRAC
+	// Hotspot is one server exceeding the thermal threshold.
+	Hotspot = cluster.Hotspot
+	// Placer chooses a host for a new VM.
+	Placer = cluster.Placer
+	// FirstFit is the thermally-blind placement baseline.
+	FirstFit = cluster.FirstFit
+	// CoolestInlet places on the coolest air, blind to the VM itself.
+	CoolestInlet = cluster.CoolestInlet
+	// PredictedTemp places on the lowest predicted post-placement
+	// temperature.
+	PredictedTemp = cluster.PredictedTemp
+	// TempPredictor adapts a stable model for placement decisions.
+	TempPredictor = cluster.TempPredictor
+)
+
+// DefaultCRAC is a typical raised-floor configuration.
+func DefaultCRAC() CRAC { return cluster.DefaultCRAC() }
+
+// NewRack creates a rack of hosts with per-slot inlet offsets.
+func NewRack(id string, hosts []*Host, offsets []float64) (*Rack, error) {
+	return cluster.NewRack(id, hosts, offsets)
+}
+
+// NewDatacenter assembles racks under a CRAC.
+func NewDatacenter(crac CRAC, racks []*Rack) (*Datacenter, error) {
+	return cluster.NewDatacenter(crac, racks)
+}
+
+// DetectHotspots flags hosts above thresholdC, hottest first.
+func DetectHotspots(temps map[string]float64, thresholdC float64) []Hotspot {
+	return cluster.DetectHotspots(temps, thresholdC)
+}
+
+// HostStateCase reconstructs a Case describing a host's current deployment
+// plus an optional candidate VM, for prediction-driven placement.
+func HostStateCase(h *Host, fanCount int, ambientC float64, candidate *VMSpec) (Case, error) {
+	return cluster.HostStateCase(h, fanCount, ambientC, candidate)
+}
+
+// PlacementPredictor adapts a trained StablePredictor into the TempPredictor
+// shape placement policies consume. horizonS is the averaging horizon for
+// dynamic profiles (use the experiment duration, e.g. 1800).
+func PlacementPredictor(model *StablePredictor, horizonS float64) TempPredictor {
+	return func(c Case) (float64, error) {
+		return model.PredictCase(c, horizonS)
+	}
+}

@@ -1,0 +1,128 @@
+// Migration: dynamic temperature prediction through a live VM migration —
+// the scenario the paper says traditional task-temperature and RC models
+// cannot handle. A hot VM migrates onto the observed server mid-run; the
+// calibrated predictor (Eqs. 3–8) tracks the resulting thermal shift while
+// the uncalibrated curve drifts.
+//
+// Run with: go run ./examples/migration
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"vmtherm"
+)
+
+func main() {
+	log.SetFlags(0)
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	ctx := context.Background()
+	const seed = 7
+
+	// Train the stable model (the ψ_stable anchor source).
+	trainCases, err := vmtherm.GenerateCases(vmtherm.DefaultGenOptions(), seed, "train", 60)
+	if err != nil {
+		return err
+	}
+	fmt.Println("training stable model on 60 simulated experiments...")
+	records, err := vmtherm.BuildDataset(ctx, trainCases, vmtherm.DefaultBuildOptions(seed))
+	if err != nil {
+		return err
+	}
+	model, err := vmtherm.TrainStable(ctx, records, vmtherm.FastStableConfig())
+	if err != nil {
+		return err
+	}
+
+	// The observed server: 5 VMs, 4 fans.
+	opts := vmtherm.DefaultGenOptions()
+	opts.VMCountMin, opts.VMCountMax = 5, 5
+	opts.FanChoices = []int{4}
+	study, err := vmtherm.GenerateCase(opts, seed, "observed")
+	if err != nil {
+		return err
+	}
+	rig, err := vmtherm.NewRig(study, vmtherm.RigOptions{Seed: seed})
+	if err != nil {
+		return err
+	}
+
+	// At t=900 s a CPU-heavy VM live-migrates in from another host.
+	newcomer := vmtherm.VMSpec{
+		ID:     "hot-vm",
+		Config: vmtherm.VMConfig{VCPUs: 4, MemoryGB: 8},
+		Tasks: []vmtherm.TaskSpec{
+			{Task: vmtherm.Task{ID: "hot-vm-t0", Class: vmtherm.CPUBound, CPUFraction: 0.95, MemGB: 2}},
+			{Task: vmtherm.Task{ID: "hot-vm-t1", Class: vmtherm.CPUBound, CPUFraction: 0.9, MemGB: 1}},
+		},
+	}
+	plan, err := vmtherm.PlanMigration(newcomer.Config.MemoryGB, vmtherm.DefaultMigrationSpec())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("migration plan: %d pre-copy rounds, %.1f s total, %.0f ms downtime\n",
+		plan.Rounds, plan.TotalSeconds(), plan.DowntimeSeconds*1000)
+	if err := rig.ScheduleMigrationIn(900, newcomer, vmtherm.DefaultMigrationSpec()); err != nil {
+		return err
+	}
+
+	// Run 1800 s: the VM arrives mid-experiment.
+	runCfg := vmtherm.DefaultRunConfig()
+	res, err := rig.Run(runCfg)
+	if err != nil {
+		return err
+	}
+
+	// Anchor the pre-defined curve: φ(0) measured, ψ_stable predicted for
+	// the POST-migration deployment (the VMM knows what is scheduled).
+	phi0, _, err := vmtherm.ProfileTrace(res.SensorTemps, vmtherm.TBreakSeconds)
+	if err != nil {
+		return err
+	}
+	postCase := study
+	postCase.VMs = append(append([]vmtherm.VMSpec{}, study.VMs...), newcomer)
+	predictedStable, err := model.PredictCase(postCase, runCfg.DurationS)
+	if err != nil {
+		return err
+	}
+	actualStable, err := res.SensorTemps.MeanAfter(1200) // post-migration regime
+	if err != nil {
+		return err
+	}
+	fmt.Printf("post-migration stable: predicted %.2f °C, measured %.2f °C\n\n",
+		predictedStable, actualStable)
+
+	curve, err := vmtherm.NewCurve(phi0, predictedStable, vmtherm.TBreakSeconds, vmtherm.DefaultCurveDelta)
+	if err != nil {
+		return err
+	}
+	calibrated, err := vmtherm.Replay(res.SensorTemps, curve, vmtherm.DefaultDynamicConfig())
+	if err != nil {
+		return err
+	}
+	noCal := vmtherm.DefaultDynamicConfig()
+	noCal.Lambda = 0
+	uncalibrated, err := vmtherm.Replay(res.SensorTemps, curve, noCal)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("dynamic prediction through the migration (Δgap=60 s, Δupdate=15 s):\n")
+	fmt.Printf("  with calibration (λ=0.8): MSE %.3f\n", calibrated.MSE)
+	fmt.Printf("  without calibration:      MSE %.3f\n", uncalibrated.MSE)
+
+	fmt.Printf("\n%8s %10s %12s %12s\n", "t(s)", "measured", "calibrated", "uncalibrated")
+	for i := 0; i < len(calibrated.Points); i += len(calibrated.Points) / 15 {
+		p := calibrated.Points[i]
+		fmt.Printf("%8.0f %10.2f %12.2f %12.2f\n",
+			p.Target, p.Actual, p.Predicted, uncalibrated.Points[i].Predicted)
+	}
+	return nil
+}

@@ -1,0 +1,104 @@
+package vmtherm_test
+
+import (
+	"testing"
+
+	"vmtherm"
+)
+
+// TestVirtualizationFacade exercises the VM/host/migration re-exports the
+// placement examples build on.
+func TestVirtualizationFacade(t *testing.T) {
+	host, err := vmtherm.NewHost("h1", vmtherm.DefaultHostConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm, err := vmtherm.NewVM("v1", vmtherm.VMConfig{VCPUs: 2, MemoryGB: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vm.AddTask(vmtherm.Task{ID: "t", Class: vmtherm.CPUBound, CPUFraction: 0.7, MemGB: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := host.Place(vm); err != nil {
+		t.Fatal(err)
+	}
+	if vm.State() != vmtherm.VMPending {
+		t.Errorf("state = %v, want pending", vm.State())
+	}
+	if err := vm.Start(0); err != nil {
+		t.Fatal(err)
+	}
+	if vm.State() != vmtherm.VMRunning {
+		t.Errorf("state = %v, want running", vm.State())
+	}
+	if host.Utilization() <= 0 {
+		t.Error("running VM should produce utilization")
+	}
+
+	plan, err := vmtherm.PlanMigration(vm.Config().MemoryGB, vmtherm.DefaultMigrationSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.TotalSeconds() <= 0 || plan.Rounds < 1 {
+		t.Errorf("plan = %+v", plan)
+	}
+}
+
+// TestDatacenterFacade exercises racks, inlet temps, hotspots, and the
+// placement policies through the root package.
+func TestDatacenterFacade(t *testing.T) {
+	var hosts []*vmtherm.Host
+	offsets := []float64{0, 1.5}
+	for i := 0; i < 2; i++ {
+		h, err := vmtherm.NewHost([]string{"a", "b"}[i], vmtherm.DefaultHostConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		hosts = append(hosts, h)
+	}
+	rack, err := vmtherm.NewRack("r1", hosts, offsets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dc, err := vmtherm.NewDatacenter(vmtherm.DefaultCRAC(), []*vmtherm.Rack{rack})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	spec := vmtherm.VMSpec{
+		ID:     "cand",
+		Config: vmtherm.VMConfig{VCPUs: 2, MemoryGB: 4},
+		Tasks: []vmtherm.TaskSpec{
+			{Task: vmtherm.Task{ID: "c-t", Class: vmtherm.MemBound, CPUFraction: 0.4, MemGB: 2}},
+		},
+	}
+	chosen, err := (vmtherm.FirstFit{}).Choose(dc, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chosen.ID() != "a" {
+		t.Errorf("first fit chose %s", chosen.ID())
+	}
+	cool, err := (vmtherm.CoolestInlet{}).Choose(dc, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cool.ID() != "a" { // lowest inlet offset
+		t.Errorf("coolest inlet chose %s", cool.ID())
+	}
+
+	hs := vmtherm.DetectHotspots(map[string]float64{"a": 90, "b": 60}, 80)
+	if len(hs) != 1 || hs[0].HostID != "a" {
+		t.Errorf("hotspots = %+v", hs)
+	}
+
+	// PredictedTemp through the facade adapter with a fake model-like fn.
+	pt := vmtherm.PredictedTemp{
+		FanCount: 4,
+		Predict:  func(vmtherm.Case) (float64, error) { return 50, nil },
+	}
+	if _, err := pt.Choose(dc, spec); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,88 @@
+package baseline
+
+import (
+	"errors"
+	"fmt"
+
+	"vmtherm/internal/mathx"
+	"vmtherm/internal/timeseries"
+)
+
+// DynamicMethod names a naive short-horizon temperature predictor.
+type DynamicMethod int
+
+// Naive dynamic prediction methods.
+const (
+	// LastValue predicts φ(t+Δ) = φ(t).
+	LastValue DynamicMethod = iota + 1
+	// LinearExtrapolation projects the slope of the last two observations.
+	LinearExtrapolation
+)
+
+// String implements fmt.Stringer.
+func (m DynamicMethod) String() string {
+	switch m {
+	case LastValue:
+		return "last-value"
+	case LinearExtrapolation:
+		return "linear-extrapolation"
+	default:
+		return fmt.Sprintf("DynamicMethod(%d)", int(m))
+	}
+}
+
+// ReplayDynamic replays a naive method over a trace exactly as core.Replay
+// replays the calibrated curve: at each sample, predict gapS ahead and score
+// against the (interpolated) future measurement.
+func ReplayDynamic(trace *timeseries.Series, method DynamicMethod, gapS float64) (mse, mae float64, err error) {
+	if trace == nil || trace.Len() == 0 {
+		return 0, 0, errors.New("baseline: empty trace")
+	}
+	if gapS <= 0 {
+		return 0, 0, fmt.Errorf("baseline: gap must be > 0, got %v", gapS)
+	}
+	last, err := trace.Last()
+	if err != nil {
+		return 0, 0, err
+	}
+	var preds, acts []float64
+	for i := 0; i < trace.Len(); i++ {
+		p := trace.At(i)
+		target := p.T + gapS
+		if target > last.T {
+			continue
+		}
+		var predicted float64
+		switch method {
+		case LastValue:
+			predicted = p.V
+		case LinearExtrapolation:
+			if i == 0 {
+				predicted = p.V
+			} else {
+				prev := trace.At(i - 1)
+				dt := p.T - prev.T
+				slope := (p.V - prev.V) / dt
+				predicted = p.V + slope*gapS
+			}
+		default:
+			return 0, 0, fmt.Errorf("baseline: unknown method %d", int(method))
+		}
+		actual, err := trace.ValueAt(target)
+		if err != nil {
+			return 0, 0, err
+		}
+		preds = append(preds, predicted)
+		acts = append(acts, actual)
+	}
+	if len(preds) == 0 {
+		return 0, 0, fmt.Errorf("baseline: trace too short for gap %v", gapS)
+	}
+	if mse, err = mathx.MSE(preds, acts); err != nil {
+		return 0, 0, err
+	}
+	if mae, err = mathx.MAE(preds, acts); err != nil {
+		return 0, 0, err
+	}
+	return mse, mae, nil
+}

@@ -1,0 +1,335 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+
+	"vmtherm/internal/vmm"
+	"vmtherm/internal/workload"
+)
+
+func mustHost(t *testing.T, id string) *vmm.Host {
+	t.Helper()
+	h, err := vmm.NewHost(id, vmm.DefaultHostConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func mustRack(t *testing.T, id string, n int) *Rack {
+	t.Helper()
+	hosts := make([]*vmm.Host, n)
+	offsets := make([]float64, n)
+	for i := range hosts {
+		hosts[i] = mustHost(t, fmt.Sprintf("%s-h%d", id, i))
+		offsets[i] = float64(i) // higher slots warmer
+	}
+	r, err := NewRack(id, hosts, offsets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func mustDC(t *testing.T, racks ...*Rack) *Datacenter {
+	t.Helper()
+	dc, err := NewDatacenter(DefaultCRAC(), racks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dc
+}
+
+// runVM places a started VM with one cpu-bound task on h.
+func runVM(t *testing.T, h *vmm.Host, id string, cpuFrac float64) *vmm.VM {
+	t.Helper()
+	vm, err := vmm.NewVM(id, vmm.VMConfig{VCPUs: 4, MemoryGB: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vm.AddTask(vmm.Task{ID: id + "-t", Class: vmm.CPUBound, CPUFraction: cpuFrac, MemGB: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Place(vm); err != nil {
+		t.Fatal(err)
+	}
+	if err := vm.Start(0); err != nil {
+		t.Fatal(err)
+	}
+	return vm
+}
+
+func TestCRACValidate(t *testing.T) {
+	if err := DefaultCRAC().Validate(); err != nil {
+		t.Error(err)
+	}
+	if err := (CRAC{SupplyC: 50}).Validate(); err == nil {
+		t.Error("absurd supply should fail")
+	}
+	if err := (CRAC{SupplyC: 18, RecircPerUtil: -1}).Validate(); err == nil {
+		t.Error("negative recirc should fail")
+	}
+}
+
+func TestNewRackValidation(t *testing.T) {
+	h := mustHost(t, "h")
+	if _, err := NewRack("", []*vmm.Host{h}, []float64{0}); err == nil {
+		t.Error("empty id should fail")
+	}
+	if _, err := NewRack("r", nil, nil); err == nil {
+		t.Error("no hosts should fail")
+	}
+	if _, err := NewRack("r", []*vmm.Host{h}, []float64{0, 1}); err == nil {
+		t.Error("offset mismatch should fail")
+	}
+	if _, err := NewRack("r", []*vmm.Host{nil}, []float64{0}); err == nil {
+		t.Error("nil host should fail")
+	}
+}
+
+func TestNewDatacenterValidation(t *testing.T) {
+	r := mustRack(t, "r1", 2)
+	if _, err := NewDatacenter(CRAC{SupplyC: 99}, []*Rack{r}); err == nil {
+		t.Error("bad CRAC should fail")
+	}
+	if _, err := NewDatacenter(DefaultCRAC(), nil); err == nil {
+		t.Error("no racks should fail")
+	}
+	if _, err := NewDatacenter(DefaultCRAC(), []*Rack{r, r}); err == nil {
+		t.Error("duplicate rack should fail")
+	}
+	if _, err := NewDatacenter(DefaultCRAC(), []*Rack{nil}); err == nil {
+		t.Error("nil rack should fail")
+	}
+}
+
+func TestInletTempSlotOffsetsAndRecirc(t *testing.T) {
+	r := mustRack(t, "r1", 3)
+	dc := mustDC(t, r)
+	// Idle rack: inlet = supply + offset.
+	inlet0, err := dc.InletTemp(r, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inlet2, err := dc.InletTemp(r, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inlet0 != 18 || inlet2 != 20 {
+		t.Errorf("idle inlets = %v, %v; want 18, 20", inlet0, inlet2)
+	}
+	// Load the rack: recirculation warms every slot.
+	runVM(t, r.Hosts()[0], "v1", 1.0)
+	runVM(t, r.Hosts()[0], "v2", 1.0)
+	warm0, err := dc.InletTemp(r, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm0 <= inlet0 {
+		t.Errorf("recirculation should warm inlet: %v -> %v", inlet0, warm0)
+	}
+	if _, err := dc.InletTemp(r, 99); err == nil {
+		t.Error("bad slot should fail")
+	}
+	if _, err := dc.InletTemp(nil, 0); err == nil {
+		t.Error("nil rack should fail")
+	}
+}
+
+func TestFindHostAndAllHosts(t *testing.T) {
+	r1 := mustRack(t, "r1", 2)
+	r2 := mustRack(t, "r2", 3)
+	dc := mustDC(t, r1, r2)
+	pos, err := dc.FindHost("r2-h1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pos.Rack.ID() != "r2" || pos.Slot != 1 {
+		t.Errorf("position = %s/%d", pos.Rack.ID(), pos.Slot)
+	}
+	if _, err := dc.FindHost("ghost"); err == nil {
+		t.Error("unknown host should fail")
+	}
+	if got := len(dc.AllHosts()); got != 5 {
+		t.Errorf("AllHosts = %d, want 5", got)
+	}
+}
+
+func TestDetectHotspots(t *testing.T) {
+	temps := map[string]float64{
+		"a": 70,
+		"b": 85,
+		"c": 92,
+		"d": 85,
+	}
+	hs := DetectHotspots(temps, 80)
+	if len(hs) != 3 {
+		t.Fatalf("hotspots = %d, want 3", len(hs))
+	}
+	if hs[0].HostID != "c" || math.Abs(hs[0].Margin-12) > 1e-12 {
+		t.Errorf("hottest = %+v", hs[0])
+	}
+	// Equal temps tie-break by id for determinism.
+	if hs[1].HostID != "b" || hs[2].HostID != "d" {
+		t.Errorf("tie order: %s, %s", hs[1].HostID, hs[2].HostID)
+	}
+	if len(DetectHotspots(temps, 200)) != 0 {
+		t.Error("no hotspots expected at threshold 200")
+	}
+}
+
+func TestHostStateCase(t *testing.T) {
+	h := mustHost(t, "h1")
+	runVM(t, h, "v1", 0.7)
+	stopped := runVM(t, h, "v2", 0.9)
+	if err := stopped.Stop(1); err != nil {
+		t.Fatal(err)
+	}
+	c, err := HostStateCase(h, 4, 21, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.VMs) != 1 || c.VMs[0].ID != "v1" {
+		t.Errorf("state should include only running VMs: %+v", c.VMs)
+	}
+	if c.FanCount != 4 || c.AmbientC != 21 {
+		t.Error("fan/ambient not propagated")
+	}
+	// With a candidate appended.
+	cand := workload.VMSpec{
+		ID:     "new",
+		Config: vmm.VMConfig{VCPUs: 2, MemoryGB: 4},
+		Tasks: []workload.TaskSpec{
+			{Task: vmm.Task{ID: "new-t", Class: vmm.CPUBound, CPUFraction: 0.5, MemGB: 1}},
+		},
+	}
+	c2, err := HostStateCase(h, 4, 21, &cand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c2.VMs) != 2 || c2.VMs[1].ID != "new" {
+		t.Error("candidate not appended")
+	}
+	if _, err := HostStateCase(nil, 4, 21, nil); err == nil {
+		t.Error("nil host should fail")
+	}
+	empty := mustHost(t, "h2")
+	if _, err := HostStateCase(empty, 4, 21, nil); err == nil {
+		t.Error("empty host without candidate should fail")
+	}
+}
+
+func candidateSpec() workload.VMSpec {
+	return workload.VMSpec{
+		ID:     "cand",
+		Config: vmm.VMConfig{VCPUs: 2, MemoryGB: 4},
+		Tasks: []workload.TaskSpec{
+			{Task: vmm.Task{ID: "cand-t", Class: vmm.CPUBound, CPUFraction: 0.8, MemGB: 1}},
+		},
+	}
+}
+
+func TestFirstFitTakesFirstWithCapacity(t *testing.T) {
+	r := mustRack(t, "r1", 3)
+	dc := mustDC(t, r)
+	// Fill slot 0's memory completely.
+	filler, err := vmm.NewVM("filler", vmm.VMConfig{VCPUs: 4, MemoryGB: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Hosts()[0].Place(filler); err != nil {
+		t.Fatal(err)
+	}
+	h, err := FirstFit{}.Choose(dc, candidateSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.ID() != "r1-h1" {
+		t.Errorf("first fit chose %s, want r1-h1", h.ID())
+	}
+}
+
+func TestCoolestInletPrefersBottomSlotOfIdleRack(t *testing.T) {
+	hot := mustRack(t, "hot", 2)
+	cold := mustRack(t, "cold", 2)
+	dc := mustDC(t, hot, cold)
+	// Heat up the "hot" rack.
+	runVM(t, hot.Hosts()[0], "v1", 1.0)
+	runVM(t, hot.Hosts()[1], "v2", 1.0)
+	h, err := CoolestInlet{}.Choose(dc, candidateSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.ID() != "cold-h0" {
+		t.Errorf("coolest inlet chose %s, want cold-h0", h.ID())
+	}
+}
+
+func TestPredictedTempUsesPredictor(t *testing.T) {
+	r := mustRack(t, "r1", 3)
+	dc := mustDC(t, r)
+	// Give slot 2 some existing load so the fake predictor (which scores by
+	// total demand) ranks it worse.
+	runVM(t, r.Hosts()[2], "busy", 1.0)
+	calls := 0
+	p := PredictedTemp{
+		FanCount: 4,
+		Predict: func(c workload.Case) (float64, error) {
+			calls++
+			var demand float64
+			for _, vm := range c.VMs {
+				for _, ts := range vm.Tasks {
+					demand += ts.Task.CPUFraction
+				}
+			}
+			return 40 + 30*demand, nil
+		},
+	}
+	h, err := p.Choose(dc, candidateSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.ID() == "r1-h2" {
+		t.Error("predictor should avoid the loaded host")
+	}
+	if calls != 3 {
+		t.Errorf("predictor called %d times, want 3", calls)
+	}
+}
+
+func TestPredictedTempRequiresPredictor(t *testing.T) {
+	dc := mustDC(t, mustRack(t, "r1", 1))
+	if _, err := (PredictedTemp{FanCount: 4}).Choose(dc, candidateSpec()); err == nil {
+		t.Error("missing predictor should fail")
+	}
+}
+
+func TestPlacersNoCapacity(t *testing.T) {
+	r := mustRack(t, "r1", 1)
+	dc := mustDC(t, r)
+	big := workload.VMSpec{
+		ID:     "huge",
+		Config: vmm.VMConfig{VCPUs: 64, MemoryGB: 512},
+	}
+	placers := []Placer{
+		FirstFit{},
+		CoolestInlet{},
+		PredictedTemp{FanCount: 4, Predict: func(workload.Case) (float64, error) { return 50, nil }},
+	}
+	for _, p := range placers {
+		if _, err := p.Choose(dc, big); !errors.Is(err, ErrNoCapacity) {
+			t.Errorf("%s: err = %v, want ErrNoCapacity", p.Name(), err)
+		}
+	}
+}
+
+func TestPlacerNames(t *testing.T) {
+	if (FirstFit{}).Name() != "first-fit" ||
+		(CoolestInlet{}).Name() != "coolest-inlet" ||
+		(PredictedTemp{}).Name() != "predicted-temp" {
+		t.Error("placer names wrong")
+	}
+}

@@ -1,0 +1,228 @@
+// Package cluster models the datacenter context around a server: racks of
+// hosts fed by CRAC-cooled air with per-slot inlet offsets and heat
+// recirculation, hotspot detection over (predicted or measured) server
+// temperatures, and placement policies — including the thermal-aware
+// placement that motivates the paper's prediction ("temperature prediction
+// is a fundamental technique to conduct thermal management proactively").
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"vmtherm/internal/vmm"
+	"vmtherm/internal/workload"
+)
+
+// CRAC models the room cooling unit: it supplies air at SupplyC, and each
+// rack's inlet warms with rack utilization through recirculation.
+type CRAC struct {
+	// SupplyC is the supply-air setpoint, °C.
+	SupplyC float64
+	// RecircPerUtil is the inlet temperature rise at 100% rack utilization
+	// caused by exhaust recirculation, °C.
+	RecircPerUtil float64
+}
+
+// DefaultCRAC returns a typical raised-floor configuration.
+func DefaultCRAC() CRAC {
+	return CRAC{SupplyC: 18, RecircPerUtil: 6}
+}
+
+// Validate checks CRAC parameters.
+func (c CRAC) Validate() error {
+	if c.SupplyC < 5 || c.SupplyC > 35 {
+		return fmt.Errorf("cluster: supply temperature %v implausible", c.SupplyC)
+	}
+	if c.RecircPerUtil < 0 {
+		return fmt.Errorf("cluster: negative recirculation %v", c.RecircPerUtil)
+	}
+	return nil
+}
+
+// Rack is an ordered set of hosts with per-slot inlet offsets (top-of-rack
+// slots ingest warmer air).
+type Rack struct {
+	id      string
+	hosts   []*vmm.Host
+	offsets []float64
+}
+
+// NewRack creates a rack; offsets[i] is added to slot i's inlet temperature.
+func NewRack(id string, hosts []*vmm.Host, offsets []float64) (*Rack, error) {
+	if id == "" {
+		return nil, errors.New("cluster: rack missing id")
+	}
+	if len(hosts) == 0 {
+		return nil, errors.New("cluster: rack has no hosts")
+	}
+	if len(offsets) != len(hosts) {
+		return nil, fmt.Errorf("cluster: %d offsets for %d hosts", len(offsets), len(hosts))
+	}
+	for i, h := range hosts {
+		if h == nil {
+			return nil, fmt.Errorf("cluster: nil host in slot %d", i)
+		}
+	}
+	r := &Rack{id: id}
+	r.hosts = append(r.hosts, hosts...)
+	r.offsets = append(r.offsets, offsets...)
+	return r, nil
+}
+
+// ID returns the rack identifier.
+func (r *Rack) ID() string { return r.id }
+
+// Hosts returns the rack's hosts in slot order (shared slice header copy;
+// hosts themselves are live objects).
+func (r *Rack) Hosts() []*vmm.Host {
+	out := make([]*vmm.Host, len(r.hosts))
+	copy(out, r.hosts)
+	return out
+}
+
+// MeanUtilization averages host utilization across the rack.
+func (r *Rack) MeanUtilization() float64 {
+	var sum float64
+	for _, h := range r.hosts {
+		sum += h.Utilization()
+	}
+	return sum / float64(len(r.hosts))
+}
+
+// Datacenter is a set of racks under one CRAC.
+type Datacenter struct {
+	crac  CRAC
+	racks []*Rack
+}
+
+// NewDatacenter assembles racks under a CRAC.
+func NewDatacenter(crac CRAC, racks []*Rack) (*Datacenter, error) {
+	if err := crac.Validate(); err != nil {
+		return nil, err
+	}
+	if len(racks) == 0 {
+		return nil, errors.New("cluster: no racks")
+	}
+	seen := map[string]bool{}
+	for _, r := range racks {
+		if r == nil {
+			return nil, errors.New("cluster: nil rack")
+		}
+		if seen[r.ID()] {
+			return nil, fmt.Errorf("cluster: duplicate rack %q", r.ID())
+		}
+		seen[r.ID()] = true
+	}
+	dc := &Datacenter{crac: crac}
+	dc.racks = append(dc.racks, racks...)
+	return dc, nil
+}
+
+// Racks returns the racks.
+func (dc *Datacenter) Racks() []*Rack {
+	out := make([]*Rack, len(dc.racks))
+	copy(out, dc.racks)
+	return out
+}
+
+// CRAC returns the cooling configuration.
+func (dc *Datacenter) CRAC() CRAC { return dc.crac }
+
+// InletTemp computes slot i of rack r's inlet air temperature: CRAC supply
+// plus the slot's static offset plus recirculation proportional to rack
+// utilization. This is each server's δ_env.
+func (dc *Datacenter) InletTemp(r *Rack, slot int) (float64, error) {
+	if r == nil || slot < 0 || slot >= len(r.hosts) {
+		return 0, fmt.Errorf("cluster: invalid rack/slot")
+	}
+	return dc.crac.SupplyC + r.offsets[slot] + dc.crac.RecircPerUtil*r.MeanUtilization(), nil
+}
+
+// HostPosition locates a host in the datacenter.
+type HostPosition struct {
+	Rack *Rack
+	Slot int
+}
+
+// FindHost returns the position of a host by id.
+func (dc *Datacenter) FindHost(hostID string) (HostPosition, error) {
+	for _, r := range dc.racks {
+		for i, h := range r.hosts {
+			if h.ID() == hostID {
+				return HostPosition{Rack: r, Slot: i}, nil
+			}
+		}
+	}
+	return HostPosition{}, fmt.Errorf("cluster: no host %q", hostID)
+}
+
+// AllHosts returns every host with its position, in rack/slot order.
+func (dc *Datacenter) AllHosts() []HostPosition {
+	var out []HostPosition
+	for _, r := range dc.racks {
+		for i := range r.hosts {
+			out = append(out, HostPosition{Rack: r, Slot: i})
+		}
+	}
+	return out
+}
+
+// Hotspot is one server exceeding the thermal threshold.
+type Hotspot struct {
+	HostID string
+	TempC  float64
+	Margin float64 // degrees above the threshold
+}
+
+// DetectHotspots flags hosts whose (measured or predicted) temperature
+// exceeds thresholdC, sorted hottest first.
+func DetectHotspots(temps map[string]float64, thresholdC float64) []Hotspot {
+	var out []Hotspot
+	for id, tc := range temps {
+		if tc > thresholdC {
+			out = append(out, Hotspot{HostID: id, TempC: tc, Margin: tc - thresholdC})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].TempC != out[j].TempC {
+			return out[i].TempC > out[j].TempC
+		}
+		return out[i].HostID < out[j].HostID
+	})
+	return out
+}
+
+// HostStateCase reconstructs a workload.Case describing a host's *current*
+// deployment plus an optional candidate VM — the feature source for
+// prediction-driven placement. Fan count and ambient come from the caller's
+// knowledge of the machine and the datacenter model.
+func HostStateCase(h *vmm.Host, fanCount int, ambientC float64, candidate *workload.VMSpec) (workload.Case, error) {
+	if h == nil {
+		return workload.Case{}, errors.New("cluster: nil host")
+	}
+	c := workload.Case{
+		Name:     "state:" + h.ID(),
+		Host:     h.Config(),
+		FanCount: fanCount,
+		AmbientC: ambientC,
+	}
+	for _, vm := range h.VMs() {
+		if vm.State() != vmm.VMRunning && vm.State() != vmm.VMMigrating {
+			continue
+		}
+		spec := workload.VMSpec{ID: vm.ID(), Config: vm.Config()}
+		for _, task := range vm.Tasks() {
+			spec.Tasks = append(spec.Tasks, workload.TaskSpec{Task: task})
+		}
+		c.VMs = append(c.VMs, spec)
+	}
+	if candidate != nil {
+		c.VMs = append(c.VMs, *candidate)
+	}
+	if len(c.VMs) == 0 {
+		return workload.Case{}, errors.New("cluster: host state has no running VMs")
+	}
+	return c, nil
+}

@@ -1,0 +1,129 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"vmtherm/internal/vmm"
+	"vmtherm/internal/workload"
+)
+
+// Placer chooses a host for a new VM.
+type Placer interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// Choose returns the selected host, or an error if no host can admit
+	// the VM.
+	Choose(dc *Datacenter, spec workload.VMSpec) (*vmm.Host, error)
+}
+
+// canAdmit checks capacity without mutating the host.
+func canAdmit(h *vmm.Host, cfg vmm.VMConfig) bool {
+	hc := h.Config()
+	if h.PlacedVCPUs()+float64(cfg.VCPUs) > float64(hc.Cores)*hc.CPUOvercommit {
+		return false
+	}
+	return h.PlacedMemGB()+cfg.MemoryGB <= hc.MemoryGB
+}
+
+// ErrNoCapacity is returned when no host can admit the VM.
+var ErrNoCapacity = errors.New("cluster: no host with capacity")
+
+// FirstFit places on the first host (rack/slot order) with capacity — the
+// thermally-blind baseline.
+type FirstFit struct{}
+
+// Name implements Placer.
+func (FirstFit) Name() string { return "first-fit" }
+
+// Choose implements Placer.
+func (FirstFit) Choose(dc *Datacenter, spec workload.VMSpec) (*vmm.Host, error) {
+	for _, pos := range dc.AllHosts() {
+		h := pos.Rack.hosts[pos.Slot]
+		if canAdmit(h, spec.Config) {
+			return h, nil
+		}
+	}
+	return nil, ErrNoCapacity
+}
+
+// CoolestInlet places on the admitting host with the lowest inlet
+// temperature — thermal-aware but blind to what the VM itself will do.
+type CoolestInlet struct{}
+
+// Name implements Placer.
+func (CoolestInlet) Name() string { return "coolest-inlet" }
+
+// Choose implements Placer.
+func (CoolestInlet) Choose(dc *Datacenter, spec workload.VMSpec) (*vmm.Host, error) {
+	var best *vmm.Host
+	bestInlet := math.Inf(1)
+	for _, pos := range dc.AllHosts() {
+		h := pos.Rack.hosts[pos.Slot]
+		if !canAdmit(h, spec.Config) {
+			continue
+		}
+		inlet, err := dc.InletTemp(pos.Rack, pos.Slot)
+		if err != nil {
+			return nil, err
+		}
+		if inlet < bestInlet {
+			best, bestInlet = h, inlet
+		}
+	}
+	if best == nil {
+		return nil, ErrNoCapacity
+	}
+	return best, nil
+}
+
+// TempPredictor estimates a host's stable CPU temperature from a workload
+// case; core.StablePredictor satisfies it via an adapter closure.
+type TempPredictor func(c workload.Case) (float64, error)
+
+// PredictedTemp places on the host whose *predicted post-placement* stable
+// temperature is lowest — the paper's proactive thermal management use case.
+type PredictedTemp struct {
+	// Predict estimates ψ_stable for a hypothetical deployment.
+	Predict TempPredictor
+	// FanCount is the fan configuration assumed for every host.
+	FanCount int
+}
+
+// Name implements Placer.
+func (PredictedTemp) Name() string { return "predicted-temp" }
+
+// Choose implements Placer.
+func (p PredictedTemp) Choose(dc *Datacenter, spec workload.VMSpec) (*vmm.Host, error) {
+	if p.Predict == nil {
+		return nil, errors.New("cluster: PredictedTemp needs a predictor")
+	}
+	var best *vmm.Host
+	bestTemp := math.Inf(1)
+	for _, pos := range dc.AllHosts() {
+		h := pos.Rack.hosts[pos.Slot]
+		if !canAdmit(h, spec.Config) {
+			continue
+		}
+		inlet, err := dc.InletTemp(pos.Rack, pos.Slot)
+		if err != nil {
+			return nil, err
+		}
+		state, err := HostStateCase(h, p.FanCount, inlet, &spec)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: host %s state: %w", h.ID(), err)
+		}
+		predicted, err := p.Predict(state)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: predicting for %s: %w", h.ID(), err)
+		}
+		if predicted < bestTemp {
+			best, bestTemp = h, predicted
+		}
+	}
+	if best == nil {
+		return nil, ErrNoCapacity
+	}
+	return best, nil
+}

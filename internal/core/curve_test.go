@@ -1,0 +1,109 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewCurveValidation(t *testing.T) {
+	if _, err := NewCurve(20, 60, 0, 30); err == nil {
+		t.Error("zero t_break should fail")
+	}
+	if _, err := NewCurve(20, 60, 600, 0); err == nil {
+		t.Error("zero delta should fail")
+	}
+	if _, err := NewCurve(math.NaN(), 60, 600, 30); err == nil {
+		t.Error("NaN phi0 should fail")
+	}
+	if _, err := NewCurve(20, 60, 600, 30); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCurveAnchors(t *testing.T) {
+	c, err := NewCurve(22, 75, 600, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Value(0) != 22 {
+		t.Errorf("ψ*(0) = %v, want φ(0)=22", c.Value(0))
+	}
+	if c.Value(-10) != 22 {
+		t.Errorf("ψ*(-10) = %v, want clamp to φ(0)", c.Value(-10))
+	}
+	if c.Value(600) != 75 {
+		t.Errorf("ψ*(t_break) = %v, want ψ_stable=75", c.Value(600))
+	}
+	if c.Value(1e6) != 75 {
+		t.Errorf("ψ*(∞) = %v, want 75", c.Value(1e6))
+	}
+}
+
+func TestCurveMonotoneWarming(t *testing.T) {
+	c, err := NewCurve(20, 80, 600, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := c.Value(0)
+	for tt := 1.0; tt <= 700; tt++ {
+		cur := c.Value(tt)
+		if cur < prev-1e-12 {
+			t.Fatalf("curve not monotone at %v: %v < %v", tt, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestCurveCoolingDirection(t *testing.T) {
+	// φ(0) above ψ_stable: the curve must descend (e.g. load removed).
+	c, err := NewCurve(80, 50, 600, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(c.Value(100) < 80 && c.Value(100) > 50) {
+		t.Errorf("cooling curve out of band: %v", c.Value(100))
+	}
+	if c.Value(600) != 50 {
+		t.Errorf("cooling anchor = %v", c.Value(600))
+	}
+}
+
+func TestCurveSteeperWithSmallerDelta(t *testing.T) {
+	steep, err := NewCurve(20, 80, 600, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shallow, err := NewCurve(20, 80, 600, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Early in the transient, a small δ curve must be further along.
+	if steep.Value(60) <= shallow.Value(60) {
+		t.Errorf("δ=5 at t=60 (%v) should exceed δ=120 (%v)",
+			steep.Value(60), shallow.Value(60))
+	}
+}
+
+// Property: the curve is always bounded by its anchors.
+func TestCurveBoundedProperty(t *testing.T) {
+	f := func(phi0, stable, tq float64) bool {
+		if math.IsNaN(phi0) || math.IsNaN(stable) || math.IsNaN(tq) {
+			return true
+		}
+		if math.Abs(phi0) > 1e6 || math.Abs(stable) > 1e6 {
+			return true
+		}
+		c, err := NewCurve(phi0, stable, 600, 30)
+		if err != nil {
+			return false
+		}
+		v := c.Value(math.Mod(math.Abs(tq), 1200))
+		lo := math.Min(phi0, stable) - 1e-9
+		hi := math.Max(phi0, stable) + 1e-9
+		return v >= lo && v <= hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

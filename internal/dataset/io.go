@@ -1,0 +1,113 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteCSV serializes records with a header row: case, <features...>, target.
+func WriteCSV(w io.Writer, records []Record) error {
+	if len(records) == 0 {
+		return errors.New("dataset: no records to write")
+	}
+	cw := csv.NewWriter(w)
+	header := append(append([]string{"case"}, featureNames...), "stable_temp_c")
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range records {
+		if len(r.Features) != len(featureNames) {
+			return fmt.Errorf("dataset: record %q has %d features, want %d",
+				r.CaseName, len(r.Features), len(featureNames))
+		}
+		row := make([]string, 0, len(header))
+		row = append(row, r.CaseName)
+		for _, f := range r.Features {
+			row = append(row, strconv.FormatFloat(f, 'g', 17, 64))
+		}
+		row = append(row, strconv.FormatFloat(r.StableTemp, 'g', 17, 64))
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses records written by WriteCSV, validating the header.
+func ReadCSV(r io.Reader) ([]Record, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading header: %w", err)
+	}
+	want := append(append([]string{"case"}, featureNames...), "stable_temp_c")
+	if len(header) != len(want) {
+		return nil, fmt.Errorf("dataset: header has %d columns, want %d", len(header), len(want))
+	}
+	for i := range want {
+		if header[i] != want[i] {
+			return nil, fmt.Errorf("dataset: header column %d is %q, want %q", i, header[i], want[i])
+		}
+	}
+	var records []Record
+	for line := 2; ; line++ {
+		row, err := cr.Read()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: line %d: %w", line, err)
+		}
+		rec := Record{CaseName: row[0], Features: make([]float64, len(featureNames))}
+		for i := range featureNames {
+			v, err := strconv.ParseFloat(row[i+1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: line %d feature %s: %w", line, featureNames[i], err)
+			}
+			rec.Features[i] = v
+		}
+		t, err := strconv.ParseFloat(row[len(row)-1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: line %d target: %w", line, err)
+		}
+		rec.StableTemp = t
+		records = append(records, rec)
+	}
+	if len(records) == 0 {
+		return nil, errors.New("dataset: file contains no records")
+	}
+	return records, nil
+}
+
+// WriteLIBSVM serializes records in LIBSVM's sparse training-file format
+// ("<target> 1:<f1> 2:<f2> ..."), usable directly with svm-train for
+// cross-checking against the reference implementation.
+func WriteLIBSVM(w io.Writer, records []Record) error {
+	if len(records) == 0 {
+		return errors.New("dataset: no records to write")
+	}
+	var sb strings.Builder
+	for _, r := range records {
+		sb.Reset()
+		sb.WriteString(strconv.FormatFloat(r.StableTemp, 'g', 17, 64))
+		for i, f := range r.Features {
+			if f == 0 {
+				continue
+			}
+			sb.WriteByte(' ')
+			sb.WriteString(strconv.Itoa(i + 1))
+			sb.WriteByte(':')
+			sb.WriteString(strconv.FormatFloat(f, 'g', 17, 64))
+		}
+		sb.WriteByte('\n')
+		if _, err := io.WriteString(w, sb.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

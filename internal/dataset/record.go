@@ -1,0 +1,158 @@
+// Package dataset realizes the paper's Eq. (2): each experiment produces one
+// record {input, output} with input = {θ_cpu, θ_memory, θ_fan, ξ_VM, δ_env}
+// and output = ψ_stable. The paper leaves the encoding of ξ_VM ("VM
+// configurations and deployed tasks") unspecified; we aggregate it into
+// twelve numeric features documented on FeatureNames, and record that choice
+// in DESIGN.md §6.
+package dataset
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"vmtherm/internal/mathx"
+	"vmtherm/internal/vmm"
+	"vmtherm/internal/workload"
+)
+
+// Record is one training/testing example (Eq. 2).
+type Record struct {
+	// CaseName ties the record back to its experiment case.
+	CaseName string
+	// Features is the encoded input vector; see FeatureNames.
+	Features []float64
+	// StableTemp is ψ_stable, the Eq. (1) output.
+	StableTemp float64
+}
+
+// featureNames is the canonical feature order.
+var featureNames = []string{
+	"cpu_capacity_ghz", // θ_cpu
+	"memory_gb",        // θ_memory
+	"fan_count",        // θ_fan
+	"ambient_c",        // δ_env
+	"vm_count",         // ξ_VM …
+	"vcpus_allocated",  //
+	"mem_allocated_gb", //
+	"cpu_demand_vcpus", // mean aggregate task demand over the experiment
+	"mem_active_gb",    //
+	"task_count",       //
+	"task_cpu_mean",    //
+	"task_cpu_max",     //
+	"frac_cpu_bound",   // task-class mix …
+	"frac_mem_bound",   //
+	"frac_io_bound",    //
+	"frac_bursty",      //
+}
+
+// FeatureNames returns the canonical feature order (a copy).
+func FeatureNames() []string {
+	out := make([]string, len(featureNames))
+	copy(out, featureNames)
+	return out
+}
+
+// NumFeatures is the feature vector length.
+func NumFeatures() int { return len(featureNames) }
+
+// Encode converts a workload case into the Eq. (2) input vector. Task CPU
+// demand is averaged over [0, horizonS] so dynamic profiles contribute their
+// mean load, matching what ψ_stable responds to.
+func Encode(c workload.Case, horizonS float64) ([]float64, error) {
+	if len(c.VMs) == 0 {
+		return nil, errors.New("dataset: case has no VMs")
+	}
+	if horizonS <= 0 {
+		return nil, fmt.Errorf("dataset: horizon must be > 0, got %v", horizonS)
+	}
+
+	var vcpus, memAlloc, demand, memActive float64
+	var taskCount int
+	var cpuSum, cpuMax float64
+	classCounts := map[vmm.TaskClass]float64{}
+
+	for _, spec := range c.VMs {
+		vcpus += float64(spec.Config.VCPUs)
+		memAlloc += spec.Config.MemoryGB
+		var vmDemand, vmMem float64
+		for _, ts := range spec.Tasks {
+			mean := ts.Task.CPUFraction
+			if ts.Profile != nil {
+				m, err := workload.MeanOver(ts.Profile, 0, horizonS, horizonS/200)
+				if err != nil {
+					return nil, fmt.Errorf("dataset: task %s: %w", ts.Task.ID, err)
+				}
+				mean = m
+			}
+			vmDemand += mean
+			vmMem += ts.Task.MemGB
+			cpuSum += mean
+			if mean > cpuMax {
+				cpuMax = mean
+			}
+			classCounts[ts.Task.Class]++
+			taskCount++
+		}
+		demand += math.Min(vmDemand, float64(spec.Config.VCPUs))
+		memActive += math.Min(vmMem, spec.Config.MemoryGB)
+	}
+	if taskCount == 0 {
+		return nil, errors.New("dataset: case has no tasks")
+	}
+
+	tc := float64(taskCount)
+	return []float64{
+		c.Host.CPUCapacityGHz(),
+		c.Host.MemoryGB,
+		float64(c.FanCount),
+		c.AmbientC,
+		float64(len(c.VMs)),
+		vcpus,
+		memAlloc,
+		demand,
+		memActive,
+		tc,
+		cpuSum / tc,
+		cpuMax,
+		classCounts[vmm.CPUBound] / tc,
+		classCounts[vmm.MemBound] / tc,
+		classCounts[vmm.IOBound] / tc,
+		classCounts[vmm.Bursty] / tc,
+	}, nil
+}
+
+// Split partitions records into train and test sets with the given test
+// fraction, shuffled deterministically by seed.
+func Split(records []Record, testFrac float64, seed int64) (train, test []Record, err error) {
+	if testFrac < 0 || testFrac >= 1 {
+		return nil, nil, fmt.Errorf("dataset: test fraction %v outside [0,1)", testFrac)
+	}
+	if len(records) == 0 {
+		return nil, nil, errors.New("dataset: no records to split")
+	}
+	rng := mathx.SplitStable(seed, "dataset-split")
+	perm := rng.Perm(len(records))
+	nTest := int(math.Round(testFrac * float64(len(records))))
+	test = make([]Record, 0, nTest)
+	train = make([]Record, 0, len(records)-nTest)
+	for i, idx := range perm {
+		if i < nTest {
+			test = append(test, records[idx])
+		} else {
+			train = append(train, records[idx])
+		}
+	}
+	return train, test, nil
+}
+
+// FeaturesAndTargets unzips records into parallel slices for training.
+func FeaturesAndTargets(records []Record) (x [][]float64, y []float64) {
+	x = make([][]float64, len(records))
+	y = make([]float64, len(records))
+	for i, r := range records {
+		x[i] = r.Features
+		y[i] = r.StableTemp
+	}
+	return x, y
+}

@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"vmtherm/internal/core"
+	"vmtherm/internal/dataset"
+	"vmtherm/internal/testbed"
+	"vmtherm/internal/vmm"
+	"vmtherm/internal/workload"
+)
+
+// MigrationStudyResult captures dynamic prediction through a live VM
+// migration — the scenario the paper's introduction singles out as the one
+// traditional models cannot handle.
+type MigrationStudyResult struct {
+	// CaseName identifies the observed server's workload.
+	CaseName string
+	// MigrationAtS is when the inbound migration was initiated.
+	MigrationAtS float64
+	// PredictedStable is the SVM ψ_stable for the POST-migration deployment
+	// (the VMM knows what is scheduled before the thermals respond).
+	PredictedStable float64
+	// ActualStable is the measured post-migration settled temperature.
+	ActualStable float64
+	// WithMSE / WithoutMSE compare calibrated vs. uncalibrated replay over
+	// the full trace, including the migration transient.
+	WithMSE, WithoutMSE float64
+}
+
+// RunMigrationStudy trains the stable model, runs an experiment where a hot
+// VM live-migrates onto the observed server mid-run, and scores dynamic
+// prediction through the transition.
+func RunMigrationStudy(ctx context.Context, cfg Fig1bConfig, migrateAtS float64) (*MigrationStudyResult, error) {
+	if migrateAtS <= 0 || migrateAtS >= cfg.Build.Run.DurationS {
+		return nil, fmt.Errorf("experiments: migration time %v outside the run", migrateAtS)
+	}
+	trainGen := cfg.Gen
+	trainGen.Dynamic = false
+	trainCases, err := workload.GenerateCases(trainGen, cfg.Seed, "train", cfg.TrainCases)
+	if err != nil {
+		return nil, err
+	}
+	trainRecs, err := dataset.Build(ctx, trainCases, cfg.Build)
+	if err != nil {
+		return nil, err
+	}
+	pred, err := core.TrainStable(ctx, trainRecs, cfg.Stable)
+	if err != nil {
+		return nil, err
+	}
+
+	// Observed server: constant-load VMs so the migration is the dynamics.
+	caseGen := cfg.Gen
+	caseGen.Dynamic = false
+	caseGen.VMCountMin, caseGen.VMCountMax = cfg.CaseVMs, cfg.CaseVMs
+	caseGen.FanChoices = []int{cfg.FanCount}
+	study, err := workload.GenerateCase(caseGen, cfg.Seed+7, "migstudy")
+	if err != nil {
+		return nil, err
+	}
+	rig, err := testbed.New(study, testbed.Options{Seed: cfg.Seed + 7})
+	if err != nil {
+		return nil, err
+	}
+
+	newcomer := workload.VMSpec{
+		ID:     "migstudy-incoming",
+		Config: vmm.VMConfig{VCPUs: 4, MemoryGB: 8},
+		Tasks: []workload.TaskSpec{
+			{
+				Task:    vmm.Task{ID: "mig-t0", Class: vmm.CPUBound, CPUFraction: 0.95, MemGB: 2},
+				Profile: workload.Constant{Level: 0.95},
+			},
+			{
+				Task:    vmm.Task{ID: "mig-t1", Class: vmm.CPUBound, CPUFraction: 0.85, MemGB: 1},
+				Profile: workload.Constant{Level: 0.85},
+			},
+		},
+	}
+	if err := rig.ScheduleMigrationIn(migrateAtS, newcomer, vmm.DefaultMigrationSpec()); err != nil {
+		return nil, err
+	}
+	run, err := rig.Run(cfg.Build.Run)
+	if err != nil {
+		return nil, err
+	}
+
+	phi0, _, err := core.ProfileTrace(run.SensorTemps, cfg.TBreakS)
+	if err != nil {
+		return nil, err
+	}
+	postCase := study
+	postCase.VMs = append(append([]workload.VMSpec{}, study.VMs...), newcomer)
+	predictedStable, err := pred.PredictCase(postCase, cfg.Build.Run.DurationS)
+	if err != nil {
+		return nil, err
+	}
+	// Post-migration regime: after the thermal transient of the arrival.
+	actualStable, err := run.SensorTemps.MeanAfter(migrateAtS + cfg.TBreakS/2)
+	if err != nil {
+		return nil, err
+	}
+
+	curve, err := core.NewCurve(phi0, predictedStable, cfg.TBreakS, cfg.CurveDeltaS)
+	if err != nil {
+		return nil, err
+	}
+	withCal, err := core.Replay(run.SensorTemps, curve, cfg.Dynamic)
+	if err != nil {
+		return nil, err
+	}
+	noCal := cfg.Dynamic
+	noCal.Lambda = 0
+	withoutCal, err := core.Replay(run.SensorTemps, curve, noCal)
+	if err != nil {
+		return nil, err
+	}
+
+	return &MigrationStudyResult{
+		CaseName:        study.Name,
+		MigrationAtS:    migrateAtS,
+		PredictedStable: predictedStable,
+		ActualStable:    actualStable,
+		WithMSE:         withCal.MSE,
+		WithoutMSE:      withoutCal.MSE,
+	}, nil
+}
+
+// Render prints the study summary.
+func (r *MigrationStudyResult) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Migration study: live migration into %s at t=%.0f s\n", r.CaseName, r.MigrationAtS)
+	fmt.Fprintf(&sb, "post-migration stable: predicted %.2f °C, measured %.2f °C\n",
+		r.PredictedStable, r.ActualStable)
+	fmt.Fprintf(&sb, "dynamic prediction through the migration:\n")
+	fmt.Fprintf(&sb, "  with calibration:    MSE %.3f\n", r.WithMSE)
+	fmt.Fprintf(&sb, "  without calibration: MSE %.3f\n", r.WithoutMSE)
+	return sb.String()
+}

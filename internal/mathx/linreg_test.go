@@ -1,0 +1,170 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFitLinearExact(t *testing.T) {
+	// y = 3 + 2x, exactly.
+	xs := []float64{0, 1, 2, 3, 4}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 3 + 2*x
+	}
+	fit, err := FitLinear(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !AlmostEqual(fit.Intercept, 3, 1e-9) || !AlmostEqual(fit.Slope, 2, 1e-9) {
+		t.Errorf("fit = %+v, want intercept 3 slope 2", fit)
+	}
+	if !AlmostEqual(fit.At(10), 23, 1e-9) {
+		t.Errorf("At(10) = %v, want 23", fit.At(10))
+	}
+}
+
+func TestFitLinearNoisy(t *testing.T) {
+	g := NewRNG(1)
+	var xs, ys []float64
+	for i := 0; i < 500; i++ {
+		x := g.Uniform(0, 10)
+		xs = append(xs, x)
+		ys = append(ys, 5-1.5*x+g.Normal(0, 0.1))
+	}
+	fit, err := FitLinear(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Intercept-5) > 0.1 || math.Abs(fit.Slope+1.5) > 0.05 {
+		t.Errorf("noisy fit = %+v, want ~(5, -1.5)", fit)
+	}
+}
+
+func TestFitLinearErrors(t *testing.T) {
+	if _, err := FitLinear([]float64{1}, []float64{1}); err == nil {
+		t.Error("expected error for single point")
+	}
+	if _, err := FitLinear([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("expected error for length mismatch")
+	}
+	if _, err := FitLinear([]float64{2, 2, 2}, []float64{1, 2, 3}); err == nil {
+		t.Error("expected error for constant x")
+	}
+}
+
+func TestFitMultiLinearExact(t *testing.T) {
+	// y = 1 + 2a - 3b
+	features := [][]float64{
+		{0, 0}, {1, 0}, {0, 1}, {1, 1}, {2, 3}, {4, 1},
+	}
+	ys := make([]float64, len(features))
+	for i, f := range features {
+		ys[i] = 1 + 2*f[0] - 3*f[1]
+	}
+	fit, err := FitMultiLinear(features, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 2, -3}
+	for i, c := range want {
+		if !AlmostEqual(fit.Coef[i], c, 1e-8) {
+			t.Errorf("Coef[%d] = %v, want %v", i, fit.Coef[i], c)
+		}
+	}
+	if got := fit.At([]float64{5, 5}); !AlmostEqual(got, 1+10-15, 1e-8) {
+		t.Errorf("At = %v", got)
+	}
+}
+
+func TestFitMultiLinearErrors(t *testing.T) {
+	if _, err := FitMultiLinear(nil, nil); err == nil {
+		t.Error("expected error for empty input")
+	}
+	if _, err := FitMultiLinear([][]float64{{1}}, []float64{1, 2}); err == nil {
+		t.Error("expected error for length mismatch")
+	}
+	if _, err := FitMultiLinear([][]float64{{1, 2}, {1}}, []float64{1, 2}); err == nil {
+		t.Error("expected error for ragged rows")
+	}
+	if _, err := FitMultiLinear([][]float64{{1, 2}}, []float64{1}); err == nil {
+		t.Error("expected error for underdetermined system")
+	}
+	// Collinear features -> singular normal equations.
+	if _, err := FitMultiLinear([][]float64{{1, 2}, {2, 4}, {3, 6}}, []float64{1, 2, 3}); err == nil {
+		t.Error("expected error for singular system")
+	}
+}
+
+func TestSolveGaussianKnownSystem(t *testing.T) {
+	a := [][]float64{
+		{2, 1, -1},
+		{-3, -1, 2},
+		{-2, 1, 2},
+	}
+	b := []float64{8, -11, -3}
+	x, err := solveGaussian(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 3, -1}
+	for i := range want {
+		if !AlmostEqual(x[i], want[i], 1e-9) {
+			t.Errorf("x[%d] = %v, want %v", i, x[i], want[i])
+		}
+	}
+}
+
+func TestFitRidgeHandlesCollinearity(t *testing.T) {
+	// Feature 2 = 2 × feature 1: singular for OLS, fine for ridge.
+	features := [][]float64{{1, 2}, {2, 4}, {3, 6}, {4, 8}}
+	ys := []float64{3, 6, 9, 12} // y = 3*x1
+	if _, err := FitMultiLinear(features, ys); err == nil {
+		t.Fatal("OLS should reject collinear features")
+	}
+	fit, err := FitRidge(features, ys, 1e-8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range features {
+		if got, want := fit.At(x), 3*x[0]; math.Abs(got-want) > 1e-3 {
+			t.Errorf("ridge At(%v) = %v, want %v", x, got, want)
+		}
+	}
+}
+
+func TestFitRidgeMatchesOLSWhenWellPosed(t *testing.T) {
+	features := [][]float64{{0, 0}, {1, 0}, {0, 1}, {1, 1}, {2, 3}}
+	ys := make([]float64, len(features))
+	for i, f := range features {
+		ys[i] = 2 + f[0] - 0.5*f[1]
+	}
+	ols, err := FitMultiLinear(append([][]float64{}, features...), append([]float64{}, ys...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ridge, err := FitRidge(features, ys, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ols.Coef {
+		if math.Abs(ols.Coef[i]-ridge.Coef[i]) > 1e-5 {
+			t.Errorf("coef %d: ols %v vs ridge %v", i, ols.Coef[i], ridge.Coef[i])
+		}
+	}
+}
+
+func TestFitRidgeValidation(t *testing.T) {
+	if _, err := FitRidge(nil, nil, 1e-6); err == nil {
+		t.Error("empty should fail")
+	}
+	if _, err := FitRidge([][]float64{{1}}, []float64{1, 2}, 1e-6); err == nil {
+		t.Error("mismatch should fail")
+	}
+	if _, err := FitRidge([][]float64{{1}}, []float64{1}, 0); err == nil {
+		t.Error("zero lambda should fail")
+	}
+	if _, err := FitRidge([][]float64{{1, 2}, {1}}, []float64{1, 2}, 1e-6); err == nil {
+		t.Error("ragged rows should fail")
+	}
+}

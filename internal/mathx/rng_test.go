@@ -1,0 +1,200 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewRNGDeterministic(t *testing.T) {
+	a := NewRNG(42)
+	b := NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if got, want := a.Float64(), b.Float64(); got != want {
+			t.Fatalf("sequence diverged at step %d: %v != %v", i, got, want)
+		}
+	}
+}
+
+func TestNewRNGSeedsDiffer(t *testing.T) {
+	a := NewRNG(1)
+	b := NewRNG(2)
+	same := 0
+	for i := 0; i < 50; i++ {
+		if a.Float64() == b.Float64() {
+			same++
+		}
+	}
+	if same == 50 {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestSplitStableIndependentOfConsumption(t *testing.T) {
+	// A stable split must not depend on how much of any parent stream was used.
+	a := SplitStable(7, "sensor")
+	parent := NewRNG(7)
+	parent.Float64()
+	parent.Float64()
+	b := SplitStable(7, "sensor")
+	for i := 0; i < 20; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("SplitStable stream depends on external state")
+		}
+	}
+}
+
+func TestSplitStableLabelsDiffer(t *testing.T) {
+	a := SplitStable(7, "alpha")
+	b := SplitStable(7, "beta")
+	same := 0
+	for i := 0; i < 50; i++ {
+		if a.Float64() == b.Float64() {
+			same++
+		}
+	}
+	if same == 50 {
+		t.Fatal("different labels produced identical streams")
+	}
+}
+
+func TestSplitDeterministic(t *testing.T) {
+	a := NewRNG(9).Split("x")
+	b := NewRNG(9).Split("x")
+	for i := 0; i < 20; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("Split not deterministic for equal parent state")
+		}
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	g := NewRNG(3)
+	for i := 0; i < 1000; i++ {
+		x := g.Uniform(-2, 5)
+		if x < -2 || x >= 5 {
+			t.Fatalf("Uniform(-2,5) out of range: %v", x)
+		}
+	}
+}
+
+func TestIntBetweenInclusive(t *testing.T) {
+	g := NewRNG(4)
+	seen := map[int]bool{}
+	for i := 0; i < 1000; i++ {
+		v := g.IntBetween(2, 12)
+		if v < 2 || v > 12 {
+			t.Fatalf("IntBetween(2,12) out of range: %d", v)
+		}
+		seen[v] = true
+	}
+	for v := 2; v <= 12; v++ {
+		if !seen[v] {
+			t.Errorf("IntBetween never produced %d in 1000 draws", v)
+		}
+	}
+}
+
+func TestIntBetweenPanicsOnInvertedBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for inverted bounds")
+		}
+	}()
+	NewRNG(1).IntBetween(5, 4)
+}
+
+func TestNormalMoments(t *testing.T) {
+	g := NewRNG(5)
+	var w Welford
+	for i := 0; i < 20000; i++ {
+		w.Add(g.Normal(10, 2))
+	}
+	if math.Abs(w.Mean()-10) > 0.1 {
+		t.Errorf("Normal mean = %v, want ~10", w.Mean())
+	}
+	if math.Abs(w.StdDev()-2) > 0.1 {
+		t.Errorf("Normal std = %v, want ~2", w.StdDev())
+	}
+}
+
+func TestChoiceRespectsWeights(t *testing.T) {
+	g := NewRNG(6)
+	counts := make([]int, 3)
+	for i := 0; i < 30000; i++ {
+		counts[g.Choice([]float64{1, 2, 7})]++
+	}
+	total := float64(30000)
+	for i, want := range []float64{0.1, 0.2, 0.7} {
+		got := float64(counts[i]) / total
+		if math.Abs(got-want) > 0.02 {
+			t.Errorf("Choice freq[%d] = %v, want ~%v", i, got, want)
+		}
+	}
+}
+
+func TestChoiceZeroWeightNeverChosen(t *testing.T) {
+	g := NewRNG(8)
+	for i := 0; i < 1000; i++ {
+		if g.Choice([]float64{0, 1, 0}) != 1 {
+			t.Fatal("Choice selected a zero-weight index")
+		}
+	}
+}
+
+func TestChoicePanics(t *testing.T) {
+	for name, weights := range map[string][]float64{
+		"all zero": {0, 0},
+		"negative": {1, -1},
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			NewRNG(1).Choice(weights)
+		})
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	if err := quick.Check(func(seed int64) bool {
+		p := NewRNG(seed).Perm(17)
+		seen := make([]bool, 17)
+		for _, v := range p {
+			if v < 0 || v >= 17 || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	g := NewRNG(11)
+	var w Welford
+	for i := 0; i < 50000; i++ {
+		w.Add(g.Exp(3))
+	}
+	if math.Abs(w.Mean()-3) > 0.1 {
+		t.Errorf("Exp mean = %v, want ~3", w.Mean())
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	g := NewRNG(12)
+	n := 0
+	for i := 0; i < 20000; i++ {
+		if g.Bool(0.25) {
+			n++
+		}
+	}
+	got := float64(n) / 20000
+	if math.Abs(got-0.25) > 0.02 {
+		t.Errorf("Bool(0.25) frequency = %v", got)
+	}
+}

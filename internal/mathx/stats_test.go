@@ -1,0 +1,256 @@
+package mathx
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	tests := []struct {
+		name string
+		in   []float64
+		want float64
+	}{
+		{"single", []float64{4}, 4},
+		{"pair", []float64{2, 4}, 3},
+		{"negative", []float64{-1, 1}, 0},
+		{"fractional", []float64{1, 2, 2}, 5.0 / 3},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := Mean(tt.in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !AlmostEqual(got, tt.want, 1e-12) {
+				t.Errorf("Mean(%v) = %v, want %v", tt.in, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestMeanEmpty(t *testing.T) {
+	if _, err := Mean(nil); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("Mean(nil) err = %v, want ErrEmpty", err)
+	}
+}
+
+func TestMustMeanPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustMean(nil)
+}
+
+func TestVariance(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	// Sample variance of this classic dataset is 32/7.
+	if got, want := Variance(xs), 32.0/7; !AlmostEqual(got, want, 1e-12) {
+		t.Errorf("Variance = %v, want %v", got, want)
+	}
+}
+
+func TestVarianceDegenerate(t *testing.T) {
+	if Variance(nil) != 0 || Variance([]float64{5}) != 0 {
+		t.Error("Variance of <2 samples should be 0")
+	}
+}
+
+func TestMSE(t *testing.T) {
+	got, err := MSE([]float64{1, 2, 3}, []float64{1, 3, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := (0.0 + 1 + 4) / 3; !AlmostEqual(got, want, 1e-12) {
+		t.Errorf("MSE = %v, want %v", got, want)
+	}
+}
+
+func TestMSEErrors(t *testing.T) {
+	if _, err := MSE([]float64{1}, []float64{1, 2}); !errors.Is(err, ErrLengthMismatch) {
+		t.Errorf("mismatch err = %v", err)
+	}
+	if _, err := MSE(nil, nil); !errors.Is(err, ErrEmpty) {
+		t.Errorf("empty err = %v", err)
+	}
+}
+
+func TestRMSEIsSqrtMSE(t *testing.T) {
+	pred := []float64{1, 2, 3, 4}
+	act := []float64{2, 2, 5, 3}
+	mse, _ := MSE(pred, act)
+	rmse, _ := RMSE(pred, act)
+	if !AlmostEqual(rmse*rmse, mse, 1e-12) {
+		t.Errorf("RMSE² = %v, MSE = %v", rmse*rmse, mse)
+	}
+}
+
+func TestMAE(t *testing.T) {
+	got, err := MAE([]float64{1, -2}, []float64{-1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 3.0; got != want {
+		t.Errorf("MAE = %v, want %v", got, want)
+	}
+}
+
+func TestR2Perfect(t *testing.T) {
+	ys := []float64{1, 2, 3, 4}
+	r2, err := R2(ys, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !AlmostEqual(r2, 1, 1e-12) {
+		t.Errorf("R2 of perfect prediction = %v", r2)
+	}
+}
+
+func TestR2MeanPredictorIsZero(t *testing.T) {
+	actual := []float64{2, 4, 6, 8}
+	pred := []float64{5, 5, 5, 5}
+	r2, err := R2(pred, actual)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !AlmostEqual(r2, 0, 1e-12) {
+		t.Errorf("R2 of mean predictor = %v, want 0", r2)
+	}
+}
+
+func TestR2ConstantActualUndefined(t *testing.T) {
+	if _, err := R2([]float64{1, 2}, []float64{3, 3}); err == nil {
+		t.Error("expected error for constant actuals")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	lo, hi, err := MinMax([]float64{3, -1, 7, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo != -1 || hi != 7 {
+		t.Errorf("MinMax = (%v, %v), want (-1, 7)", lo, hi)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	tests := []struct{ x, lo, hi, want float64 }{
+		{5, 0, 10, 5},
+		{-5, 0, 10, 0},
+		{15, 0, 10, 10},
+		{0, 0, 0, 0},
+	}
+	for _, tt := range tests {
+		if got := Clamp(tt.x, tt.lo, tt.hi); got != tt.want {
+			t.Errorf("Clamp(%v,%v,%v) = %v, want %v", tt.x, tt.lo, tt.hi, got, tt.want)
+		}
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{15, 20, 35, 40, 50}
+	tests := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 15},
+		{100, 50},
+		{50, 35},
+		{25, 20},
+	}
+	for _, tt := range tests {
+		got, err := Percentile(xs, tt.p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !AlmostEqual(got, tt.want, 1e-9) {
+			t.Errorf("Percentile(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if _, err := Percentile(xs, 50); err != nil {
+		t.Fatal(err)
+	}
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Error("Percentile mutated its input")
+	}
+}
+
+func TestPercentileOutOfRange(t *testing.T) {
+	if _, err := Percentile([]float64{1}, 101); err == nil {
+		t.Error("expected error for p > 100")
+	}
+	if _, err := Percentile([]float64{1}, -1); err == nil {
+		t.Error("expected error for p < 0")
+	}
+}
+
+func TestMedianOddEven(t *testing.T) {
+	m, _ := Median([]float64{5, 1, 3})
+	if m != 3 {
+		t.Errorf("odd median = %v", m)
+	}
+	m, _ = Median([]float64{4, 1, 3, 2})
+	if m != 2.5 {
+		t.Errorf("even median = %v", m)
+	}
+}
+
+// Property: MSE is non-negative and zero iff pred == actual.
+func TestMSENonNegativeProperty(t *testing.T) {
+	f := func(pairs []float64) bool {
+		if len(pairs) < 2 {
+			return true
+		}
+		n := len(pairs) / 2
+		pred, actual := pairs[:n], pairs[n:2*n]
+		for _, v := range append(pred, actual...) {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+		}
+		mse, err := MSE(pred, actual)
+		if err != nil {
+			return false
+		}
+		return mse >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: variance is translation-invariant.
+func TestVarianceTranslationInvariant(t *testing.T) {
+	f := func(xs []float64, shift float64) bool {
+		if len(xs) < 2 || math.IsNaN(shift) || math.IsInf(shift, 0) {
+			return true
+		}
+		for _, v := range xs {
+			if math.IsNaN(v) || math.Abs(v) > 1e6 {
+				return true
+			}
+		}
+		if math.Abs(shift) > 1e6 {
+			return true
+		}
+		shifted := make([]float64, len(xs))
+		for i, v := range xs {
+			shifted[i] = v + shift
+		}
+		a, b := Variance(xs), Variance(shifted)
+		scale := math.Max(1, math.Abs(a))
+		return math.Abs(a-b)/scale < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

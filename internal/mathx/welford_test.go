@@ -1,0 +1,101 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestWelfordMatchesBatch(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	var w Welford
+	w.AddAll(xs)
+	if got, want := w.Mean(), MustMean(xs); !AlmostEqual(got, want, 1e-12) {
+		t.Errorf("Mean = %v, want %v", got, want)
+	}
+	if got, want := w.Variance(), Variance(xs); !AlmostEqual(got, want, 1e-12) {
+		t.Errorf("Variance = %v, want %v", got, want)
+	}
+	if w.N() != len(xs) {
+		t.Errorf("N = %d, want %d", w.N(), len(xs))
+	}
+}
+
+func TestWelfordZeroValue(t *testing.T) {
+	var w Welford
+	if w.Mean() != 0 || w.Variance() != 0 || w.N() != 0 {
+		t.Error("zero-value Welford should report zeros")
+	}
+}
+
+func TestWelfordSingleSample(t *testing.T) {
+	var w Welford
+	w.Add(42)
+	if w.Mean() != 42 {
+		t.Errorf("Mean = %v", w.Mean())
+	}
+	if w.Variance() != 0 {
+		t.Errorf("Variance of 1 sample = %v, want 0", w.Variance())
+	}
+}
+
+func TestWelfordMerge(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	var full, left, right Welford
+	full.AddAll(xs)
+	left.AddAll(xs[:3])
+	right.AddAll(xs[3:])
+	left.Merge(right)
+	if !AlmostEqual(left.Mean(), full.Mean(), 1e-12) {
+		t.Errorf("merged mean = %v, want %v", left.Mean(), full.Mean())
+	}
+	if !AlmostEqual(left.Variance(), full.Variance(), 1e-12) {
+		t.Errorf("merged variance = %v, want %v", left.Variance(), full.Variance())
+	}
+}
+
+func TestWelfordMergeEmptySides(t *testing.T) {
+	var a, b Welford
+	a.AddAll([]float64{1, 2, 3})
+	before := a
+	a.Merge(b) // merging empty is a no-op
+	if a != before {
+		t.Error("merging empty accumulator changed state")
+	}
+	b.Merge(a) // merging into empty copies
+	if b != a {
+		t.Error("merge into empty should copy")
+	}
+}
+
+func TestWelfordReset(t *testing.T) {
+	var w Welford
+	w.AddAll([]float64{5, 6})
+	w.Reset()
+	if w.N() != 0 || w.Mean() != 0 || w.Variance() != 0 {
+		t.Error("Reset did not clear state")
+	}
+}
+
+// Property: streaming result equals batch result for random inputs.
+func TestWelfordStreamingEqualsBatchProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		clean := xs[:0:0]
+		for _, v := range xs {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e8 {
+				clean = append(clean, v)
+			}
+		}
+		if len(clean) < 2 {
+			return true
+		}
+		var w Welford
+		w.AddAll(clean)
+		scale := math.Max(1, math.Abs(Variance(clean)))
+		return math.Abs(w.Variance()-Variance(clean))/scale < 1e-8 &&
+			math.Abs(w.Mean()-MustMean(clean)) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,177 @@
+// Package predictclient is the typed Go client for the vmtherm-predictd
+// HTTP service (internal/predictserver). A monitoring agent embeds it to
+// push online measurements and pull Δ_gap-ahead temperature predictions.
+package predictclient
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"vmtherm/internal/predictserver"
+)
+
+// Client talks to one predictd instance.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// Option customizes the client.
+type Option func(*Client)
+
+// WithHTTPClient injects a custom *http.Client (timeouts, transport).
+func WithHTTPClient(h *http.Client) Option {
+	return func(c *Client) { c.http = h }
+}
+
+// New creates a client for the service at baseURL (e.g. "http://host:8080").
+func New(baseURL string, opts ...Option) (*Client, error) {
+	u, err := url.Parse(baseURL)
+	if err != nil {
+		return nil, fmt.Errorf("predictclient: bad base url: %w", err)
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return nil, fmt.Errorf("predictclient: unsupported scheme %q", u.Scheme)
+	}
+	c := &Client{
+		base: strings.TrimRight(baseURL, "/"),
+		http: &http.Client{Timeout: 10 * time.Second},
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c, nil
+}
+
+// APIError is a non-2xx response from the service.
+type APIError struct {
+	StatusCode int
+	Message    string
+}
+
+// Error implements error.
+func (e *APIError) Error() string {
+	return fmt.Sprintf("predictclient: %d: %s", e.StatusCode, e.Message)
+}
+
+// Healthy probes /healthz.
+func (c *Client) Healthy(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	var out map[string]string
+	return c.do(req, &out)
+}
+
+// PredictStable asks for ψ_stable from a raw feature vector.
+func (c *Client) PredictStable(ctx context.Context, features []float64) (float64, error) {
+	var out predictserver.StableResponse
+	err := c.postJSON(ctx, "/v1/predict/stable",
+		predictserver.StableRequest{Features: features}, &out)
+	if err != nil {
+		return 0, err
+	}
+	return out.StableTempC, nil
+}
+
+// Session is a server-side dynamic prediction session.
+type Session struct {
+	c  *Client
+	id string
+	// StableTempC is the ψ_stable anchor the session was created with.
+	StableTempC float64
+}
+
+// ID returns the session identifier.
+func (s *Session) ID() string { return s.id }
+
+// OpenSession creates a dynamic session. Exactly one of stableTempC (non-nil)
+// or features must be provided; cfg fields left zero take the paper defaults.
+func (c *Client) OpenSession(ctx context.Context, req predictserver.SessionRequest) (*Session, error) {
+	var out predictserver.SessionResponse
+	if err := c.postJSON(ctx, "/v1/session", req, &out); err != nil {
+		return nil, err
+	}
+	return &Session{c: c, id: out.ID, StableTempC: out.StableTempC}, nil
+}
+
+// Observe feeds a measurement φ(t); returns the current calibration γ.
+func (s *Session) Observe(ctx context.Context, t, tempC float64) (float64, error) {
+	var out predictserver.ObserveResponse
+	err := s.c.postJSON(ctx, "/v1/session/"+s.id+"/observe",
+		predictserver.ObserveRequest{T: t, TempC: tempC}, &out)
+	if err != nil {
+		return 0, err
+	}
+	return out.Gamma, nil
+}
+
+// Predict returns ψ(t + Δ_gap) as of time t.
+func (s *Session) Predict(ctx context.Context, t float64) (float64, error) {
+	u := fmt.Sprintf("%s/v1/session/%s/predict?t=%s",
+		s.c.base, s.id, url.QueryEscape(strconv.FormatFloat(t, 'g', -1, 64)))
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return 0, err
+	}
+	var out predictserver.PredictResponse
+	if err := s.c.do(req, &out); err != nil {
+		return 0, err
+	}
+	return out.TempC, nil
+}
+
+// Close deletes the session server-side.
+func (s *Session) Close(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete,
+		s.c.base+"/v1/session/"+s.id, nil)
+	if err != nil {
+		return err
+	}
+	var out map[string]string
+	return s.c.do(req, &out)
+}
+
+func (c *Client) postJSON(ctx context.Context, path string, body, out any) error {
+	raw, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(raw))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return c.do(req, out)
+}
+
+func (c *Client) do(req *http.Request, out any) error {
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		_ = resp.Body.Close()
+	}()
+	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+		var apiErr struct {
+			Error string `json:"error"`
+		}
+		msg := resp.Status
+		if err := json.NewDecoder(resp.Body).Decode(&apiErr); err == nil && apiErr.Error != "" {
+			msg = apiErr.Error
+		}
+		return &APIError{StatusCode: resp.StatusCode, Message: msg}
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}

@@ -1,0 +1,175 @@
+package predictclient
+
+import (
+	"context"
+	"errors"
+	"math"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"vmtherm/internal/core"
+	"vmtherm/internal/dataset"
+	"vmtherm/internal/predictserver"
+	"vmtherm/internal/workload"
+)
+
+var (
+	modelOnce sync.Once
+	model     *core.StablePredictor
+	modelRec  dataset.Record
+	modelErr  error
+)
+
+func testServer(t *testing.T) (*Client, dataset.Record) {
+	t.Helper()
+	modelOnce.Do(func() {
+		cases, err := workload.GenerateCases(workload.DefaultGenOptions(), 19, "pc", 30)
+		if err != nil {
+			modelErr = err
+			return
+		}
+		recs, err := dataset.Build(context.Background(), cases, dataset.DefaultBuildOptions(19))
+		if err != nil {
+			modelErr = err
+			return
+		}
+		model, modelErr = core.TrainStable(context.Background(), recs, core.FastStableConfig())
+		if modelErr == nil {
+			modelRec = recs[0]
+		}
+	})
+	if modelErr != nil {
+		t.Fatal(modelErr)
+	}
+	srv, err := predictserver.New(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	client, err := New(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return client, modelRec
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New("://bad"); err == nil {
+		t.Error("bad url should fail")
+	}
+	if _, err := New("ftp://host"); err == nil {
+		t.Error("non-http scheme should fail")
+	}
+	if _, err := New("http://localhost:1"); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHealthy(t *testing.T) {
+	c, _ := testServer(t)
+	if err := c.Healthy(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPredictStableRoundTrip(t *testing.T) {
+	c, rec := testServer(t)
+	got, err := c.PredictStable(context.Background(), rec.Features)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := model.PredictFeatures(rec.Features)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("client %v vs direct %v", got, want)
+	}
+}
+
+func TestPredictStableAPIError(t *testing.T) {
+	c, _ := testServer(t)
+	_, err := c.PredictStable(context.Background(), []float64{1})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("err = %v, want *APIError", err)
+	}
+	if apiErr.StatusCode != 422 {
+		t.Errorf("status = %d", apiErr.StatusCode)
+	}
+	if apiErr.Error() == "" {
+		t.Error("empty error text")
+	}
+}
+
+func TestSessionFlowAgainstLocalPredictor(t *testing.T) {
+	c, _ := testServer(t)
+	ctx := context.Background()
+	stable := 70.0
+	sess, err := c.OpenSession(ctx, predictserver.SessionRequest{
+		Phi0:        22,
+		StableTempC: &stable,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.StableTempC != 70 || sess.ID() == "" {
+		t.Fatalf("session = %+v", sess)
+	}
+
+	// Mirror the remote session locally and verify agreement step by step.
+	curve, err := core.NewCurve(22, 70, 600, core.DefaultCurveDelta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := core.NewDynamicPredictor(curve, core.DefaultDynamicConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, step := range []struct{ t, temp float64 }{
+		{0, 22}, {15, 30}, {30, 36.5}, {45, 40},
+	} {
+		gamma, err := sess.Observe(ctx, step.t, step.temp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		local.Observe(step.t, step.temp)
+		if math.Abs(gamma-local.Gamma()) > 1e-9 {
+			t.Fatalf("gamma diverged at t=%v: remote %v local %v", step.t, gamma, local.Gamma())
+		}
+		remote, err := sess.Predict(ctx, step.t)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := local.Predict(step.t); math.Abs(remote-want) > 1e-9 {
+			t.Fatalf("prediction diverged at t=%v: remote %v local %v", step.t, remote, want)
+		}
+	}
+
+	if err := sess.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Predict(ctx, 60); err == nil {
+		t.Error("predict on closed session should fail")
+	}
+}
+
+func TestSessionOpenValidationError(t *testing.T) {
+	c, _ := testServer(t)
+	_, err := c.OpenSession(context.Background(), predictserver.SessionRequest{Phi0: 20})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != 400 {
+		t.Fatalf("err = %v, want 400 APIError", err)
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	c, rec := testServer(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.PredictStable(ctx, rec.Features); err == nil {
+		t.Error("cancelled context should fail")
+	}
+}

@@ -1,0 +1,249 @@
+// Package predictserver implements the HTTP prediction service behind
+// cmd/vmtherm-predictd: stable-temperature prediction from Eq. (2) feature
+// vectors, and per-server dynamic prediction sessions that receive online
+// measurements and answer Δ_gap-ahead queries — the deployment loop the
+// paper describes ("the model received data collected online and output
+// prediction values").
+package predictserver
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"vmtherm/internal/core"
+)
+
+// Server routes prediction requests to a trained model and manages dynamic
+// sessions. Create with New; it is safe for concurrent use.
+type Server struct {
+	model *core.StablePredictor
+
+	mu       sync.Mutex
+	sessions map[string]*core.DynamicPredictor
+	nextID   int
+}
+
+// New creates a server around a trained stable model.
+func New(model *core.StablePredictor) (*Server, error) {
+	if model == nil {
+		return nil, errors.New("predictserver: nil model")
+	}
+	return &Server{
+		model:    model,
+		sessions: make(map[string]*core.DynamicPredictor),
+	}, nil
+}
+
+// Handler returns the HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("POST /v1/predict/stable", s.handleStable)
+	mux.HandleFunc("POST /v1/session", s.handleCreateSession)
+	mux.HandleFunc("POST /v1/session/{id}/observe", s.handleObserve)
+	mux.HandleFunc("GET /v1/session/{id}/predict", s.handlePredict)
+	mux.HandleFunc("DELETE /v1/session/{id}", s.handleDeleteSession)
+	return mux
+}
+
+// StableRequest asks for a ψ_stable prediction.
+type StableRequest struct {
+	Features []float64 `json:"features"`
+}
+
+// StableResponse carries the prediction.
+type StableResponse struct {
+	StableTempC float64 `json:"stable_temp_c"`
+}
+
+func (s *Server) handleStable(w http.ResponseWriter, r *http.Request) {
+	var req StableRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	v, err := s.model.PredictFeatures(req.Features)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, StableResponse{StableTempC: v})
+}
+
+// SessionRequest opens a dynamic prediction session. ψ_stable comes either
+// directly (StableTempC) or from the model (Features). Zero-valued knobs
+// take the paper's defaults.
+type SessionRequest struct {
+	Phi0         float64   `json:"phi0"`
+	StableTempC  *float64  `json:"stable_temp_c,omitempty"`
+	Features     []float64 `json:"features,omitempty"`
+	Lambda       float64   `json:"lambda,omitempty"`
+	UpdateEveryS float64   `json:"update_every_s,omitempty"`
+	GapS         float64   `json:"gap_s,omitempty"`
+	TBreakS      float64   `json:"t_break_s,omitempty"`
+	CurveDeltaS  float64   `json:"curve_delta_s,omitempty"`
+}
+
+// SessionResponse identifies the created session.
+type SessionResponse struct {
+	ID          string  `json:"id"`
+	StableTempC float64 `json:"stable_temp_c"`
+}
+
+func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
+	var req SessionRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	var stable float64
+	switch {
+	case req.StableTempC != nil:
+		stable = *req.StableTempC
+	case len(req.Features) > 0:
+		v, err := s.model.PredictFeatures(req.Features)
+		if err != nil {
+			writeError(w, http.StatusUnprocessableEntity, err)
+			return
+		}
+		stable = v
+	default:
+		writeError(w, http.StatusBadRequest, errors.New("need stable_temp_c or features"))
+		return
+	}
+
+	cfg := core.DefaultDynamicConfig()
+	if req.Lambda != 0 {
+		cfg.Lambda = req.Lambda
+	}
+	if req.UpdateEveryS != 0 {
+		cfg.UpdateEveryS = req.UpdateEveryS
+	}
+	if req.GapS != 0 {
+		cfg.GapS = req.GapS
+	}
+	tBreak := req.TBreakS
+	if tBreak == 0 {
+		tBreak = 600
+	}
+	delta := req.CurveDeltaS
+	if delta == 0 {
+		delta = core.DefaultCurveDelta
+	}
+	curve, err := core.NewCurve(req.Phi0, stable, tBreak, delta)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	pred, err := core.NewDynamicPredictor(curve, cfg)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+
+	s.mu.Lock()
+	s.nextID++
+	id := fmt.Sprintf("s%d", s.nextID)
+	s.sessions[id] = pred
+	s.mu.Unlock()
+	writeJSON(w, http.StatusCreated, SessionResponse{ID: id, StableTempC: stable})
+}
+
+func (s *Server) session(id string) (*core.DynamicPredictor, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.sessions[id]
+	return p, ok
+}
+
+// ObserveRequest feeds one measurement φ(t) into a session.
+type ObserveRequest struct {
+	T     float64 `json:"t"`
+	TempC float64 `json:"temp_c"`
+}
+
+// ObserveResponse reports the calibration after the observation.
+type ObserveResponse struct {
+	Gamma float64 `json:"gamma"`
+}
+
+func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
+	pred, ok := s.session(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("unknown session"))
+		return
+	}
+	var req ObserveRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.Lock()
+	pred.Observe(req.T, req.TempC)
+	gamma := pred.Gamma()
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, ObserveResponse{Gamma: gamma})
+}
+
+// PredictResponse answers a dynamic prediction query.
+type PredictResponse struct {
+	TempC float64 `json:"temp_c"`
+	Gamma float64 `json:"gamma"`
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	pred, ok := s.session(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("unknown session"))
+		return
+	}
+	t, err := strconv.ParseFloat(r.URL.Query().Get("t"), 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad t: %w", err))
+		return
+	}
+	s.mu.Lock()
+	v := pred.Predict(t)
+	gamma := pred.Gamma()
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, PredictResponse{TempC: v, Gamma: gamma})
+}
+
+func (s *Server) handleDeleteSession(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	_, ok := s.sessions[id]
+	delete(s.sessions, id)
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("unknown session"))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "deleted"})
+}
+
+// SessionCount reports active dynamic sessions (for observability).
+func (s *Server) SessionCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.sessions)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("predictserver: encoding response: %v", err)
+	}
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,318 @@
+package predictserver
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"vmtherm/internal/core"
+	"vmtherm/internal/dataset"
+	"vmtherm/internal/workload"
+)
+
+// trainedModel builds a small but real model once per test binary.
+var (
+	modelOnce sync.Once
+	model     *core.StablePredictor
+	modelRec  dataset.Record
+	modelErr  error
+)
+
+func testModel(t *testing.T) (*core.StablePredictor, dataset.Record) {
+	t.Helper()
+	modelOnce.Do(func() {
+		cases, err := workload.GenerateCases(workload.DefaultGenOptions(), 17, "ps", 30)
+		if err != nil {
+			modelErr = err
+			return
+		}
+		recs, err := dataset.Build(context.Background(), cases, dataset.DefaultBuildOptions(17))
+		if err != nil {
+			modelErr = err
+			return
+		}
+		m, err := core.TrainStable(context.Background(), recs, core.FastStableConfig())
+		if err != nil {
+			modelErr = err
+			return
+		}
+		model = m
+		modelRec = recs[0]
+	})
+	if modelErr != nil {
+		t.Fatal(modelErr)
+	}
+	return model, modelRec
+}
+
+func newTestServer(t *testing.T) (*Server, *httptest.Server, dataset.Record) {
+	t.Helper()
+	m, rec := testModel(t)
+	srv, err := New(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts, rec
+}
+
+func postJSON(t *testing.T, url string, body any) *http.Response {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func decode[T any](t *testing.T, resp *http.Response) T {
+	t.Helper()
+	defer resp.Body.Close()
+	var v T
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestNewRejectsNilModel(t *testing.T) {
+	if _, err := New(nil); err == nil {
+		t.Fatal("nil model accepted")
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	_, ts, _ := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	body := decode[map[string]string](t, resp)
+	if body["status"] != "ok" {
+		t.Errorf("body = %v", body)
+	}
+}
+
+func TestStablePrediction(t *testing.T) {
+	_, ts, rec := newTestServer(t)
+	resp := postJSON(t, ts.URL+"/v1/predict/stable", StableRequest{Features: rec.Features})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	body := decode[StableResponse](t, resp)
+	// The model saw this record in training; prediction should be close.
+	if math.Abs(body.StableTempC-rec.StableTemp) > 5 {
+		t.Errorf("prediction %v far from %v", body.StableTempC, rec.StableTemp)
+	}
+}
+
+func TestStablePredictionBadRequests(t *testing.T) {
+	_, ts, _ := newTestServer(t)
+	resp, err := http.Post(ts.URL+"/v1/predict/stable", "application/json",
+		bytes.NewReader([]byte("{not json")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("garbage body status = %d", resp.StatusCode)
+	}
+	resp = postJSON(t, ts.URL+"/v1/predict/stable", StableRequest{Features: []float64{1, 2}})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Errorf("wrong-dim status = %d", resp.StatusCode)
+	}
+}
+
+func TestDynamicSessionLifecycle(t *testing.T) {
+	srv, ts, rec := newTestServer(t)
+
+	// Create a session with model-derived ψ_stable.
+	resp := postJSON(t, ts.URL+"/v1/session", SessionRequest{
+		Phi0:     22,
+		Features: rec.Features,
+	})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create status = %d", resp.StatusCode)
+	}
+	sess := decode[SessionResponse](t, resp)
+	if sess.ID == "" || sess.StableTempC <= 22 {
+		t.Fatalf("session = %+v", sess)
+	}
+	if srv.SessionCount() != 1 {
+		t.Errorf("session count = %d", srv.SessionCount())
+	}
+
+	// Observe a measurement 2° above the curve start: γ moves λ·dif.
+	resp = postJSON(t, fmt.Sprintf("%s/v1/session/%s/observe", ts.URL, sess.ID),
+		ObserveRequest{T: 0, TempC: 24})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("observe status = %d", resp.StatusCode)
+	}
+	obs := decode[ObserveResponse](t, resp)
+	if math.Abs(obs.Gamma-0.8*2) > 1e-9 {
+		t.Errorf("gamma = %v, want 1.6", obs.Gamma)
+	}
+
+	// Predict 60 s ahead.
+	getResp, err := http.Get(fmt.Sprintf("%s/v1/session/%s/predict?t=0", ts.URL, sess.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if getResp.StatusCode != http.StatusOK {
+		t.Fatalf("predict status = %d", getResp.StatusCode)
+	}
+	pr := decode[PredictResponse](t, getResp)
+	if pr.TempC <= 22 || pr.TempC > 110 {
+		t.Errorf("prediction %v implausible", pr.TempC)
+	}
+	if pr.Gamma != obs.Gamma {
+		t.Errorf("gamma drifted: %v vs %v", pr.Gamma, obs.Gamma)
+	}
+
+	// Delete and verify gone.
+	req, err := http.NewRequest(http.MethodDelete,
+		fmt.Sprintf("%s/v1/session/%s", ts.URL, sess.ID), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delResp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delResp.Body.Close()
+	if delResp.StatusCode != http.StatusOK {
+		t.Fatalf("delete status = %d", delResp.StatusCode)
+	}
+	if srv.SessionCount() != 0 {
+		t.Errorf("session count after delete = %d", srv.SessionCount())
+	}
+	getResp2, err := http.Get(fmt.Sprintf("%s/v1/session/%s/predict?t=0", ts.URL, sess.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	getResp2.Body.Close()
+	if getResp2.StatusCode != http.StatusNotFound {
+		t.Errorf("deleted session predict status = %d", getResp2.StatusCode)
+	}
+}
+
+func TestSessionWithExplicitStable(t *testing.T) {
+	_, ts, _ := newTestServer(t)
+	stable := 70.0
+	resp := postJSON(t, ts.URL+"/v1/session", SessionRequest{
+		Phi0:        20,
+		StableTempC: &stable,
+		GapS:        30,
+		Lambda:      0.5,
+	})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create status = %d", resp.StatusCode)
+	}
+	sess := decode[SessionResponse](t, resp)
+	if sess.StableTempC != 70 {
+		t.Errorf("stable = %v, want 70 (explicit)", sess.StableTempC)
+	}
+}
+
+func TestSessionValidationErrors(t *testing.T) {
+	_, ts, _ := newTestServer(t)
+	// Neither stable nor features.
+	resp := postJSON(t, ts.URL+"/v1/session", SessionRequest{Phi0: 20})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("no-anchor status = %d", resp.StatusCode)
+	}
+	// Bad lambda.
+	stable := 70.0
+	resp = postJSON(t, ts.URL+"/v1/session", SessionRequest{
+		Phi0: 20, StableTempC: &stable, Lambda: 3,
+	})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Errorf("bad lambda status = %d", resp.StatusCode)
+	}
+	// Bad features.
+	resp = postJSON(t, ts.URL+"/v1/session", SessionRequest{
+		Phi0: 20, Features: []float64{1},
+	})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Errorf("bad features status = %d", resp.StatusCode)
+	}
+}
+
+func TestObservePredictUnknownSession(t *testing.T) {
+	_, ts, _ := newTestServer(t)
+	resp := postJSON(t, ts.URL+"/v1/session/ghost/observe", ObserveRequest{T: 0, TempC: 20})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("observe unknown status = %d", resp.StatusCode)
+	}
+	getResp, err := http.Get(ts.URL + "/v1/session/ghost/predict?t=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	getResp.Body.Close()
+	if getResp.StatusCode != http.StatusNotFound {
+		t.Errorf("predict unknown status = %d", getResp.StatusCode)
+	}
+}
+
+func TestPredictBadTimestamp(t *testing.T) {
+	_, ts, _ := newTestServer(t)
+	stable := 70.0
+	resp := postJSON(t, ts.URL+"/v1/session", SessionRequest{Phi0: 20, StableTempC: &stable})
+	sess := decode[SessionResponse](t, resp)
+	getResp, err := http.Get(fmt.Sprintf("%s/v1/session/%s/predict?t=abc", ts.URL, sess.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	getResp.Body.Close()
+	if getResp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad t status = %d", getResp.StatusCode)
+	}
+}
+
+func TestConcurrentSessions(t *testing.T) {
+	srv, ts, _ := newTestServer(t)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			stable := 60.0
+			resp := postJSON(t, ts.URL+"/v1/session", SessionRequest{Phi0: 20, StableTempC: &stable})
+			sess := decode[SessionResponse](t, resp)
+			for j := 0; j < 20; j++ {
+				r := postJSON(t, fmt.Sprintf("%s/v1/session/%s/observe", ts.URL, sess.ID),
+					ObserveRequest{T: float64(j * 15), TempC: 30 + float64(j)})
+				r.Body.Close()
+				g, err := http.Get(fmt.Sprintf("%s/v1/session/%s/predict?t=%d", ts.URL, sess.ID, j*15))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				g.Body.Close()
+			}
+		}()
+	}
+	wg.Wait()
+	if srv.SessionCount() != 8 {
+		t.Errorf("session count = %d, want 8", srv.SessionCount())
+	}
+}

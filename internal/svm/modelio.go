@@ -1,0 +1,188 @@
+package svm
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WriteModel serializes a model in LIBSVM's text format (svm_save_model),
+// with sparse 1-based feature indices. Only epsilon_svr models exist in this
+// package.
+func WriteModel(w io.Writer, m *Model) error {
+	if m == nil {
+		return errors.New("svm: nil model")
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "svm_type epsilon_svr")
+	fmt.Fprintf(bw, "kernel_type %s\n", m.Kernel.Type)
+	switch m.Kernel.Type {
+	case Polynomial:
+		fmt.Fprintf(bw, "degree %d\n", m.Kernel.Degree)
+		fmt.Fprintf(bw, "gamma %s\n", ftoa(m.Kernel.Gamma))
+		fmt.Fprintf(bw, "coef0 %s\n", ftoa(m.Kernel.Coef0))
+	case RBF:
+		fmt.Fprintf(bw, "gamma %s\n", ftoa(m.Kernel.Gamma))
+	case Sigmoid:
+		fmt.Fprintf(bw, "gamma %s\n", ftoa(m.Kernel.Gamma))
+		fmt.Fprintf(bw, "coef0 %s\n", ftoa(m.Kernel.Coef0))
+	case Linear:
+		// no kernel parameters
+	}
+	fmt.Fprintln(bw, "nr_class 2")
+	// dim is a vmtherm extension: sparse SV lines drop trailing zeros, so
+	// the true feature dimensionality must be recorded explicitly.
+	fmt.Fprintf(bw, "dim %d\n", m.Dim)
+	fmt.Fprintf(bw, "total_sv %d\n", len(m.SV))
+	fmt.Fprintf(bw, "rho %s\n", ftoa(m.Rho))
+	fmt.Fprintln(bw, "SV")
+	for i, sv := range m.SV {
+		fmt.Fprintf(bw, "%s", ftoa(m.Coef[i]))
+		for j, v := range sv {
+			if v != 0 {
+				fmt.Fprintf(bw, " %d:%s", j+1, ftoa(v))
+			}
+		}
+		fmt.Fprintln(bw)
+	}
+	return bw.Flush()
+}
+
+// ReadModel parses a model previously written by WriteModel (or by LIBSVM's
+// svm-train for epsilon-SVR with dense features).
+func ReadModel(r io.Reader) (*Model, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	m := &Model{}
+	header := map[string]string{}
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "SV" {
+			break
+		}
+		if line == "" {
+			continue
+		}
+		parts := strings.SplitN(line, " ", 2)
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("svm: malformed header line %q", line)
+		}
+		header[parts[0]] = parts[1]
+	}
+	if st := header["svm_type"]; st != "epsilon_svr" {
+		return nil, fmt.Errorf("svm: unsupported svm_type %q", st)
+	}
+	kt, err := ParseKernelType(header["kernel_type"])
+	if err != nil {
+		return nil, err
+	}
+	m.Kernel.Type = kt
+	if g, ok := header["gamma"]; ok {
+		if m.Kernel.Gamma, err = strconv.ParseFloat(g, 64); err != nil {
+			return nil, fmt.Errorf("svm: bad gamma: %w", err)
+		}
+	}
+	if c0, ok := header["coef0"]; ok {
+		if m.Kernel.Coef0, err = strconv.ParseFloat(c0, 64); err != nil {
+			return nil, fmt.Errorf("svm: bad coef0: %w", err)
+		}
+	}
+	if d, ok := header["degree"]; ok {
+		if m.Kernel.Degree, err = strconv.Atoi(d); err != nil {
+			return nil, fmt.Errorf("svm: bad degree: %w", err)
+		}
+	}
+	rho, ok := header["rho"]
+	if !ok {
+		return nil, errors.New("svm: model missing rho")
+	}
+	if m.Rho, err = strconv.ParseFloat(rho, 64); err != nil {
+		return nil, fmt.Errorf("svm: bad rho: %w", err)
+	}
+
+	type sparseSV struct {
+		coef float64
+		vals map[int]float64
+		max  int
+	}
+	var rows []sparseSV
+	maxIdx := 0
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		coef, err := strconv.ParseFloat(fields[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("svm: bad SV coefficient %q: %w", fields[0], err)
+		}
+		row := sparseSV{coef: coef, vals: map[int]float64{}}
+		for _, f := range fields[1:] {
+			kv := strings.SplitN(f, ":", 2)
+			if len(kv) != 2 {
+				return nil, fmt.Errorf("svm: bad SV entry %q", f)
+			}
+			idx, err := strconv.Atoi(kv[0])
+			if err != nil || idx < 1 {
+				return nil, fmt.Errorf("svm: bad SV index %q", kv[0])
+			}
+			val, err := strconv.ParseFloat(kv[1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("svm: bad SV value %q: %w", kv[1], err)
+			}
+			row.vals[idx] = val
+			if idx > row.max {
+				row.max = idx
+			}
+		}
+		if row.max > maxIdx {
+			maxIdx = row.max
+		}
+		rows = append(rows, row)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("svm: reading model: %w", err)
+	}
+	if ts, ok := header["total_sv"]; ok {
+		want, err := strconv.Atoi(ts)
+		if err != nil {
+			return nil, fmt.Errorf("svm: bad total_sv: %w", err)
+		}
+		if want != len(rows) {
+			return nil, fmt.Errorf("svm: total_sv %d but %d SV lines", want, len(rows))
+		}
+	}
+	m.Dim = maxIdx
+	if ds, ok := header["dim"]; ok {
+		d, err := strconv.Atoi(ds)
+		if err != nil || d < maxIdx {
+			return nil, fmt.Errorf("svm: bad dim header %q (max SV index %d)", ds, maxIdx)
+		}
+		m.Dim = d
+	}
+	for _, row := range rows {
+		dense := make([]float64, m.Dim)
+		idxs := make([]int, 0, len(row.vals))
+		for idx := range row.vals {
+			idxs = append(idxs, idx)
+		}
+		sort.Ints(idxs)
+		for _, idx := range idxs {
+			dense[idx-1] = row.vals[idx]
+		}
+		m.SV = append(m.SV, dense)
+		m.Coef = append(m.Coef, row.coef)
+	}
+	if err := m.Kernel.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// ftoa formats floats compactly and round-trippably.
+func ftoa(f float64) string { return strconv.FormatFloat(f, 'g', 17, 64) }

@@ -1,0 +1,119 @@
+package svm
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Scaler linearly maps each feature into [Lower, Upper], the equivalent of
+// LIBSVM's svm-scale preprocessing (default [-1, 1]). RBF kernels are
+// sensitive to feature ranges, so both the paper's pipeline and ours scale
+// before training and apply the same transform online.
+type Scaler struct {
+	Lower, Upper float64
+	mins, maxs   []float64
+}
+
+// NewScaler returns a scaler targeting [lower, upper].
+func NewScaler(lower, upper float64) (*Scaler, error) {
+	if upper <= lower {
+		return nil, fmt.Errorf("svm: scaler range [%v, %v] inverted", lower, upper)
+	}
+	return &Scaler{Lower: lower, Upper: upper}, nil
+}
+
+// Fit learns per-feature minima and maxima from the training matrix.
+func (s *Scaler) Fit(features [][]float64) error {
+	if len(features) == 0 {
+		return errors.New("svm: scaler fit on empty data")
+	}
+	d := len(features[0])
+	if d == 0 {
+		return errors.New("svm: scaler fit on zero-dimensional data")
+	}
+	mins := make([]float64, d)
+	maxs := make([]float64, d)
+	copy(mins, features[0])
+	copy(maxs, features[0])
+	for _, row := range features[1:] {
+		if len(row) != d {
+			return fmt.Errorf("svm: ragged row length %d, want %d", len(row), d)
+		}
+		for j, v := range row {
+			if v < mins[j] {
+				mins[j] = v
+			}
+			if v > maxs[j] {
+				maxs[j] = v
+			}
+		}
+	}
+	s.mins, s.maxs = mins, maxs
+	return nil
+}
+
+// Dim returns the fitted feature dimensionality (0 before Fit).
+func (s *Scaler) Dim() int { return len(s.mins) }
+
+// Transform maps one feature vector into the target range. Constant features
+// map to the range midpoint. Values outside the fitted range extrapolate
+// linearly, matching svm-scale behaviour on unseen data.
+func (s *Scaler) Transform(row []float64) ([]float64, error) {
+	if s.Dim() == 0 {
+		return nil, errors.New("svm: scaler not fitted")
+	}
+	if len(row) != s.Dim() {
+		return nil, fmt.Errorf("svm: transform row length %d, want %d", len(row), s.Dim())
+	}
+	out := make([]float64, len(row))
+	mid := (s.Lower + s.Upper) / 2
+	for j, v := range row {
+		span := s.maxs[j] - s.mins[j]
+		if span == 0 {
+			out[j] = mid
+			continue
+		}
+		out[j] = s.Lower + (v-s.mins[j])/span*(s.Upper-s.Lower)
+	}
+	return out, nil
+}
+
+// TransformAll maps a whole matrix.
+func (s *Scaler) TransformAll(rows [][]float64) ([][]float64, error) {
+	out := make([][]float64, len(rows))
+	for i, r := range rows {
+		t, err := s.Transform(r)
+		if err != nil {
+			return nil, fmt.Errorf("row %d: %w", i, err)
+		}
+		out[i] = t
+	}
+	return out, nil
+}
+
+// Bounds returns copies of the fitted per-feature minima and maxima.
+func (s *Scaler) Bounds() (mins, maxs []float64) {
+	mins = make([]float64, len(s.mins))
+	maxs = make([]float64, len(s.maxs))
+	copy(mins, s.mins)
+	copy(maxs, s.maxs)
+	return mins, maxs
+}
+
+// SetBounds restores previously fitted bounds (used by model loading).
+func (s *Scaler) SetBounds(mins, maxs []float64) error {
+	if len(mins) != len(maxs) {
+		return errors.New("svm: bounds length mismatch")
+	}
+	if len(mins) == 0 {
+		return errors.New("svm: empty bounds")
+	}
+	for j := range mins {
+		if maxs[j] < mins[j] {
+			return fmt.Errorf("svm: feature %d bounds inverted", j)
+		}
+	}
+	s.mins = append([]float64(nil), mins...)
+	s.maxs = append([]float64(nil), maxs...)
+	return nil
+}

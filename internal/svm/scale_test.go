@@ -1,0 +1,152 @@
+package svm
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewScalerValidation(t *testing.T) {
+	if _, err := NewScaler(1, 1); err == nil {
+		t.Error("empty range should fail")
+	}
+	if _, err := NewScaler(1, -1); err == nil {
+		t.Error("inverted range should fail")
+	}
+	if _, err := NewScaler(-1, 1); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScalerFitTransform(t *testing.T) {
+	s, _ := NewScaler(-1, 1)
+	data := [][]float64{
+		{0, 100},
+		{10, 200},
+		{5, 150},
+	}
+	if err := s.Fit(data); err != nil {
+		t.Fatal(err)
+	}
+	if s.Dim() != 2 {
+		t.Fatalf("Dim = %d", s.Dim())
+	}
+	got, err := s.Transform([]float64{0, 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != -1 || got[1] != 1 {
+		t.Errorf("Transform min/max = %v, want [-1, 1]", got)
+	}
+	mid, _ := s.Transform([]float64{5, 150})
+	if mid[0] != 0 || mid[1] != 0 {
+		t.Errorf("Transform midpoints = %v, want [0, 0]", mid)
+	}
+}
+
+func TestScalerExtrapolatesBeyondFitRange(t *testing.T) {
+	s, _ := NewScaler(0, 1)
+	if err := s.Fit([][]float64{{0}, {10}}); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := s.Transform([]float64{20})
+	if got[0] != 2 {
+		t.Errorf("extrapolated = %v, want 2", got[0])
+	}
+	got, _ = s.Transform([]float64{-10})
+	if got[0] != -1 {
+		t.Errorf("extrapolated = %v, want -1", got[0])
+	}
+}
+
+func TestScalerConstantFeatureMapsToMidpoint(t *testing.T) {
+	s, _ := NewScaler(-1, 1)
+	if err := s.Fit([][]float64{{7, 1}, {7, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := s.Transform([]float64{7, 1.5})
+	if got[0] != 0 {
+		t.Errorf("constant feature = %v, want 0 (midpoint)", got[0])
+	}
+}
+
+func TestScalerErrors(t *testing.T) {
+	s, _ := NewScaler(-1, 1)
+	if err := s.Fit(nil); err == nil {
+		t.Error("empty fit should fail")
+	}
+	if err := s.Fit([][]float64{{}}); err == nil {
+		t.Error("zero-dim fit should fail")
+	}
+	if err := s.Fit([][]float64{{1, 2}, {1}}); err == nil {
+		t.Error("ragged fit should fail")
+	}
+	if _, err := s.Transform([]float64{1}); err == nil {
+		t.Error("transform before fit should fail")
+	}
+	if err := s.Fit([][]float64{{1, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Transform([]float64{1}); err == nil {
+		t.Error("wrong-length transform should fail")
+	}
+}
+
+func TestTransformAll(t *testing.T) {
+	s, _ := NewScaler(0, 1)
+	if err := s.Fit([][]float64{{0}, {4}}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := s.TransformAll([][]float64{{1}, {2}, {3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0.25, 0.5, 0.75}
+	for i := range want {
+		if math.Abs(out[i][0]-want[i]) > 1e-12 {
+			t.Errorf("row %d = %v, want %v", i, out[i][0], want[i])
+		}
+	}
+	if _, err := s.TransformAll([][]float64{{1, 2}}); err == nil {
+		t.Error("ragged TransformAll should fail")
+	}
+}
+
+func TestBoundsRoundTrip(t *testing.T) {
+	s, _ := NewScaler(-1, 1)
+	if err := s.Fit([][]float64{{0, 5}, {10, 15}}); err != nil {
+		t.Fatal(err)
+	}
+	mins, maxs := s.Bounds()
+
+	s2, _ := NewScaler(-1, 1)
+	if err := s2.SetBounds(mins, maxs); err != nil {
+		t.Fatal(err)
+	}
+	in := []float64{5, 10}
+	a, _ := s.Transform(in)
+	b, _ := s2.Transform(in)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("restored scaler differs at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	// Bounds() must return copies.
+	mins[0] = 999
+	c, _ := s.Transform(in)
+	if c[0] != a[0] {
+		t.Error("Bounds returned aliased storage")
+	}
+}
+
+func TestSetBoundsValidation(t *testing.T) {
+	s, _ := NewScaler(-1, 1)
+	if err := s.SetBounds([]float64{1}, []float64{2, 3}); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if err := s.SetBounds(nil, nil); err == nil {
+		t.Error("empty bounds should fail")
+	}
+	if err := s.SetBounds([]float64{5}, []float64{1}); err == nil {
+		t.Error("inverted bounds should fail")
+	}
+}

@@ -1,0 +1,268 @@
+// Package telemetry implements the monitoring pipeline that feeds the
+// predictor in deployment: named metric sources polled on an interval,
+// samples fanned into bounded per-source histories, with a consistent
+// snapshot view. The paper's pipeline "received data collected online and
+// output prediction values"; this package is that data path for the
+// vmtherm-predictd service.
+package telemetry
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"vmtherm/internal/timeseries"
+)
+
+// ReadFunc reads one metric value; it may fail transiently.
+type ReadFunc func() (float64, error)
+
+// Sample is one collected observation.
+type Sample struct {
+	Source string
+	At     time.Time
+	Value  float64
+}
+
+// Stats counts collector activity.
+type Stats struct {
+	Polls  int64
+	Errors int64
+}
+
+// Collector polls registered sources on a fixed interval. Register sources
+// before Start; samples are retained per source in a bounded ring.
+type Collector struct {
+	interval  time.Duration
+	retention int
+	clock     func() time.Time
+
+	mu      sync.RWMutex
+	sources map[string]ReadFunc
+	history map[string][]Sample
+	stats   Stats
+
+	running bool
+	cancel  context.CancelFunc
+	done    chan struct{}
+}
+
+// Option customizes a Collector.
+type Option func(*Collector)
+
+// WithClock injects a time source (tests use a fake clock).
+func WithClock(clock func() time.Time) Option {
+	return func(c *Collector) { c.clock = clock }
+}
+
+// WithRetention bounds per-source history length (default 720 samples).
+func WithRetention(n int) Option {
+	return func(c *Collector) { c.retention = n }
+}
+
+// NewCollector creates a collector polling every interval.
+func NewCollector(interval time.Duration, opts ...Option) (*Collector, error) {
+	if interval <= 0 {
+		return nil, fmt.Errorf("telemetry: interval must be > 0, got %v", interval)
+	}
+	c := &Collector{
+		interval:  interval,
+		retention: 720,
+		clock:     time.Now,
+		sources:   make(map[string]ReadFunc),
+		history:   make(map[string][]Sample),
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	if c.retention < 1 {
+		return nil, fmt.Errorf("telemetry: retention must be >= 1, got %d", c.retention)
+	}
+	return c, nil
+}
+
+// Register adds a named source. Registration after Start is rejected to keep
+// the polling set stable.
+func (c *Collector) Register(name string, read ReadFunc) error {
+	if name == "" {
+		return errors.New("telemetry: empty source name")
+	}
+	if read == nil {
+		return errors.New("telemetry: nil read func")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.running {
+		return errors.New("telemetry: cannot register while running")
+	}
+	if _, ok := c.sources[name]; ok {
+		return fmt.Errorf("telemetry: duplicate source %q", name)
+	}
+	c.sources[name] = read
+	return nil
+}
+
+// Sources returns registered source names, sorted.
+func (c *Collector) Sources() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.sources))
+	for name := range c.sources {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CollectOnce polls every source a single time, synchronously. It is the
+// unit the polling loop repeats, and is exported for deterministic tests
+// and for pull-based integrations.
+func (c *Collector) CollectOnce() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.clock()
+	// Deterministic order keeps samples reproducible under a fake clock.
+	names := make([]string, 0, len(c.sources))
+	for name := range c.sources {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		c.stats.Polls++
+		v, err := c.sources[name]()
+		if err != nil {
+			c.stats.Errors++
+			continue
+		}
+		h := append(c.history[name], Sample{Source: name, At: now, Value: v})
+		if len(h) > c.retention {
+			h = h[len(h)-c.retention:]
+		}
+		c.history[name] = h
+	}
+}
+
+// Start launches the polling loop. It returns immediately; the loop stops
+// when ctx is cancelled or Stop is called. Starting twice is an error.
+func (c *Collector) Start(ctx context.Context) error {
+	c.mu.Lock()
+	if c.running {
+		c.mu.Unlock()
+		return errors.New("telemetry: already running")
+	}
+	if len(c.sources) == 0 {
+		c.mu.Unlock()
+		return errors.New("telemetry: no sources registered")
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	c.running = true
+	c.cancel = cancel
+	c.done = make(chan struct{})
+	c.mu.Unlock()
+
+	go func() {
+		defer close(c.done)
+		ticker := time.NewTicker(c.interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-ticker.C:
+				c.CollectOnce()
+			}
+		}
+	}()
+	return nil
+}
+
+// Stop halts the polling loop and waits for it to exit. Safe to call when
+// not running.
+func (c *Collector) Stop() {
+	c.mu.Lock()
+	if !c.running {
+		c.mu.Unlock()
+		return
+	}
+	cancel := c.cancel
+	done := c.done
+	c.running = false
+	c.cancel = nil
+	c.mu.Unlock()
+
+	cancel()
+	<-done
+}
+
+// Latest returns the most recent sample for a source.
+func (c *Collector) Latest(name string) (Sample, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	h := c.history[name]
+	if len(h) == 0 {
+		if _, ok := c.sources[name]; !ok {
+			return Sample{}, fmt.Errorf("telemetry: unknown source %q", name)
+		}
+		return Sample{}, fmt.Errorf("telemetry: no samples yet for %q", name)
+	}
+	return h[len(h)-1], nil
+}
+
+// History returns a copy of the retained samples for a source.
+func (c *Collector) History(name string) ([]Sample, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if _, ok := c.sources[name]; !ok {
+		return nil, fmt.Errorf("telemetry: unknown source %q", name)
+	}
+	h := c.history[name]
+	out := make([]Sample, len(h))
+	copy(out, h)
+	return out, nil
+}
+
+// Snapshot returns the latest sample of every source that has one.
+func (c *Collector) Snapshot() map[string]Sample {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make(map[string]Sample, len(c.history))
+	for name, h := range c.history {
+		if len(h) > 0 {
+			out[name] = h[len(h)-1]
+		}
+	}
+	return out
+}
+
+// Stats returns cumulative poll/error counters.
+func (c *Collector) Stats() Stats {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.stats
+}
+
+// Series converts a source's history into a timeseries.Series with
+// timestamps as seconds since epoch — the bridge from live collection to
+// the replay/evaluation tooling (core.Replay, core.ProfileTrace).
+// Samples at or before an earlier sample's timestamp are dropped (clock
+// adjustments must not corrupt the series).
+func (c *Collector) Series(name string, epoch time.Time) (*timeseries.Series, error) {
+	history, err := c.History(name)
+	if err != nil {
+		return nil, err
+	}
+	s := timeseries.New()
+	for _, sample := range history {
+		t := sample.At.Sub(epoch).Seconds()
+		if err := s.Append(t, sample.Value); err != nil {
+			continue // out-of-order after a clock step: skip
+		}
+	}
+	if s.Len() == 0 {
+		return nil, fmt.Errorf("telemetry: no usable samples for %q", name)
+	}
+	return s, nil
+}

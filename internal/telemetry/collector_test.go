@@ -1,0 +1,277 @@
+package telemetry
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock yields deterministic, strictly increasing timestamps.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func (f *fakeClock) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.now = f.now.Add(time.Second)
+	return f.now
+}
+
+func newTestCollector(t *testing.T) *Collector {
+	t.Helper()
+	fc := &fakeClock{now: time.Unix(1000, 0)}
+	c, err := NewCollector(time.Millisecond, WithClock(fc.Now), WithRetention(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewCollectorValidation(t *testing.T) {
+	if _, err := NewCollector(0); err == nil {
+		t.Error("zero interval should fail")
+	}
+	if _, err := NewCollector(time.Second, WithRetention(0)); err == nil {
+		t.Error("zero retention should fail")
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	c := newTestCollector(t)
+	read := func() (float64, error) { return 1, nil }
+	if err := c.Register("", read); err == nil {
+		t.Error("empty name should fail")
+	}
+	if err := c.Register("x", nil); err == nil {
+		t.Error("nil read should fail")
+	}
+	if err := c.Register("x", read); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Register("x", read); err == nil {
+		t.Error("duplicate should fail")
+	}
+}
+
+func TestCollectOnceAndAccessors(t *testing.T) {
+	c := newTestCollector(t)
+	v := 10.0
+	if err := c.Register("temp", func() (float64, error) { v++; return v, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Register("util", func() (float64, error) { return 0.5, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Latest("temp"); err == nil {
+		t.Error("latest before any collect should fail")
+	}
+	c.CollectOnce()
+	c.CollectOnce()
+	s, err := c.Latest("temp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Value != 12 {
+		t.Errorf("latest = %v, want 12", s.Value)
+	}
+	h, err := c.History("temp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h) != 2 || h[0].Value != 11 {
+		t.Errorf("history = %+v", h)
+	}
+	if _, err := c.Latest("nope"); err == nil {
+		t.Error("unknown source should fail")
+	}
+	if _, err := c.History("nope"); err == nil {
+		t.Error("unknown source history should fail")
+	}
+	snap := c.Snapshot()
+	if len(snap) != 2 || snap["util"].Value != 0.5 {
+		t.Errorf("snapshot = %+v", snap)
+	}
+	if got := c.Sources(); len(got) != 2 || got[0] != "temp" || got[1] != "util" {
+		t.Errorf("sources = %v", got)
+	}
+}
+
+func TestRetentionBound(t *testing.T) {
+	c := newTestCollector(t) // retention 5
+	n := 0.0
+	if err := c.Register("x", func() (float64, error) { n++; return n, nil }); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 12; i++ {
+		c.CollectOnce()
+	}
+	h, err := c.History("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h) != 5 {
+		t.Fatalf("history len = %d, want 5", len(h))
+	}
+	if h[0].Value != 8 || h[4].Value != 12 {
+		t.Errorf("retained window wrong: %v..%v", h[0].Value, h[4].Value)
+	}
+}
+
+func TestErrorsCountedAndSkipped(t *testing.T) {
+	c := newTestCollector(t)
+	calls := 0
+	if err := c.Register("flaky", func() (float64, error) {
+		calls++
+		if calls%2 == 0 {
+			return 0, errors.New("transient")
+		}
+		return float64(calls), nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		c.CollectOnce()
+	}
+	st := c.Stats()
+	if st.Polls != 4 || st.Errors != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+	h, _ := c.History("flaky")
+	if len(h) != 2 {
+		t.Errorf("failed polls must not record samples: %d", len(h))
+	}
+}
+
+func TestStartStopLifecycle(t *testing.T) {
+	c, err := NewCollector(time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Start(context.Background()); err == nil {
+		t.Error("start with no sources should fail")
+	}
+	if err := c.Register("x", func() (float64, error) { return 1, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Start(context.Background()); err == nil {
+		t.Error("double start should fail")
+	}
+	if err := c.Register("y", func() (float64, error) { return 2, nil }); err == nil {
+		t.Error("register while running should fail")
+	}
+	// Wait for at least one sample.
+	deadline := time.After(2 * time.Second)
+	for {
+		if _, err := c.Latest("x"); err == nil {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("no sample within deadline")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	c.Stop()
+	c.Stop() // idempotent
+	after := c.Stats().Polls
+	time.Sleep(5 * time.Millisecond)
+	if c.Stats().Polls != after {
+		t.Error("polls continued after Stop")
+	}
+	// Restart works.
+	if err := c.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	c.Stop()
+}
+
+func TestContextCancelStopsLoop(t *testing.T) {
+	c, err := NewCollector(time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Register("x", func() (float64, error) { return 1, nil }); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	if err := c.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	time.Sleep(10 * time.Millisecond)
+	before := c.Stats().Polls
+	time.Sleep(10 * time.Millisecond)
+	if c.Stats().Polls != before {
+		t.Error("polling continued after context cancel")
+	}
+	c.Stop() // cleanup must be safe after ctx-cancel
+}
+
+func TestConcurrentReadersSafe(t *testing.T) {
+	c := newTestCollector(t)
+	if err := c.Register("x", func() (float64, error) { return 1, nil }); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				c.CollectOnce()
+				_, _ = c.Latest("x")
+				_, _ = c.History("x")
+				c.Snapshot()
+				c.Stats()
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestSeriesBridge(t *testing.T) {
+	epoch := time.Unix(1000, 0)
+	c := newTestCollector(t) // fake clock starts at epoch+1s, +1s per call
+	v := 50.0
+	if err := c.Register("temp", func() (float64, error) { v += 0.5; return v, nil }); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		c.CollectOnce()
+	}
+	s, err := c.Series("temp", epoch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 4 {
+		t.Fatalf("series len = %d", s.Len())
+	}
+	first, _ := s.First()
+	if first.T != 1 || first.V != 50.5 {
+		t.Errorf("first = %+v", first)
+	}
+	last, _ := s.Last()
+	if last.T != 4 || last.V != 52 {
+		t.Errorf("last = %+v", last)
+	}
+	if _, err := c.Series("ghost", epoch); err == nil {
+		t.Error("unknown source should fail")
+	}
+}
+
+func TestSeriesBridgeEmptyHistory(t *testing.T) {
+	c := newTestCollector(t)
+	if err := c.Register("x", func() (float64, error) { return 1, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Series("x", time.Unix(0, 0)); err == nil {
+		t.Error("no samples should fail")
+	}
+}

@@ -1,0 +1,282 @@
+// Package testbed assembles the simulated equivalent of the paper's physical
+// experiment rig: one observed server (vmm.Host for capacity accounting +
+// thermal.Server for heat) driven by a workload.Case on the discrete-event
+// engine, observed through a noisy sensor, and producing the temperature
+// traces every experiment consumes.
+package testbed
+
+import (
+	"errors"
+	"fmt"
+
+	"vmtherm/internal/mathx"
+	"vmtherm/internal/sim"
+	"vmtherm/internal/thermal"
+	"vmtherm/internal/timeseries"
+	"vmtherm/internal/vmm"
+	"vmtherm/internal/workload"
+)
+
+// RunConfig controls one experiment run.
+type RunConfig struct {
+	// DurationS is the experiment length t_exp (paper runs 1800 s).
+	DurationS float64
+	// TickS is how often task load profiles and thermals advance.
+	TickS float64
+	// SampleS is the sensor sampling interval.
+	SampleS float64
+}
+
+// DefaultRunConfig mirrors the paper's experiment shape.
+func DefaultRunConfig() RunConfig {
+	return RunConfig{DurationS: 1800, TickS: 1, SampleS: 5}
+}
+
+// Validate checks run parameters.
+func (c RunConfig) Validate() error {
+	if c.DurationS <= 0 {
+		return fmt.Errorf("testbed: duration must be > 0, got %v", c.DurationS)
+	}
+	if c.TickS <= 0 || c.TickS > c.DurationS {
+		return fmt.Errorf("testbed: tick %v invalid for duration %v", c.TickS, c.DurationS)
+	}
+	if c.SampleS <= 0 || c.SampleS > c.DurationS {
+		return fmt.Errorf("testbed: sample interval %v invalid", c.SampleS)
+	}
+	return nil
+}
+
+// Result holds the traces of one run.
+type Result struct {
+	// SensorTemps is the noisy, quantized CPU temperature as the predictors
+	// see it.
+	SensorTemps *timeseries.Series
+	// TrueTemps is the noise-free die temperature (for evaluation only).
+	TrueTemps *timeseries.Series
+	// Utilization is host CPU utilization over time.
+	Utilization *timeseries.Series
+	// MemActive is host memory activity over time.
+	MemActive *timeseries.Series
+}
+
+// StableTemp implements the paper's Eq. (1): the mean observed temperature
+// after tBreak seconds.
+func (r *Result) StableTemp(tBreakS float64) (float64, error) {
+	return r.SensorTemps.MeanAfter(tBreakS)
+}
+
+// Rig is one assembled experiment: an observed host and its thermal model,
+// the VMs of a workload case, and the profiles that drive their tasks.
+type Rig struct {
+	cse      workload.Case
+	engine   *sim.Engine
+	host     *vmm.Host
+	server   *thermal.Server
+	sensor   *thermal.Sensor
+	vms      map[string]*vmm.VM
+	profiles map[string]map[string]workload.Profile // vm id → task id → profile
+	// asyncErr captures the first failure raised inside a scheduled
+	// scenario event; Run surfaces it.
+	asyncErr error
+}
+
+// Options configures rig construction beyond the workload case.
+type Options struct {
+	// Server overrides the thermal parameters (FanCount/AmbientC are always
+	// taken from the case). Zero value selects defaults.
+	Server thermal.ServerParams
+	// Sensor overrides the sensor error model. Zero value selects defaults.
+	Sensor thermal.SensorParams
+	// Seed drives all stochastic components of the rig.
+	Seed int64
+}
+
+// New builds a rig from a case: host and VMs are created, placed, and
+// started at t=0; the thermal server takes the case's fan count and ambient.
+func New(c workload.Case, opts Options) (*Rig, error) {
+	if len(c.VMs) == 0 {
+		return nil, errors.New("testbed: case has no VMs")
+	}
+	sp := opts.Server
+	if sp == (thermal.ServerParams{}) {
+		sp = thermal.DefaultServerParams()
+	}
+	sp.FanCount = c.FanCount
+	sp.AmbientC = c.AmbientC
+	srv, err := thermal.NewServer(sp)
+	if err != nil {
+		return nil, fmt.Errorf("testbed: thermal server: %w", err)
+	}
+	snp := opts.Sensor
+	if snp == (thermal.SensorParams{}) {
+		snp = thermal.DefaultSensorParams()
+	}
+	sensor, err := thermal.NewSensor(snp, srv.DieTemp, mathx.SplitStable(opts.Seed, "sensor:"+c.Name))
+	if err != nil {
+		return nil, fmt.Errorf("testbed: sensor: %w", err)
+	}
+	host, err := vmm.NewHost("host:"+c.Name, c.Host)
+	if err != nil {
+		return nil, fmt.Errorf("testbed: host: %w", err)
+	}
+
+	r := &Rig{
+		cse:      c,
+		engine:   sim.NewEngine(),
+		host:     host,
+		server:   srv,
+		sensor:   sensor,
+		vms:      make(map[string]*vmm.VM, len(c.VMs)),
+		profiles: make(map[string]map[string]workload.Profile, len(c.VMs)),
+	}
+	for _, spec := range c.VMs {
+		vm, err := vmm.NewVM(spec.ID, spec.Config)
+		if err != nil {
+			return nil, err
+		}
+		for _, ts := range spec.Tasks {
+			if err := vm.AddTask(ts.Task); err != nil {
+				return nil, err
+			}
+		}
+		if err := host.Place(vm); err != nil {
+			return nil, fmt.Errorf("testbed: placing %s: %w", spec.ID, err)
+		}
+		if err := vm.Start(0); err != nil {
+			return nil, err
+		}
+		r.vms[spec.ID] = vm
+		r.registerProfiles(spec)
+	}
+	return r, nil
+}
+
+func (r *Rig) registerProfiles(spec workload.VMSpec) {
+	m := make(map[string]workload.Profile, len(spec.Tasks))
+	for _, ts := range spec.Tasks {
+		if ts.Profile != nil {
+			m[ts.Task.ID] = ts.Profile
+		}
+	}
+	r.profiles[spec.ID] = m
+}
+
+// Case returns the workload case this rig was built from.
+func (r *Rig) Case() workload.Case { return r.cse }
+
+// Engine exposes the simulation engine so scenarios can inject events
+// (migrations, fan failures, ambient changes) before or between runs.
+func (r *Rig) Engine() *sim.Engine { return r.engine }
+
+// Host exposes the observed host.
+func (r *Rig) Host() *vmm.Host { return r.host }
+
+// Server exposes the thermal model (e.g. for fan failure injection).
+func (r *Rig) Server() *thermal.Server { return r.server }
+
+// VM returns a case VM by id.
+func (r *Rig) VM(id string) (*vmm.VM, error) {
+	vm, ok := r.vms[id]
+	if !ok {
+		return nil, fmt.Errorf("testbed: no vm %q", id)
+	}
+	return vm, nil
+}
+
+// Track registers an externally created VM (e.g. one migrating in from
+// another host) so its task profiles are driven by this rig's clock.
+func (r *Rig) Track(vm *vmm.VM, tasks []workload.TaskSpec) error {
+	if vm == nil {
+		return errors.New("testbed: nil vm")
+	}
+	if _, ok := r.vms[vm.ID()]; ok {
+		return fmt.Errorf("testbed: vm %q already tracked", vm.ID())
+	}
+	r.vms[vm.ID()] = vm
+	m := make(map[string]workload.Profile, len(tasks))
+	for _, ts := range tasks {
+		if ts.Profile != nil {
+			m[ts.Task.ID] = ts.Profile
+		}
+	}
+	r.profiles[vm.ID()] = m
+	return nil
+}
+
+// Run executes the experiment for cfg.DurationS seconds of virtual time and
+// returns the recorded traces. Run may be called repeatedly; time continues
+// from where the previous run ended.
+func (r *Rig) Run(cfg RunConfig) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	res := &Result{
+		SensorTemps: timeseries.New(),
+		TrueTemps:   timeseries.New(),
+		Utilization: timeseries.New(),
+		MemActive:   timeseries.New(),
+	}
+	start := r.engine.Now()
+
+	var tickErr error
+	stopTick, err := r.engine.Every(cfg.TickS, "tick", func(e *sim.Engine) {
+		if err := r.tick(e, cfg.TickS); err != nil && tickErr == nil {
+			tickErr = err
+			e.Stop()
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer stopTick()
+
+	stopSample, err := r.engine.Every(cfg.SampleS, "sample", func(e *sim.Engine) {
+		t := e.Now() - start
+		// A transient read failure just drops the sample, as in a real
+		// collector; the noise-free trace always records.
+		if v, err := r.sensor.Read(); err == nil {
+			res.SensorTemps.MustAppend(t, v)
+		}
+		res.TrueTemps.MustAppend(t, r.server.DieTemp())
+		res.Utilization.MustAppend(t, r.host.Utilization())
+		res.MemActive.MustAppend(t, r.host.MemActiveFrac())
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer stopSample()
+
+	if _, err := r.engine.RunUntil(start + cfg.DurationS); err != nil {
+		return nil, err
+	}
+	if tickErr != nil {
+		return nil, fmt.Errorf("testbed: tick: %w", tickErr)
+	}
+	if r.asyncErr != nil {
+		err := r.asyncErr
+		r.asyncErr = nil
+		return nil, err
+	}
+	if res.SensorTemps.Len() == 0 {
+		return nil, errors.New("testbed: run recorded no samples")
+	}
+	return res, nil
+}
+
+// tick applies load profiles and advances thermals by dt.
+func (r *Rig) tick(e *sim.Engine, dt float64) error {
+	t := e.Now()
+	for vmID, profs := range r.profiles {
+		vm := r.vms[vmID]
+		if vm.State() != vmm.VMRunning && vm.State() != vmm.VMMigrating {
+			continue
+		}
+		for taskID, p := range profs {
+			if err := vm.SetTaskCPU(taskID, p.At(t)); err != nil {
+				return err
+			}
+		}
+	}
+	r.server.SetLoad(r.host.Utilization(), r.host.MemActiveFrac())
+	return r.server.Advance(dt)
+}

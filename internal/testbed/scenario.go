@@ -1,0 +1,102 @@
+package testbed
+
+import (
+	"errors"
+	"fmt"
+
+	"vmtherm/internal/sim"
+	"vmtherm/internal/vmm"
+	"vmtherm/internal/workload"
+)
+
+// Scenario injectors: schedule runtime events on a rig before (or between)
+// Run calls. These realize the paper's "dynamic scenarios such as virtual
+// machine migration" where input features change mid-experiment.
+
+// ScheduleFanFailures fails count fans at atS seconds of virtual time.
+func (r *Rig) ScheduleFanFailures(atS float64, count int) error {
+	if count < 1 {
+		return fmt.Errorf("testbed: fan failure count %d < 1", count)
+	}
+	if count > r.server.Fans().Count() {
+		return fmt.Errorf("testbed: cannot fail %d of %d fans", count, r.server.Fans().Count())
+	}
+	return r.engine.Schedule(atS, "fan-failures", func(*sim.Engine) {
+		for i := 0; i < count; i++ {
+			if err := r.server.Fans().Fail(i); err != nil && r.asyncErr == nil {
+				r.asyncErr = err
+			}
+		}
+	})
+}
+
+// ScheduleAmbient changes the rack inlet temperature at atS.
+func (r *Rig) ScheduleAmbient(atS, tempC float64) error {
+	return r.engine.Schedule(atS, "ambient-change", func(*sim.Engine) {
+		r.server.SetAmbient(tempC)
+	})
+}
+
+// ScheduleMigrationIn live-migrates a new VM onto the observed host at atS:
+// the VM is created on an external source host now, runs there, and its
+// pre-copy completes after the migration plan's duration — from then on its
+// load lands on this rig's server. The migrated VM's task profiles are
+// driven by this rig's clock throughout.
+func (r *Rig) ScheduleMigrationIn(atS float64, spec workload.VMSpec, mig vmm.MigrationSpec) error {
+	if len(spec.Tasks) == 0 {
+		return errors.New("testbed: migrating VM has no tasks")
+	}
+	src, err := vmm.NewHost("ext-src:"+spec.ID, r.host.Config())
+	if err != nil {
+		return err
+	}
+	vm, err := vmm.NewVM(spec.ID, spec.Config)
+	if err != nil {
+		return err
+	}
+	for _, ts := range spec.Tasks {
+		if err := vm.AddTask(ts.Task); err != nil {
+			return err
+		}
+	}
+	if err := src.Place(vm); err != nil {
+		return err
+	}
+	if err := vm.Start(r.engine.Now()); err != nil {
+		return err
+	}
+	if err := r.Track(vm, spec.Tasks); err != nil {
+		return err
+	}
+	migrator, err := vmm.NewMigrator(mig)
+	if err != nil {
+		return err
+	}
+	return r.engine.Schedule(atS, "migrate-in:"+spec.ID, func(e *sim.Engine) {
+		if err := migrator.Migrate(e, vm, src, r.host, nil); err != nil && r.asyncErr == nil {
+			r.asyncErr = fmt.Errorf("testbed: migration of %s: %w", spec.ID, err)
+		}
+	})
+}
+
+// ScheduleMigrationOut live-migrates one of the rig's VMs off the observed
+// host at atS; after completion its load no longer heats this server.
+func (r *Rig) ScheduleMigrationOut(atS float64, vmID string, mig vmm.MigrationSpec) error {
+	vm, err := r.VM(vmID)
+	if err != nil {
+		return err
+	}
+	dst, err := vmm.NewHost("ext-dst:"+vmID, r.host.Config())
+	if err != nil {
+		return err
+	}
+	migrator, err := vmm.NewMigrator(mig)
+	if err != nil {
+		return err
+	}
+	return r.engine.Schedule(atS, "migrate-out:"+vmID, func(e *sim.Engine) {
+		if err := migrator.Migrate(e, vm, r.host, dst, nil); err != nil && r.asyncErr == nil {
+			r.asyncErr = fmt.Errorf("testbed: migration of %s: %w", vmID, err)
+		}
+	})
+}

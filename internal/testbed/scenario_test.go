@@ -1,0 +1,222 @@
+package testbed
+
+import (
+	"testing"
+
+	"vmtherm/internal/vmm"
+	"vmtherm/internal/workload"
+)
+
+func hotVMSpec(id string) workload.VMSpec {
+	return workload.VMSpec{
+		ID:     id,
+		Config: vmm.VMConfig{VCPUs: 4, MemoryGB: 8},
+		Tasks: []workload.TaskSpec{
+			{
+				Task:    vmm.Task{ID: id + "-t0", Class: vmm.CPUBound, CPUFraction: 0.95, MemGB: 2},
+				Profile: workload.Constant{Level: 0.95},
+			},
+			{
+				Task:    vmm.Task{ID: id + "-t1", Class: vmm.CPUBound, CPUFraction: 0.9, MemGB: 1},
+				Profile: workload.Constant{Level: 0.9},
+			},
+		},
+	}
+}
+
+func TestScheduleMigrationInHeatsServer(t *testing.T) {
+	c := smallCase(t)
+	baseRig, err := New(c, Options{Seed: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseRes, err := baseRig.Run(DefaultRunConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline, err := baseRes.SensorTemps.MeanAfter(1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	migRig, err := New(c, Options{Seed: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := migRig.ScheduleMigrationIn(600, hotVMSpec("hot"), vmm.DefaultMigrationSpec()); err != nil {
+		t.Fatal(err)
+	}
+	migRes, err := migRig.Run(DefaultRunConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	withMig, err := migRes.SensorTemps.MeanAfter(1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withMig <= baseline+1 {
+		t.Errorf("migrated-in hot VM should heat the server: %v vs baseline %v", withMig, baseline)
+	}
+	// The VM must have landed on the observed host and be running.
+	vm, err := migRig.VM("hot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vm.State() != vmm.VMRunning {
+		t.Errorf("migrated VM state = %v", vm.State())
+	}
+	if _, err := migRig.Host().VM("hot"); err != nil {
+		t.Error("migrated VM not on observed host")
+	}
+}
+
+func TestScheduleMigrationInValidation(t *testing.T) {
+	rig, err := New(smallCase(t), Options{Seed: 41})
+	if err != nil {
+		t.Fatal(err)
+	}
+	empty := workload.VMSpec{ID: "x", Config: vmm.VMConfig{VCPUs: 1, MemoryGB: 1}}
+	if err := rig.ScheduleMigrationIn(100, empty, vmm.DefaultMigrationSpec()); err == nil {
+		t.Error("taskless VM should fail")
+	}
+	if err := rig.ScheduleMigrationIn(100, hotVMSpec("y"), vmm.MigrationSpec{}); err == nil {
+		t.Error("invalid migration spec should fail")
+	}
+}
+
+func TestScheduleMigrationOutCoolsServer(t *testing.T) {
+	c := smallCase(t)
+	baseRig, err := New(c, Options{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseRes, err := baseRig.Run(DefaultRunConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline, err := baseRes.SensorTemps.MeanAfter(1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	outRig, err := New(c, Options{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Move the busiest VM off at t=600.
+	busiest := c.VMs[0].ID
+	var best float64
+	for _, spec := range c.VMs {
+		var demand float64
+		for _, ts := range spec.Tasks {
+			demand += ts.Task.CPUFraction
+		}
+		if demand > best {
+			best, busiest = demand, spec.ID
+		}
+	}
+	if err := outRig.ScheduleMigrationOut(600, busiest, vmm.DefaultMigrationSpec()); err != nil {
+		t.Fatal(err)
+	}
+	outRes, err := outRig.Run(DefaultRunConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := outRes.SensorTemps.MeanAfter(1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after >= baseline {
+		t.Errorf("migrating out the busiest VM should cool the server: %v vs %v", after, baseline)
+	}
+	if outRig.Host().NumVMs() != len(c.VMs)-1 {
+		t.Errorf("host still has %d VMs", outRig.Host().NumVMs())
+	}
+}
+
+func TestScheduleMigrationOutUnknownVM(t *testing.T) {
+	rig, err := New(smallCase(t), Options{Seed: 43})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rig.ScheduleMigrationOut(100, "ghost", vmm.DefaultMigrationSpec()); err == nil {
+		t.Error("unknown VM should fail")
+	}
+}
+
+func TestScheduleAmbientChange(t *testing.T) {
+	rig, err := New(smallCase(t), Options{Seed: 44})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rig.ScheduleAmbient(900, rig.Case().AmbientC+10); err != nil {
+		t.Fatal(err)
+	}
+	res, err := rig.Run(DefaultRunConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := res.SensorTemps.MeanAfter(600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	late, err := res.SensorTemps.MeanAfter(1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if late <= before+3 {
+		t.Errorf("+10 °C ambient at t=900 should lift late temps: %v vs %v", late, before)
+	}
+	if rig.Server().Ambient() != rig.Case().AmbientC+10 {
+		t.Error("ambient change not applied")
+	}
+}
+
+func TestScheduleFanFailuresValidation(t *testing.T) {
+	rig, err := New(smallCase(t), Options{Seed: 45})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rig.ScheduleFanFailures(100, 0); err == nil {
+		t.Error("zero failures should fail")
+	}
+	if err := rig.ScheduleFanFailures(100, 99); err == nil {
+		t.Error("more failures than fans should fail")
+	}
+}
+
+func TestMigrationInRejectionSurfacesViaRun(t *testing.T) {
+	// Fill the observed host so the inbound migration is rejected; the
+	// error must surface from Run rather than being swallowed.
+	opts := workload.DefaultGenOptions()
+	opts.VMCountMin, opts.VMCountMax = 3, 3
+	c, err := workload.GenerateCase(opts, 46, "full")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rig, err := New(c, Options{Seed: 46})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A VM too large for any host.
+	big := workload.VMSpec{
+		ID:     "huge",
+		Config: vmm.VMConfig{VCPUs: 4, MemoryGB: 60},
+		Tasks: []workload.TaskSpec{
+			{Task: vmm.Task{ID: "huge-t", Class: vmm.CPUBound, CPUFraction: 0.5, MemGB: 8}},
+		},
+	}
+	// Source host (same config as observed host) must admit it, but the
+	// observed host is already carrying the case VMs' memory.
+	if err := rig.ScheduleMigrationIn(100, big, vmm.DefaultMigrationSpec()); err != nil {
+		t.Fatal(err)
+	}
+	_, err = rig.Run(DefaultRunConfig())
+	if err == nil {
+		t.Skip("case left enough memory free; rejection not triggered")
+	}
+	// Error surfaced — rig must be reusable afterwards.
+	if _, err := rig.Run(RunConfig{DurationS: 60, TickS: 1, SampleS: 10}); err != nil {
+		t.Errorf("rig unusable after surfaced async error: %v", err)
+	}
+}

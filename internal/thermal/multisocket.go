@@ -1,0 +1,158 @@
+package thermal
+
+import (
+	"fmt"
+)
+
+// MultiSocketParams configures a server with several CPU packages sharing
+// one chassis and fan bank — the dual-socket machines the paper's testbed
+// class uses. Each socket gets its own die node and power model; all dies
+// couple through the shared case node, so a hot neighbour measurably warms
+// an idle socket (a cross-coupling single-CPU models cannot express).
+type MultiSocketParams struct {
+	// Base carries chassis, fan, and per-socket die parameters. Its power
+	// model applies to every socket.
+	Base ServerParams
+	// Sockets is the CPU package count (>= 1).
+	Sockets int
+}
+
+// DefaultMultiSocketParams returns a dual-socket variant of the reference
+// server.
+func DefaultMultiSocketParams() MultiSocketParams {
+	p := DefaultServerParams()
+	// Two packages share the chassis: each die keeps its own capacitance;
+	// the case and fans are shared as-is.
+	return MultiSocketParams{Base: p, Sockets: 2}
+}
+
+// Validate checks the configuration.
+func (p MultiSocketParams) Validate() error {
+	if err := p.Base.Validate(); err != nil {
+		return err
+	}
+	if p.Sockets < 1 {
+		return fmt.Errorf("thermal: sockets must be >= 1, got %d", p.Sockets)
+	}
+	return nil
+}
+
+// MultiSocketServer is the thermal state of a multi-package machine.
+type MultiSocketServer struct {
+	params   MultiSocketParams
+	net      *Network
+	dies     []int
+	caseN    int
+	ambient  int
+	caseEdge int
+	fans     *FanBank
+
+	utils   []float64
+	memFrac float64
+}
+
+// NewMultiSocketServer builds the assembly with all nodes at ambient.
+func NewMultiSocketServer(params MultiSocketParams) (*MultiSocketServer, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	base := params.Base
+	net := NewNetwork()
+	caseN, err := net.AddNode("case", base.CaseCapacitance, base.AmbientC)
+	if err != nil {
+		return nil, err
+	}
+	amb, err := net.AddBoundary("ambient", base.AmbientC)
+	if err != nil {
+		return nil, err
+	}
+	dies := make([]int, params.Sockets)
+	for i := range dies {
+		die, err := net.AddNode(fmt.Sprintf("die%d", i), base.DieCapacitance, base.AmbientC)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := net.Connect(die, caseN, base.DieToCaseG); err != nil {
+			return nil, err
+		}
+		dies[i] = die
+	}
+	fans, err := NewFanBank(base.FanCount, base.BaseCaseG, base.PerFanG)
+	if err != nil {
+		return nil, err
+	}
+	caseEdge, err := net.Connect(caseN, amb, fans.Conductance())
+	if err != nil {
+		return nil, err
+	}
+	return &MultiSocketServer{
+		params:   params,
+		net:      net,
+		dies:     dies,
+		caseN:    caseN,
+		ambient:  amb,
+		caseEdge: caseEdge,
+		fans:     fans,
+		utils:    make([]float64, params.Sockets),
+	}, nil
+}
+
+// Sockets returns the package count.
+func (s *MultiSocketServer) Sockets() int { return len(s.dies) }
+
+// SetSocketLoad sets one socket's utilization (clamped to [0,1]).
+func (s *MultiSocketServer) SetSocketLoad(socket int, util float64) error {
+	if socket < 0 || socket >= len(s.dies) {
+		return fmt.Errorf("thermal: no socket %d", socket)
+	}
+	s.utils[socket] = clamp01(util)
+	return nil
+}
+
+// SetMemActivity sets the shared memory activity fraction.
+func (s *MultiSocketServer) SetMemActivity(frac float64) { s.memFrac = clamp01(frac) }
+
+// Fans exposes the shared fan bank.
+func (s *MultiSocketServer) Fans() *FanBank { return s.fans }
+
+// SetAmbient changes the inlet temperature.
+func (s *MultiSocketServer) SetAmbient(tempC float64) {
+	_ = s.net.SetBoundaryTemp(s.ambient, tempC)
+}
+
+// Advance integrates the assembly by dt seconds. Memory power is split
+// evenly across sockets (shared DIMM channels).
+func (s *MultiSocketServer) Advance(dt float64) error {
+	if err := s.net.SetConductance(s.caseEdge, s.fans.Conductance()); err != nil {
+		return err
+	}
+	inj := make(map[int]float64, len(s.dies))
+	memShare := s.memFrac / float64(len(s.dies))
+	for i, die := range s.dies {
+		inj[die] = s.params.Base.Power.Power(s.utils[i], memShare, s.net.Temp(die))
+	}
+	return s.net.Step(dt, inj)
+}
+
+// DieTemp returns socket i's die temperature.
+func (s *MultiSocketServer) DieTemp(socket int) (float64, error) {
+	if socket < 0 || socket >= len(s.dies) {
+		return 0, fmt.Errorf("thermal: no socket %d", socket)
+	}
+	return s.net.Temp(s.dies[socket]), nil
+}
+
+// MaxDieTemp returns the hottest socket's temperature — what a server-level
+// sensor reports on multi-package machines.
+func (s *MultiSocketServer) MaxDieTemp() float64 {
+	hottest := s.net.Temp(s.dies[0])
+	for _, die := range s.dies[1:] {
+		if t := s.net.Temp(die); t > hottest {
+			hottest = t
+		}
+	}
+	return hottest
+}
+
+// CaseTemp returns the shared chassis temperature.
+func (s *MultiSocketServer) CaseTemp() float64 { return s.net.Temp(s.caseN) }

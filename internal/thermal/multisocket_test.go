@@ -1,0 +1,205 @@
+package thermal
+
+import (
+	"math"
+	"testing"
+)
+
+func newDualSocket(t *testing.T) *MultiSocketServer {
+	t.Helper()
+	s, err := NewMultiSocketServer(DefaultMultiSocketParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestMultiSocketParamsValidate(t *testing.T) {
+	p := DefaultMultiSocketParams()
+	if err := p.Validate(); err != nil {
+		t.Error(err)
+	}
+	p.Sockets = 0
+	if err := p.Validate(); err == nil {
+		t.Error("zero sockets should fail")
+	}
+	p = DefaultMultiSocketParams()
+	p.Base.DieCapacitance = 0
+	if err := p.Validate(); err == nil {
+		t.Error("bad base params should fail")
+	}
+}
+
+func TestMultiSocketSetLoadValidation(t *testing.T) {
+	s := newDualSocket(t)
+	if s.Sockets() != 2 {
+		t.Fatalf("sockets = %d", s.Sockets())
+	}
+	if err := s.SetSocketLoad(-1, 0.5); err == nil {
+		t.Error("negative socket should fail")
+	}
+	if err := s.SetSocketLoad(2, 0.5); err == nil {
+		t.Error("socket out of range should fail")
+	}
+	if err := s.SetSocketLoad(0, 0.5); err != nil {
+		t.Error(err)
+	}
+	if _, err := s.DieTemp(5); err == nil {
+		t.Error("DieTemp out of range should fail")
+	}
+}
+
+func TestAsymmetricLoadAsymmetricTemps(t *testing.T) {
+	s := newDualSocket(t)
+	if err := s.SetSocketLoad(0, 1.0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetSocketLoad(1, 0.0); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1800; i++ {
+		if err := s.Advance(1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hot, err := s.DieTemp(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idle, err := s.DieTemp(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hot <= idle+10 {
+		t.Errorf("loaded socket (%v) should run much hotter than idle (%v)", hot, idle)
+	}
+	if got := s.MaxDieTemp(); got != hot {
+		t.Errorf("MaxDieTemp = %v, want hottest socket %v", got, hot)
+	}
+}
+
+func TestCrossSocketCoupling(t *testing.T) {
+	// An idle socket must warm when its neighbour works: the cross-coupling
+	// through the shared case that per-CPU models miss.
+	alone := newDualSocket(t)
+	if err := alone.SetSocketLoad(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := alone.SetSocketLoad(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	coupled := newDualSocket(t)
+	if err := coupled.SetSocketLoad(0, 1.0); err != nil {
+		t.Fatal(err)
+	}
+	if err := coupled.SetSocketLoad(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1800; i++ {
+		if err := alone.Advance(1); err != nil {
+			t.Fatal(err)
+		}
+		if err := coupled.Advance(1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	idleAlone, err := alone.DieTemp(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idleCoupled, err := coupled.DieTemp(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idleCoupled <= idleAlone+2 {
+		t.Errorf("neighbour load should warm the idle socket: %v vs %v", idleCoupled, idleAlone)
+	}
+	// And the shared case runs warmer too.
+	if coupled.CaseTemp() <= alone.CaseTemp() {
+		t.Error("case should warm with socket load")
+	}
+}
+
+func TestBalancedLoadSymmetricTemps(t *testing.T) {
+	s := newDualSocket(t)
+	if err := s.SetSocketLoad(0, 0.6); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetSocketLoad(1, 0.6); err != nil {
+		t.Fatal(err)
+	}
+	s.SetMemActivity(0.4)
+	for i := 0; i < 1800; i++ {
+		if err := s.Advance(1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	t0, _ := s.DieTemp(0)
+	t1, _ := s.DieTemp(1)
+	if math.Abs(t0-t1) > 1e-6 {
+		t.Errorf("symmetric load, asymmetric temps: %v vs %v", t0, t1)
+	}
+}
+
+func TestMultiSocketFanAndAmbientControls(t *testing.T) {
+	s := newDualSocket(t)
+	for i := 0; i < 2; i++ {
+		if err := s.SetSocketLoad(i, 0.8); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 1200; i++ {
+		if err := s.Advance(1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := s.MaxDieTemp()
+	// Fail half the fans and warm the inlet: both must raise die temps.
+	if err := s.Fans().Fail(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Fans().Fail(1); err != nil {
+		t.Fatal(err)
+	}
+	s.SetAmbient(30)
+	for i := 0; i < 1200; i++ {
+		if err := s.Advance(1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.MaxDieTemp() <= before+5 {
+		t.Errorf("fan failure + warm inlet should heat dies: %v -> %v", before, s.MaxDieTemp())
+	}
+}
+
+func TestSingleSocketMatchesOriginalServerShape(t *testing.T) {
+	// A 1-socket MultiSocketServer should behave like Server (same physics,
+	// modulo throttling which MultiSocketServer doesn't model).
+	p := DefaultServerParams()
+	p.ThrottleTempC = 0
+	single, err := NewMultiSocketServer(MultiSocketParams{Base: p, Sockets: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := NewServer(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := single.SetSocketLoad(0, 0.7); err != nil {
+		t.Fatal(err)
+	}
+	single.SetMemActivity(0.3)
+	ref.SetLoad(0.7, 0.3)
+	for i := 0; i < 1800; i++ {
+		if err := single.Advance(1); err != nil {
+			t.Fatal(err)
+		}
+		if err := ref.Advance(1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, _ := single.DieTemp(0)
+	if math.Abs(got-ref.DieTemp()) > 0.5 {
+		t.Errorf("1-socket multi (%v) diverges from Server (%v)", got, ref.DieTemp())
+	}
+}

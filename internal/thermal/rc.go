@@ -1,0 +1,228 @@
+// Package thermal simulates server thermals with lumped resistor–capacitor
+// (RC) networks. It stands in for the physical testbed of Wu et al. (ICDCS
+// 2016): a CPU die heated by a utilization-driven power model, cooled through
+// a heatsink/case node by a bank of fans into rack ambient air, observed by a
+// noisy quantized temperature sensor.
+//
+// The RC abstraction is the same one the thermal-management literature uses
+// as ground truth (the paper's references [4] and [5] are both built on it),
+// so the phenomena the predictors must learn — first-order saturation
+// transients, steady states shaped by load, fan count and ambient — are
+// faithfully present. Predictors only ever see sensor readings, never the
+// network state, so the learning problem matches the paper's.
+package thermal
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Network is a lumped-parameter thermal circuit. Internal nodes have heat
+// capacitance and evolve over time; boundary nodes hold a fixed temperature
+// (e.g. ambient air). Edges are thermal conductances in W/K.
+//
+// Integration uses explicit Euler with automatic sub-stepping chosen from
+// the fastest node time constant, which keeps the scheme stable for any
+// parameterization the repository constructs.
+type Network struct {
+	names       map[string]int
+	capacitance []float64 // J/K; 0 marks a boundary node
+	temp        []float64 // °C
+	boundary    []bool
+	edges       []edge
+}
+
+type edge struct {
+	a, b int
+	g    float64 // W/K
+}
+
+// NewNetwork returns an empty thermal network.
+func NewNetwork() *Network {
+	return &Network{names: make(map[string]int)}
+}
+
+// AddNode adds an internal node with the given heat capacitance (J/K) and
+// initial temperature (°C). It returns the node id.
+func (n *Network) AddNode(name string, capacitance, initialTemp float64) (int, error) {
+	if capacitance <= 0 {
+		return 0, fmt.Errorf("thermal: node %q capacitance must be > 0, got %v", name, capacitance)
+	}
+	return n.add(name, capacitance, initialTemp, false)
+}
+
+// AddBoundary adds a fixed-temperature boundary node (infinite capacitance).
+func (n *Network) AddBoundary(name string, temp float64) (int, error) {
+	return n.add(name, 0, temp, true)
+}
+
+func (n *Network) add(name string, c, t float64, boundary bool) (int, error) {
+	if _, ok := n.names[name]; ok {
+		return 0, fmt.Errorf("thermal: duplicate node %q", name)
+	}
+	id := len(n.temp)
+	n.names[name] = id
+	n.capacitance = append(n.capacitance, c)
+	n.temp = append(n.temp, t)
+	n.boundary = append(n.boundary, boundary)
+	return id, nil
+}
+
+// Connect links two nodes with a thermal conductance g (W/K) and returns the
+// edge index, which can be used with SetConductance to model fan speed
+// changes.
+func (n *Network) Connect(a, b int, g float64) (int, error) {
+	if a < 0 || a >= len(n.temp) || b < 0 || b >= len(n.temp) {
+		return 0, errors.New("thermal: connect with unknown node id")
+	}
+	if a == b {
+		return 0, errors.New("thermal: self edge")
+	}
+	if g <= 0 {
+		return 0, fmt.Errorf("thermal: conductance must be > 0, got %v", g)
+	}
+	n.edges = append(n.edges, edge{a: a, b: b, g: g})
+	return len(n.edges) - 1, nil
+}
+
+// SetConductance updates edge e's conductance, e.g. when fans spin up/down.
+func (n *Network) SetConductance(e int, g float64) error {
+	if e < 0 || e >= len(n.edges) {
+		return errors.New("thermal: unknown edge")
+	}
+	if g <= 0 {
+		return fmt.Errorf("thermal: conductance must be > 0, got %v", g)
+	}
+	n.edges[e].g = g
+	return nil
+}
+
+// SetBoundaryTemp changes a boundary node's fixed temperature (e.g. the rack
+// inlet air warming up).
+func (n *Network) SetBoundaryTemp(id int, temp float64) error {
+	if id < 0 || id >= len(n.temp) || !n.boundary[id] {
+		return errors.New("thermal: not a boundary node")
+	}
+	n.temp[id] = temp
+	return nil
+}
+
+// Temp returns the current temperature of a node.
+func (n *Network) Temp(id int) float64 { return n.temp[id] }
+
+// NodeID looks a node up by name.
+func (n *Network) NodeID(name string) (int, error) {
+	id, ok := n.names[name]
+	if !ok {
+		return 0, fmt.Errorf("thermal: no node %q", name)
+	}
+	return id, nil
+}
+
+// Step advances the network by dt seconds with the given heat injections
+// (W per internal node id). Sub-steps are chosen so that no node integrates
+// with a step above a quarter of its local time constant.
+func (n *Network) Step(dt float64, injections map[int]float64) error {
+	if dt <= 0 {
+		return fmt.Errorf("thermal: non-positive dt %v", dt)
+	}
+	for id := range injections {
+		if id < 0 || id >= len(n.temp) {
+			return fmt.Errorf("thermal: injection into unknown node %d", id)
+		}
+		if n.boundary[id] {
+			return fmt.Errorf("thermal: injection into boundary node %d", id)
+		}
+	}
+	sub := n.maxStableStep()
+	steps := int(math.Ceil(dt / sub))
+	if steps < 1 {
+		steps = 1
+	}
+	h := dt / float64(steps)
+	flux := make([]float64, len(n.temp))
+	for s := 0; s < steps; s++ {
+		for i := range flux {
+			flux[i] = 0
+		}
+		for _, e := range n.edges {
+			q := e.g * (n.temp[e.a] - n.temp[e.b]) // W from a to b
+			flux[e.a] -= q
+			flux[e.b] += q
+		}
+		for id, w := range injections {
+			flux[id] += w
+		}
+		for i := range n.temp {
+			if n.boundary[i] {
+				continue
+			}
+			n.temp[i] += h * flux[i] / n.capacitance[i]
+		}
+	}
+	return nil
+}
+
+// maxStableStep returns a conservative explicit-Euler step: a quarter of the
+// smallest C/Gtotal among internal nodes.
+func (n *Network) maxStableStep() float64 {
+	gTotal := make([]float64, len(n.temp))
+	for _, e := range n.edges {
+		gTotal[e.a] += e.g
+		gTotal[e.b] += e.g
+	}
+	minTau := math.Inf(1)
+	for i, c := range n.capacitance {
+		if n.boundary[i] || gTotal[i] == 0 {
+			continue
+		}
+		tau := c / gTotal[i]
+		if tau < minTau {
+			minTau = tau
+		}
+	}
+	if math.IsInf(minTau, 1) {
+		return 1 // isolated nodes: any step is fine
+	}
+	return math.Max(minTau/4, 1e-3)
+}
+
+// SteadyState solves the network's equilibrium temperatures for constant
+// heat injections by Gauss–Seidel iteration. Used by analytic baselines and
+// by tests validating the integrator.
+func (n *Network) SteadyState(injections map[int]float64) ([]float64, error) {
+	t := make([]float64, len(n.temp))
+	copy(t, n.temp)
+	adj := make([][]edge, len(n.temp))
+	for _, e := range n.edges {
+		adj[e.a] = append(adj[e.a], e)
+		adj[e.b] = append(adj[e.b], edge{a: e.b, b: e.a, g: e.g})
+	}
+	for iter := 0; iter < 100000; iter++ {
+		var maxDelta float64
+		for i := range t {
+			if n.boundary[i] {
+				continue
+			}
+			var gSum, rhs float64
+			for _, e := range adj[i] {
+				gSum += e.g
+				rhs += e.g * t[e.b]
+			}
+			if gSum == 0 {
+				return nil, fmt.Errorf("thermal: node %d has no path to a boundary", i)
+			}
+			rhs += injections[i]
+			next := rhs / gSum
+			if d := math.Abs(next - t[i]); d > maxDelta {
+				maxDelta = d
+			}
+			t[i] = next
+		}
+		if maxDelta < 1e-10 {
+			return t, nil
+		}
+	}
+	return nil, errors.New("thermal: steady state did not converge")
+}

@@ -1,0 +1,253 @@
+package thermal
+
+import (
+	"math"
+	"testing"
+)
+
+// buildTwoNode returns a die–case–ambient chain used by several tests.
+func buildTwoNode(t *testing.T) (*Network, int, int, int) {
+	t.Helper()
+	n := NewNetwork()
+	die, err := n.AddNode("die", 100, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	caseN, err := n.AddNode("case", 1000, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	amb, err := n.AddBoundary("ambient", 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Connect(die, caseN, 5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Connect(caseN, amb, 4); err != nil {
+		t.Fatal(err)
+	}
+	return n, die, caseN, amb
+}
+
+func TestAddNodeValidation(t *testing.T) {
+	n := NewNetwork()
+	if _, err := n.AddNode("x", 0, 20); err == nil {
+		t.Error("zero capacitance should fail")
+	}
+	if _, err := n.AddNode("x", -5, 20); err == nil {
+		t.Error("negative capacitance should fail")
+	}
+	if _, err := n.AddNode("x", 10, 20); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.AddNode("x", 10, 20); err == nil {
+		t.Error("duplicate name should fail")
+	}
+	if _, err := n.AddBoundary("x", 20); err == nil {
+		t.Error("duplicate name across kinds should fail")
+	}
+}
+
+func TestConnectValidation(t *testing.T) {
+	n := NewNetwork()
+	a, _ := n.AddNode("a", 10, 20)
+	b, _ := n.AddNode("b", 10, 20)
+	if _, err := n.Connect(a, 99, 1); err == nil {
+		t.Error("unknown node should fail")
+	}
+	if _, err := n.Connect(a, a, 1); err == nil {
+		t.Error("self edge should fail")
+	}
+	if _, err := n.Connect(a, b, 0); err == nil {
+		t.Error("zero conductance should fail")
+	}
+	if _, err := n.Connect(a, b, 2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNodeID(t *testing.T) {
+	n := NewNetwork()
+	want, _ := n.AddNode("die", 10, 20)
+	got, err := n.NodeID("die")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("NodeID = %d, want %d", got, want)
+	}
+	if _, err := n.NodeID("nope"); err == nil {
+		t.Error("unknown name should fail")
+	}
+}
+
+func TestStepValidation(t *testing.T) {
+	n, die, _, amb := buildTwoNode(t)
+	if err := n.Step(0, nil); err == nil {
+		t.Error("zero dt should fail")
+	}
+	if err := n.Step(1, map[int]float64{99: 5}); err == nil {
+		t.Error("unknown injection node should fail")
+	}
+	if err := n.Step(1, map[int]float64{amb: 5}); err == nil {
+		t.Error("boundary injection should fail")
+	}
+	if err := n.Step(1, map[int]float64{die: 5}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNoHeatStaysAtEquilibrium(t *testing.T) {
+	n, die, caseN, _ := buildTwoNode(t)
+	if err := n.Step(1000, nil); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(n.Temp(die)-20) > 1e-9 || math.Abs(n.Temp(caseN)-20) > 1e-9 {
+		t.Errorf("unheated network moved: die %v case %v", n.Temp(die), n.Temp(caseN))
+	}
+}
+
+func TestTransientConvergesToAnalyticSteadyState(t *testing.T) {
+	n, die, caseN, _ := buildTwoNode(t)
+	const heat = 80.0
+	// Analytic: T_die = amb + P*(1/Gca + 1/Gdc) = 20 + 80*(1/4 + 1/5) = 56.
+	// T_case = amb + P/Gca = 40.
+	for i := 0; i < 5000; i++ {
+		if err := n.Step(1, map[int]float64{die: heat}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got, want := n.Temp(die), 56.0; math.Abs(got-want) > 0.01 {
+		t.Errorf("die steady = %v, want %v", got, want)
+	}
+	if got, want := n.Temp(caseN), 40.0; math.Abs(got-want) > 0.01 {
+		t.Errorf("case steady = %v, want %v", got, want)
+	}
+}
+
+func TestSteadyStateSolverMatchesAnalytic(t *testing.T) {
+	n, die, caseN, _ := buildTwoNode(t)
+	temps, err := n.SteadyState(map[int]float64{die: 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(temps[die]-56) > 1e-6 {
+		t.Errorf("solver die = %v, want 56", temps[die])
+	}
+	if math.Abs(temps[caseN]-40) > 1e-6 {
+		t.Errorf("solver case = %v, want 40", temps[caseN])
+	}
+	// Solving must not mutate live temperatures.
+	if n.Temp(die) != 20 {
+		t.Error("SteadyState mutated network state")
+	}
+}
+
+func TestSteadyStateNoBoundaryPath(t *testing.T) {
+	n := NewNetwork()
+	a, _ := n.AddNode("a", 10, 20)
+	b, _ := n.AddNode("b", 10, 20)
+	if _, err := n.Connect(a, b, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.SteadyState(map[int]float64{a: 10}); err == nil {
+		t.Error("floating network should fail steady-state solve")
+	}
+}
+
+func TestMonotoneHeatingTransient(t *testing.T) {
+	n, die, _, _ := buildTwoNode(t)
+	prev := n.Temp(die)
+	for i := 0; i < 600; i++ {
+		if err := n.Step(1, map[int]float64{die: 100}); err != nil {
+			t.Fatal(err)
+		}
+		cur := n.Temp(die)
+		if cur < prev-1e-9 {
+			t.Fatalf("heating transient not monotone at step %d: %v -> %v", i, prev, cur)
+		}
+		prev = cur
+	}
+}
+
+func TestBoundaryTempShiftsEquilibrium(t *testing.T) {
+	n, die, _, amb := buildTwoNode(t)
+	if err := n.SetBoundaryTemp(amb, 30); err != nil {
+		t.Fatal(err)
+	}
+	temps, err := n.SteadyState(map[int]float64{die: 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same 36K rise over the new 30C ambient.
+	if math.Abs(temps[die]-66) > 1e-6 {
+		t.Errorf("die steady with warm ambient = %v, want 66", temps[die])
+	}
+	if err := n.SetBoundaryTemp(die, 10); err == nil {
+		t.Error("SetBoundaryTemp on internal node should fail")
+	}
+}
+
+func TestSetConductanceAffectsSteadyState(t *testing.T) {
+	n := NewNetwork()
+	die, _ := n.AddNode("die", 100, 20)
+	amb, _ := n.AddBoundary("amb", 20)
+	e, err := n.Connect(die, amb, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1, _ := n.SteadyState(map[int]float64{die: 40}) // 20 + 40/2 = 40
+	if math.Abs(t1[die]-40) > 1e-6 {
+		t.Fatalf("initial steady = %v", t1[die])
+	}
+	if err := n.SetConductance(e, 4); err != nil {
+		t.Fatal(err)
+	}
+	t2, _ := n.SteadyState(map[int]float64{die: 40}) // 20 + 10 = 30
+	if math.Abs(t2[die]-30) > 1e-6 {
+		t.Errorf("steady after fan boost = %v, want 30", t2[die])
+	}
+	if err := n.SetConductance(99, 1); err == nil {
+		t.Error("unknown edge should fail")
+	}
+	if err := n.SetConductance(e, -1); err == nil {
+		t.Error("negative conductance should fail")
+	}
+}
+
+func TestEnergyConservationAtSteadyState(t *testing.T) {
+	// At equilibrium, injected power equals power crossing into the boundary.
+	n, die, caseN, amb := buildTwoNode(t)
+	temps, err := n.SteadyState(map[int]float64{die: 123})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flowOut := 4 * (temps[caseN] - temps[amb])
+	if math.Abs(flowOut-123) > 1e-6 {
+		t.Errorf("boundary outflow = %v W, want 123 W", flowOut)
+	}
+	flowDieCase := 5 * (temps[die] - temps[caseN])
+	if math.Abs(flowDieCase-123) > 1e-6 {
+		t.Errorf("die→case flow = %v W, want 123 W", flowDieCase)
+	}
+}
+
+func TestLargeStepMatchesSmallSteps(t *testing.T) {
+	// Sub-stepping must make one big Step equivalent to many small ones.
+	big, die1, _, _ := buildTwoNode(t)
+	small, die2, _, _ := buildTwoNode(t)
+	inj1 := map[int]float64{die1: 90}
+	inj2 := map[int]float64{die2: 90}
+	if err := big.Step(300, inj1); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 300; i++ {
+		if err := small.Step(1, inj2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if diff := math.Abs(big.Temp(die1) - small.Temp(die2)); diff > 0.25 {
+		t.Errorf("big-step vs small-step divergence %v °C", diff)
+	}
+}

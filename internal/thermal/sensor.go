@@ -1,0 +1,103 @@
+package thermal
+
+import (
+	"fmt"
+	"math"
+
+	"vmtherm/internal/mathx"
+)
+
+// SensorParams configures a temperature sensor's error model.
+type SensorParams struct {
+	// NoiseStdC is the Gaussian read-noise standard deviation, °C. On-die
+	// digital thermal sensors are typically within ±1 °C.
+	NoiseStdC float64
+	// QuantizationC rounds readings to this granularity (0 disables), e.g.
+	// 0.5 for a half-degree DTS.
+	QuantizationC float64
+	// BiasC is a constant calibration offset.
+	BiasC float64
+	// FailProb is the chance any single read returns ErrSensorRead,
+	// modelling flaky management-controller queries. 0 disables.
+	FailProb float64
+}
+
+// DefaultSensorParams matches a commodity on-die digital thermal sensor.
+func DefaultSensorParams() SensorParams {
+	return SensorParams{NoiseStdC: 0.4, QuantizationC: 0.25}
+}
+
+// Validate checks the error-model parameters.
+func (p SensorParams) Validate() error {
+	if p.NoiseStdC < 0 {
+		return fmt.Errorf("thermal: negative sensor noise %v", p.NoiseStdC)
+	}
+	if p.QuantizationC < 0 {
+		return fmt.Errorf("thermal: negative quantization %v", p.QuantizationC)
+	}
+	if p.FailProb < 0 || p.FailProb >= 1 {
+		return fmt.Errorf("thermal: fail probability %v outside [0,1)", p.FailProb)
+	}
+	return nil
+}
+
+// ErrSensorRead indicates a transient sensor read failure.
+var ErrSensorRead = fmt.Errorf("thermal: sensor read failed")
+
+// Sensor observes a temperature source through an error model. It is the
+// only view of the simulator the predictors get.
+type Sensor struct {
+	params SensorParams
+	source func() float64
+	rng    *mathx.RNG
+	reads  int
+	fails  int
+}
+
+// NewSensor wraps source with the given error model. rng must not be shared
+// with other components that need independent streams.
+func NewSensor(params SensorParams, source func() float64, rng *mathx.RNG) (*Sensor, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if source == nil {
+		return nil, fmt.Errorf("thermal: nil sensor source")
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("thermal: nil sensor rng")
+	}
+	return &Sensor{params: params, source: source, rng: rng}, nil
+}
+
+// Read returns one observation. It may fail transiently per FailProb.
+func (s *Sensor) Read() (float64, error) {
+	s.reads++
+	if s.params.FailProb > 0 && s.rng.Bool(s.params.FailProb) {
+		s.fails++
+		return 0, ErrSensorRead
+	}
+	v := s.source() + s.params.BiasC
+	if s.params.NoiseStdC > 0 {
+		v += s.rng.Normal(0, s.params.NoiseStdC)
+	}
+	if q := s.params.QuantizationC; q > 0 {
+		v = math.Round(v/q) * q
+	}
+	return v, nil
+}
+
+// ReadRetry reads with up to attempts retries on transient failure.
+func (s *Sensor) ReadRetry(attempts int) (float64, error) {
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		v, err := s.Read()
+		if err == nil {
+			return v, nil
+		}
+		lastErr = err
+	}
+	return 0, fmt.Errorf("thermal: %d read attempts exhausted: %w", attempts, lastErr)
+}
+
+// Stats returns total reads and transient failures, for telemetry tests.
+func (s *Sensor) Stats() (reads, fails int) { return s.reads, s.fails }

@@ -1,0 +1,234 @@
+package thermal
+
+import (
+	"math"
+	"testing"
+)
+
+func newTestServer(t *testing.T) *Server {
+	t.Helper()
+	s, err := NewServer(DefaultServerParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestServerParamsValidate(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*ServerParams)
+	}{
+		{"bad power", func(p *ServerParams) { p.Power.MaxW = -1 }},
+		{"zero die C", func(p *ServerParams) { p.DieCapacitance = 0 }},
+		{"zero case C", func(p *ServerParams) { p.CaseCapacitance = 0 }},
+		{"zero dieToCase", func(p *ServerParams) { p.DieToCaseG = 0 }},
+		{"negative fans", func(p *ServerParams) { p.FanCount = -2 }},
+		{"zero baseG", func(p *ServerParams) { p.BaseCaseG = 0 }},
+		{"negative perFanG", func(p *ServerParams) { p.PerFanG = -1 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			p := DefaultServerParams()
+			tt.mutate(&p)
+			if _, err := NewServer(p); err == nil {
+				t.Error("NewServer accepted invalid params")
+			}
+		})
+	}
+}
+
+func TestColdServerStartsAtAmbient(t *testing.T) {
+	s := newTestServer(t)
+	if s.DieTemp() != s.Params().AmbientC || s.CaseTemp() != s.Params().AmbientC {
+		t.Errorf("cold server die %v case %v, want ambient %v",
+			s.DieTemp(), s.CaseTemp(), s.Params().AmbientC)
+	}
+}
+
+func TestIdleServerSettlesWarm(t *testing.T) {
+	s := newTestServer(t)
+	s.SetLoad(0, 0)
+	for i := 0; i < 1800; i++ {
+		if err := s.Advance(1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Idle ≈55 W through ≈0.4 K/W → high 30s to high 40s °C.
+	if s.DieTemp() < 35 || s.DieTemp() > 55 {
+		t.Errorf("idle die temp = %v °C, want 35–55", s.DieTemp())
+	}
+	if s.DieTemp() <= s.CaseTemp() {
+		t.Error("die must run hotter than case under load")
+	}
+}
+
+func TestFullLoadHotButBelowThrottleWith4Fans(t *testing.T) {
+	s := newTestServer(t)
+	s.SetLoad(1, 0.5)
+	for i := 0; i < 2400; i++ {
+		if err := s.Advance(1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.DieTemp() < 75 || s.DieTemp() > 96 {
+		t.Errorf("full-load die temp = %v °C, want 75–96 with 4 fans", s.DieTemp())
+	}
+	if s.Throttled() {
+		t.Error("4-fan full load should not throttle")
+	}
+}
+
+func TestSettlesWithinBreakTime(t *testing.T) {
+	// The paper's t_break = 600 s: by then temperature must be within a
+	// degree of its final value.
+	s := newTestServer(t)
+	s.SetLoad(0.7, 0.3)
+	for i := 0; i < 600; i++ {
+		if err := s.Advance(1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	at600 := s.DieTemp()
+	for i := 0; i < 2400; i++ {
+		if err := s.Advance(1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	final := s.DieTemp()
+	if math.Abs(final-at600) > 1.0 {
+		t.Errorf("temp at 600 s (%v) differs from final (%v) by > 1 °C", at600, final)
+	}
+}
+
+func TestMoreFansRunCooler(t *testing.T) {
+	temps := map[int]float64{}
+	for _, fans := range []int{2, 4, 8} {
+		p := DefaultServerParams()
+		p.FanCount = fans
+		s, err := NewServer(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.SetLoad(0.8, 0.4)
+		st, err := s.SteadyStateDieTemp(0.8, 0.4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		temps[fans] = st
+	}
+	if !(temps[2] > temps[4] && temps[4] > temps[8]) {
+		t.Errorf("steady temps not decreasing in fan count: %v", temps)
+	}
+}
+
+func TestHotterAmbientRaisesTemp(t *testing.T) {
+	s := newTestServer(t)
+	cool, err := s.SteadyStateDieTemp(0.5, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetAmbient(32)
+	warm, err := s.SteadyStateDieTemp(0.5, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10 °C ambient rise lifts the die by ~10 °C (slightly more with leakage).
+	if diff := warm - cool; diff < 9 || diff > 13 {
+		t.Errorf("ambient +10 °C moved die by %v °C, want ≈10", diff)
+	}
+	if s.Ambient() != 32 {
+		t.Errorf("Ambient() = %v, want 32", s.Ambient())
+	}
+}
+
+func TestFanFailureHeatsServer(t *testing.T) {
+	s := newTestServer(t)
+	before, err := s.SteadyStateDieTemp(0.8, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Fans().Fail(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Fans().Fail(1); err != nil {
+		t.Fatal(err)
+	}
+	after, err := s.SteadyStateDieTemp(0.8, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after <= before+2 {
+		t.Errorf("losing 2 of 4 fans should heat the die: %v -> %v", before, after)
+	}
+}
+
+func TestTransientApproachesSteadyState(t *testing.T) {
+	s := newTestServer(t)
+	want, err := s.SteadyStateDieTemp(0.6, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetLoad(0.6, 0.2)
+	for i := 0; i < 3600; i++ {
+		if err := s.Advance(1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if diff := math.Abs(s.DieTemp() - want); diff > 0.2 {
+		t.Errorf("transient (%v) vs steady-state solver (%v): diff %v", s.DieTemp(), want, diff)
+	}
+}
+
+func TestThrottleEngagesWithMinimalCooling(t *testing.T) {
+	// With a single fan, an unthrottled full load would settle near 128 °C;
+	// the throttle must cap utilization and hold the die near the limit.
+	p := DefaultServerParams()
+	p.FanCount = 1
+	s, err := NewServer(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetLoad(1, 1)
+	throttled := false
+	for i := 0; i < 3600; i++ {
+		if err := s.Advance(1); err != nil {
+			t.Fatal(err)
+		}
+		throttled = throttled || s.Throttled()
+	}
+	if !throttled {
+		t.Error("single-fan full-load server never throttled")
+	}
+	// Throttling must hold the die near the limit rather than diverging.
+	if s.DieTemp() > p.ThrottleTempC+12 {
+		t.Errorf("die ran away to %v °C despite throttle at %v", s.DieTemp(), p.ThrottleTempC)
+	}
+	if s.EffectiveUtil() >= 1 {
+		t.Error("effective utilization should be capped while throttling")
+	}
+}
+
+func TestLoadClamping(t *testing.T) {
+	s := newTestServer(t)
+	s.SetLoad(1.7, -0.4)
+	u, m := s.Load()
+	if u != 1 || m != 0 {
+		t.Errorf("Load() = (%v, %v), want clamped (1, 0)", u, m)
+	}
+}
+
+func TestHigherLoadHigherSteadyTemp(t *testing.T) {
+	s := newTestServer(t)
+	prev := -1000.0
+	for _, u := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		st, err := s.SteadyStateDieTemp(u, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st <= prev {
+			t.Errorf("steady temp not increasing at u=%v: %v <= %v", u, st, prev)
+		}
+		prev = st
+	}
+}

@@ -1,0 +1,117 @@
+package timeseries
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Frame aligns multiple named series on a shared clock, the shape consumed
+// by dataset builders (one column per sensor/feature).
+type Frame struct {
+	cols  map[string]*Series
+	order []string
+}
+
+// NewFrame returns an empty frame.
+func NewFrame() *Frame {
+	return &Frame{cols: make(map[string]*Series)}
+}
+
+// AddColumn registers a new named series. Adding a duplicate name is an
+// error.
+func (f *Frame) AddColumn(name string) (*Series, error) {
+	if _, ok := f.cols[name]; ok {
+		return nil, fmt.Errorf("timeseries: duplicate column %q", name)
+	}
+	s := New()
+	f.cols[name] = s
+	f.order = append(f.order, name)
+	return s, nil
+}
+
+// Column returns the named series, or an error if absent.
+func (f *Frame) Column(name string) (*Series, error) {
+	s, ok := f.cols[name]
+	if !ok {
+		return nil, fmt.Errorf("timeseries: no column %q", name)
+	}
+	return s, nil
+}
+
+// Columns returns column names in insertion order.
+func (f *Frame) Columns() []string {
+	out := make([]string, len(f.order))
+	copy(out, f.order)
+	return out
+}
+
+// Row is one aligned observation across all columns.
+type Row struct {
+	T      float64
+	Values map[string]float64
+}
+
+// Rows resamples every column onto a shared grid [from, to] with the given
+// step and returns aligned rows. All columns must be non-empty.
+func (f *Frame) Rows(from, to, step float64) ([]Row, error) {
+	if len(f.order) == 0 {
+		return nil, errors.New("timeseries: frame has no columns")
+	}
+	resampled := make(map[string][]Point, len(f.order))
+	var n int
+	for _, name := range f.order {
+		pts, err := f.cols[name].Resample(from, to, step)
+		if err != nil {
+			return nil, fmt.Errorf("column %q: %w", name, err)
+		}
+		resampled[name] = pts
+		n = len(pts)
+	}
+	rows := make([]Row, n)
+	for i := 0; i < n; i++ {
+		vals := make(map[string]float64, len(f.order))
+		for _, name := range f.order {
+			vals[name] = resampled[name][i].V
+		}
+		rows[i] = Row{T: resampled[f.order[0]][i].T, Values: vals}
+	}
+	return rows, nil
+}
+
+// Align merges the timestamps of all columns (union) and returns rows with
+// interpolated values at each distinct timestamp. Useful when sensors sample
+// at different rates.
+func (f *Frame) Align() ([]Row, error) {
+	if len(f.order) == 0 {
+		return nil, errors.New("timeseries: frame has no columns")
+	}
+	stamps := map[float64]struct{}{}
+	for _, name := range f.order {
+		s := f.cols[name]
+		if s.Len() == 0 {
+			return nil, fmt.Errorf("timeseries: column %q empty", name)
+		}
+		for i := 0; i < s.Len(); i++ {
+			stamps[s.At(i).T] = struct{}{}
+		}
+	}
+	ts := make([]float64, 0, len(stamps))
+	for t := range stamps {
+		ts = append(ts, t)
+	}
+	sort.Float64s(ts)
+	rows := make([]Row, 0, len(ts))
+	for _, t := range ts {
+		vals := make(map[string]float64, len(f.order))
+		for _, name := range f.order {
+			v, err := f.cols[name].ValueAt(t)
+			if err != nil {
+				return nil, err
+			}
+			vals[name] = v
+		}
+		rows = append(rows, Row{T: t, Values: vals})
+	}
+	return rows, nil
+}

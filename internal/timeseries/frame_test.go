@@ -1,0 +1,112 @@
+package timeseries
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFrameAddColumnDuplicate(t *testing.T) {
+	f := NewFrame()
+	if _, err := f.AddColumn("cpu"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.AddColumn("cpu"); err == nil {
+		t.Fatal("duplicate column should fail")
+	}
+}
+
+func TestFrameColumnLookup(t *testing.T) {
+	f := NewFrame()
+	if _, err := f.Column("missing"); err == nil {
+		t.Fatal("missing column should fail")
+	}
+	s, err := f.AddColumn("temp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := f.Column("temp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != s {
+		t.Fatal("Column returned different series")
+	}
+}
+
+func TestFrameColumnsOrder(t *testing.T) {
+	f := NewFrame()
+	for _, name := range []string{"z", "a", "m"} {
+		if _, err := f.AddColumn(name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cols := f.Columns()
+	want := []string{"z", "a", "m"}
+	for i := range want {
+		if cols[i] != want[i] {
+			t.Fatalf("Columns = %v, want %v", cols, want)
+		}
+	}
+}
+
+func TestFrameRows(t *testing.T) {
+	f := NewFrame()
+	a, _ := f.AddColumn("a")
+	b, _ := f.AddColumn("b")
+	for i := 0; i <= 10; i++ {
+		a.MustAppend(float64(i), float64(i))
+		b.MustAppend(float64(i), float64(2*i))
+	}
+	rows, err := f.Rows(0, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+	for _, r := range rows {
+		if math.Abs(r.Values["b"]-2*r.Values["a"]) > 1e-9 {
+			t.Errorf("row at t=%v misaligned: %v", r.T, r.Values)
+		}
+	}
+}
+
+func TestFrameRowsEmptyFrame(t *testing.T) {
+	if _, err := NewFrame().Rows(0, 1, 1); err == nil {
+		t.Fatal("empty frame should fail")
+	}
+}
+
+func TestFrameAlignUnionOfStamps(t *testing.T) {
+	f := NewFrame()
+	a, _ := f.AddColumn("fast")
+	b, _ := f.AddColumn("slow")
+	for i := 0; i <= 4; i++ {
+		a.MustAppend(float64(i), float64(i))
+	}
+	b.MustAppend(0, 100)
+	b.MustAppend(4, 104)
+	rows, err := f.Align()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("aligned rows = %d, want 5", len(rows))
+	}
+	// slow column should interpolate linearly: 100 + t
+	for _, r := range rows {
+		if math.Abs(r.Values["slow"]-(100+r.T)) > 1e-9 {
+			t.Errorf("slow at t=%v = %v", r.T, r.Values["slow"])
+		}
+	}
+}
+
+func TestFrameAlignEmptyColumn(t *testing.T) {
+	f := NewFrame()
+	if _, err := f.AddColumn("empty"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Align(); err == nil {
+		t.Fatal("empty column should fail Align")
+	}
+}

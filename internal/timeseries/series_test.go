@@ -1,0 +1,257 @@
+package timeseries
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func mustSeries(t *testing.T, pts ...Point) *Series {
+	t.Helper()
+	s := New()
+	for _, p := range pts {
+		if err := s.Append(p.T, p.V); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+func TestAppendMonotonic(t *testing.T) {
+	s := New()
+	if err := s.Append(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(1, 3); !errors.Is(err, ErrOutOfOrder) {
+		t.Errorf("equal timestamp err = %v, want ErrOutOfOrder", err)
+	}
+	if err := s.Append(0.5, 3); !errors.Is(err, ErrOutOfOrder) {
+		t.Errorf("past timestamp err = %v, want ErrOutOfOrder", err)
+	}
+	if s.Len() != 2 {
+		t.Errorf("Len = %d, want 2", s.Len())
+	}
+}
+
+func TestBoundedEviction(t *testing.T) {
+	s := NewBounded(3)
+	for i := 0; i < 5; i++ {
+		s.MustAppend(float64(i), float64(i*10))
+	}
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", s.Len())
+	}
+	if s.Dropped() != 2 {
+		t.Errorf("Dropped = %d, want 2", s.Dropped())
+	}
+	first, _ := s.First()
+	if first.T != 2 {
+		t.Errorf("oldest retained T = %v, want 2", first.T)
+	}
+	last, _ := s.Last()
+	if last.T != 4 || last.V != 40 {
+		t.Errorf("Last = %+v", last)
+	}
+}
+
+func TestNewBoundedPanicsNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewBounded(-1)
+}
+
+func TestEmptyQueries(t *testing.T) {
+	s := New()
+	if _, err := s.Last(); !errors.Is(err, ErrEmptySeries) {
+		t.Error("Last on empty should fail")
+	}
+	if _, err := s.First(); !errors.Is(err, ErrEmptySeries) {
+		t.Error("First on empty should fail")
+	}
+	if _, err := s.ValueAt(1); !errors.Is(err, ErrEmptySeries) {
+		t.Error("ValueAt on empty should fail")
+	}
+	if _, err := s.MeanAfter(0); !errors.Is(err, ErrEmptySeries) {
+		t.Error("MeanAfter on empty should fail")
+	}
+}
+
+func TestWindowHalfOpen(t *testing.T) {
+	s := mustSeries(t, Point{0, 0}, Point{1, 1}, Point{2, 2}, Point{3, 3})
+	w := s.Window(1, 3)
+	if len(w) != 2 || w[0].T != 1 || w[1].T != 2 {
+		t.Errorf("Window(1,3) = %v", w)
+	}
+	if len(s.Window(10, 20)) != 0 {
+		t.Error("out-of-range window should be empty")
+	}
+}
+
+func TestMeanAfter(t *testing.T) {
+	s := mustSeries(t, Point{0, 100}, Point{600, 50}, Point{700, 52}, Point{800, 54})
+	m, err := s.MeanAfter(600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != 52 {
+		t.Errorf("MeanAfter(600) = %v, want 52", m)
+	}
+	if _, err := s.MeanAfter(1e9); !errors.Is(err, ErrEmptySeries) {
+		t.Error("MeanAfter beyond data should fail")
+	}
+}
+
+func TestValueAtInterpolation(t *testing.T) {
+	s := mustSeries(t, Point{0, 10}, Point{10, 20})
+	tests := []struct{ t, want float64 }{
+		{-5, 10}, // clamp low
+		{0, 10},
+		{5, 15}, // midpoint
+		{10, 20},
+		{15, 20}, // clamp high
+	}
+	for _, tt := range tests {
+		got, err := s.ValueAt(tt.t)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != tt.want {
+			t.Errorf("ValueAt(%v) = %v, want %v", tt.t, got, tt.want)
+		}
+	}
+}
+
+func TestResample(t *testing.T) {
+	s := mustSeries(t, Point{0, 0}, Point{10, 10})
+	pts, err := s.Resample(0, 10, 2.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 5 {
+		t.Fatalf("len = %d, want 5", len(pts))
+	}
+	for _, p := range pts {
+		if math.Abs(p.V-p.T) > 1e-9 {
+			t.Errorf("resampled (%v, %v) should lie on identity", p.T, p.V)
+		}
+	}
+}
+
+func TestResampleErrors(t *testing.T) {
+	s := mustSeries(t, Point{0, 0})
+	if _, err := s.Resample(0, 1, 0); err == nil {
+		t.Error("zero step should fail")
+	}
+	if _, err := s.Resample(1, 0, 1); err == nil {
+		t.Error("inverted range should fail")
+	}
+	if _, err := New().Resample(0, 1, 1); err == nil {
+		t.Error("empty series should fail")
+	}
+}
+
+func TestEWMA(t *testing.T) {
+	s := mustSeries(t, Point{0, 10}, Point{1, 20}, Point{2, 20})
+	sm, err := s.EWMA(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{10, 15, 17.5}
+	for i, w := range want {
+		if got := sm.At(i).V; math.Abs(got-w) > 1e-12 {
+			t.Errorf("EWMA[%d] = %v, want %v", i, got, w)
+		}
+	}
+	if _, err := s.EWMA(0); err == nil {
+		t.Error("alpha=0 should fail")
+	}
+	if _, err := s.EWMA(1.5); err == nil {
+		t.Error("alpha>1 should fail")
+	}
+}
+
+func TestStableDetector(t *testing.T) {
+	s := New()
+	// Rising phase: not stable.
+	for i := 0; i <= 20; i++ {
+		s.MustAppend(float64(i), float64(i))
+	}
+	if s.Stable(10, 0.5) {
+		t.Error("rising series reported stable")
+	}
+	// Plateau phase: stable.
+	for i := 21; i <= 60; i++ {
+		s.MustAppend(float64(i), 20+0.1*math.Sin(float64(i)))
+	}
+	if !s.Stable(10, 0.5) {
+		t.Error("plateau not reported stable")
+	}
+	if New().Stable(10, 1) {
+		t.Error("empty series cannot be stable")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	s := mustSeries(t, Point{0, 1}, Point{1, 2})
+	c := s.Clone()
+	c.MustAppend(2, 3)
+	if s.Len() != 2 {
+		t.Error("clone mutation affected original")
+	}
+	if c.Len() != 3 {
+		t.Error("clone append failed")
+	}
+}
+
+func TestPointsValuesTimesAreCopies(t *testing.T) {
+	s := mustSeries(t, Point{0, 1}, Point{1, 2})
+	pts := s.Points()
+	pts[0].V = 99
+	vals := s.Values()
+	vals[0] = 99
+	ts := s.Times()
+	ts[0] = 99
+	if s.At(0).V != 1 || s.At(0).T != 0 {
+		t.Error("accessor returned aliased storage")
+	}
+}
+
+// Property: ValueAt between two sample times is always within the value
+// bounds of its straddling samples (interpolation never overshoots).
+func TestValueAtBoundedProperty(t *testing.T) {
+	f := func(raw []float64, tq float64) bool {
+		if len(raw) < 2 || math.IsNaN(tq) || math.IsInf(tq, 0) {
+			return true
+		}
+		s := New()
+		for i, v := range raw {
+			// Skip magnitudes where b-a itself overflows; that is float
+			// arithmetic saturation, not an interpolation defect.
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e150 {
+				return true
+			}
+			s.MustAppend(float64(i), v)
+		}
+		q := math.Mod(math.Abs(tq), float64(len(raw)-1))
+		got, err := s.ValueAt(q)
+		if err != nil {
+			return false
+		}
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, v := range raw {
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+		return got >= lo-1e-9 && got <= hi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,245 @@
+package vmm
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func mustHost(t *testing.T, id string) *Host {
+	t.Helper()
+	h, err := NewHost(id, DefaultHostConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestHostConfigValidate(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*HostConfig)
+		ok     bool
+	}{
+		{"default", func(*HostConfig) {}, true},
+		{"zero cores", func(c *HostConfig) { c.Cores = 0 }, false},
+		{"zero ghz", func(c *HostConfig) { c.GHzPerCore = 0 }, false},
+		{"zero mem", func(c *HostConfig) { c.MemoryGB = 0 }, false},
+		{"undercommit", func(c *HostConfig) { c.CPUOvercommit = 0.5 }, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			c := DefaultHostConfig()
+			tt.mutate(&c)
+			err := c.Validate()
+			if (err == nil) != tt.ok {
+				t.Errorf("Validate = %v, ok %v", err, tt.ok)
+			}
+		})
+	}
+}
+
+func TestCPUCapacityGHz(t *testing.T) {
+	c := HostConfig{Cores: 16, GHzPerCore: 2.5, MemoryGB: 64, CPUOvercommit: 1}
+	if got := c.CPUCapacityGHz(); got != 40 {
+		t.Errorf("capacity = %v, want 40", got)
+	}
+}
+
+func TestNewHostValidation(t *testing.T) {
+	if _, err := NewHost("", DefaultHostConfig()); err == nil {
+		t.Error("empty id should fail")
+	}
+	if _, err := NewHost("h", HostConfig{}); err == nil {
+		t.Error("invalid config should fail")
+	}
+}
+
+func TestPlaceAndCapacity(t *testing.T) {
+	h := mustHost(t, "h1") // 16 cores, overcommit 1.5 → 24 vCPUs; 64 GB
+	if err := h.Place(nil); err == nil {
+		t.Error("nil vm should fail")
+	}
+	v1 := mustVM(t, "v1", 16, 32)
+	if err := h.Place(v1); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Place(v1); err == nil {
+		t.Error("double placement should fail")
+	}
+	// 16 + 16 = 32 vCPUs > 24 limit.
+	if err := h.Place(mustVM(t, "v2", 16, 16)); !errors.Is(err, ErrCapacity) {
+		t.Errorf("vcpu overflow err = %v, want ErrCapacity", err)
+	}
+	// Memory: 32 + 48 = 80 > 64.
+	if err := h.Place(mustVM(t, "v3", 4, 48)); !errors.Is(err, ErrCapacity) {
+		t.Errorf("memory overflow err = %v, want ErrCapacity", err)
+	}
+	// Fits both budgets.
+	if err := h.Place(mustVM(t, "v4", 8, 16)); err != nil {
+		t.Errorf("valid placement failed: %v", err)
+	}
+	if h.NumVMs() != 2 {
+		t.Errorf("NumVMs = %d, want 2", h.NumVMs())
+	}
+	if h.PlacedVCPUs() != 24 || h.PlacedMemGB() != 48 {
+		t.Errorf("placed = %v vCPU / %v GB", h.PlacedVCPUs(), h.PlacedMemGB())
+	}
+}
+
+func TestRemove(t *testing.T) {
+	h := mustHost(t, "h1")
+	vm := mustVM(t, "v1", 2, 4)
+	if err := h.Place(vm); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Remove("v1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Remove("v1"); err == nil {
+		t.Error("double remove should fail")
+	}
+	if h.NumVMs() != 0 {
+		t.Error("host not empty after remove")
+	}
+}
+
+func TestVMLookupAndOrdering(t *testing.T) {
+	h := mustHost(t, "h1")
+	for _, id := range []string{"vz", "va", "vm"} {
+		if err := h.Place(mustVM(t, id, 1, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := h.VM("nope"); err == nil {
+		t.Error("unknown vm should fail")
+	}
+	got, err := h.VM("va")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID() != "va" {
+		t.Errorf("VM lookup returned %q", got.ID())
+	}
+	vms := h.VMs()
+	if vms[0].ID() != "va" || vms[1].ID() != "vm" || vms[2].ID() != "vz" {
+		t.Error("VMs not sorted by id")
+	}
+}
+
+func TestUtilizationAggregatesRunningVMs(t *testing.T) {
+	h := mustHost(t, "h1") // 16 cores
+	v1 := mustVM(t, "v1", 4, 8)
+	v2 := mustVM(t, "v2", 4, 8)
+	v3 := mustVM(t, "v3", 4, 8)
+	for _, vm := range []*VM{v1, v2, v3} {
+		if err := h.Place(vm); err != nil {
+			t.Fatal(err)
+		}
+	}
+	addLoad := func(vm *VM, frac float64) {
+		t.Helper()
+		if err := vm.AddTask(Task{ID: "t", Class: CPUBound, CPUFraction: frac, MemGB: 2}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	addLoad(v1, 1.0)
+	addLoad(v2, 1.0)
+	addLoad(v3, 0.5)
+	// Nothing started: utilization 0.
+	if h.Utilization() != 0 {
+		t.Errorf("pending-only utilization = %v", h.Utilization())
+	}
+	if err := v1.Start(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := v2.Start(0); err != nil {
+		t.Fatal(err)
+	}
+	// 2.0 demand vCPUs / 16 cores.
+	if got := h.Utilization(); math.Abs(got-0.125) > 1e-12 {
+		t.Errorf("utilization = %v, want 0.125", got)
+	}
+	// v3 still pending, then stopped VMs drop out.
+	if err := v3.Start(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := v2.Stop(1); err != nil {
+		t.Fatal(err)
+	}
+	if got := h.Utilization(); math.Abs(got-1.5/16) > 1e-12 {
+		t.Errorf("utilization = %v, want %v", got, 1.5/16)
+	}
+}
+
+func TestUtilizationMigrationOverhead(t *testing.T) {
+	h := mustHost(t, "h1")
+	vm := mustVM(t, "v1", 4, 8)
+	if err := h.Place(vm); err != nil {
+		t.Fatal(err)
+	}
+	if err := vm.AddTask(Task{ID: "t", Class: CPUBound, CPUFraction: 1, MemGB: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := vm.Start(0); err != nil {
+		t.Fatal(err)
+	}
+	base := h.Utilization()
+	if err := vm.BeginMigration(1); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := h.Utilization(), base*(1+MigrationCPUOverhead); math.Abs(got-want) > 1e-12 {
+		t.Errorf("migrating utilization = %v, want %v", got, want)
+	}
+}
+
+func TestIncomingReservationHoldsCapacityWithoutLoad(t *testing.T) {
+	h := mustHost(t, "h1")
+	vm := mustVM(t, "v1", 8, 16)
+	if err := vm.AddTask(Task{ID: "t", Class: CPUBound, CPUFraction: 1, MemGB: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if err := vm.Start(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.PlaceIncoming(vm); err != nil {
+		t.Fatal(err)
+	}
+	// Capacity reserved...
+	if h.PlacedVCPUs() != 8 {
+		t.Errorf("reserved vcpus = %v", h.PlacedVCPUs())
+	}
+	// ...but no load counted.
+	if h.Utilization() != 0 || h.MemActiveFrac() != 0 {
+		t.Errorf("incoming VM contributes load: util %v mem %v", h.Utilization(), h.MemActiveFrac())
+	}
+	if err := h.ConfirmIncoming("v1"); err != nil {
+		t.Fatal(err)
+	}
+	if h.Utilization() == 0 {
+		t.Error("confirmed VM should contribute load")
+	}
+	if err := h.ConfirmIncoming("v1"); err == nil {
+		t.Error("double confirm should fail")
+	}
+	if err := h.ConfirmIncoming("ghost"); err == nil {
+		t.Error("confirming unknown reservation should fail")
+	}
+}
+
+func TestMemActiveFrac(t *testing.T) {
+	h := mustHost(t, "h1") // 64 GB
+	vm := mustVM(t, "v1", 4, 32)
+	if err := vm.AddTask(Task{ID: "t", Class: MemBound, CPUFraction: 0.3, MemGB: 16}); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Place(vm); err != nil {
+		t.Fatal(err)
+	}
+	if err := vm.Start(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := h.MemActiveFrac(); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("MemActiveFrac = %v, want 0.25", got)
+	}
+}

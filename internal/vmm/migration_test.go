@@ -1,0 +1,261 @@
+package vmm
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"vmtherm/internal/sim"
+)
+
+func TestMigrationSpecValidate(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*MigrationSpec)
+		ok     bool
+	}{
+		{"default", func(*MigrationSpec) {}, true},
+		{"zero bandwidth", func(s *MigrationSpec) { s.BandwidthGBps = 0 }, false},
+		{"negative dirty", func(s *MigrationSpec) { s.DirtyRateGBps = -1 }, false},
+		{"dirty >= bw", func(s *MigrationSpec) { s.DirtyRateGBps = s.BandwidthGBps }, false},
+		{"zero rounds", func(s *MigrationSpec) { s.MaxRounds = 0 }, false},
+		{"zero threshold", func(s *MigrationSpec) { s.StopCopyThresholdGB = 0 }, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			s := DefaultMigrationSpec()
+			tt.mutate(&s)
+			err := s.Validate()
+			if (err == nil) != tt.ok {
+				t.Errorf("Validate = %v, ok %v", err, tt.ok)
+			}
+		})
+	}
+}
+
+func TestPlanMigrationGeometricRounds(t *testing.T) {
+	spec := MigrationSpec{
+		BandwidthGBps:       1,
+		DirtyRateGBps:       0.5,
+		MaxRounds:           10,
+		StopCopyThresholdGB: 0.3,
+	}
+	plan, err := PlanMigration(8, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rounds: 8 → 4 → 2 → 1 → 0.5 → 0.25 (≤0.3 after 5 rounds)
+	if plan.Rounds != 5 {
+		t.Errorf("rounds = %d, want 5", plan.Rounds)
+	}
+	// Pre-copy time = (8+4+2+1+0.5)/1 = 15.5 s
+	if math.Abs(plan.PreCopySeconds-15.5) > 1e-9 {
+		t.Errorf("precopy = %v, want 15.5", plan.PreCopySeconds)
+	}
+	// Downtime = 0.25/1 s
+	if math.Abs(plan.DowntimeSeconds-0.25) > 1e-9 {
+		t.Errorf("downtime = %v, want 0.25", plan.DowntimeSeconds)
+	}
+	if math.Abs(plan.TransferredGB-15.75) > 1e-9 {
+		t.Errorf("transferred = %v, want 15.75", plan.TransferredGB)
+	}
+	if math.Abs(plan.TotalSeconds()-15.75) > 1e-9 {
+		t.Errorf("total = %v", plan.TotalSeconds())
+	}
+}
+
+func TestPlanMigrationMaxRoundsCap(t *testing.T) {
+	spec := MigrationSpec{
+		BandwidthGBps:       1,
+		DirtyRateGBps:       0.9, // slow convergence
+		MaxRounds:           3,
+		StopCopyThresholdGB: 0.001,
+	}
+	plan, err := PlanMigration(4, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Rounds != 3 {
+		t.Errorf("rounds = %d, want capped 3", plan.Rounds)
+	}
+	// Residual after 3 rounds: 4*0.9^3 = 2.916 → long downtime.
+	if math.Abs(plan.DowntimeSeconds-4*0.9*0.9*0.9) > 1e-9 {
+		t.Errorf("downtime = %v", plan.DowntimeSeconds)
+	}
+}
+
+func TestPlanMigrationValidation(t *testing.T) {
+	if _, err := PlanMigration(0, DefaultMigrationSpec()); err == nil {
+		t.Error("zero memory should fail")
+	}
+	if _, err := PlanMigration(4, MigrationSpec{}); err == nil {
+		t.Error("invalid spec should fail")
+	}
+}
+
+func TestHigherDirtyRateLongerMigration(t *testing.T) {
+	slow := DefaultMigrationSpec()
+	slow.DirtyRateGBps = 0.9
+	fast := DefaultMigrationSpec()
+	fast.DirtyRateGBps = 0.05
+	p1, err := PlanMigration(16, slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := PlanMigration(16, fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.TotalSeconds() <= p2.TotalSeconds() {
+		t.Errorf("dirty 0.9 total %v should exceed dirty 0.05 total %v",
+			p1.TotalSeconds(), p2.TotalSeconds())
+	}
+}
+
+func TestMigrateEndToEnd(t *testing.T) {
+	e := sim.NewEngine()
+	src := mustHost(t, "src")
+	dst := mustHost(t, "dst")
+	vm := mustVM(t, "v1", 4, 8)
+	if err := vm.AddTask(Task{ID: "t", Class: CPUBound, CPUFraction: 0.8, MemGB: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Place(vm); err != nil {
+		t.Fatal(err)
+	}
+	if err := vm.Start(0); err != nil {
+		t.Fatal(err)
+	}
+	mig, err := NewMigrator(DefaultMigrationSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var done MigrationPlan
+	completed := false
+	if err := mig.Migrate(e, vm, src, dst, func(p MigrationPlan) {
+		done = p
+		completed = true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if vm.State() != VMMigrating {
+		t.Fatalf("state during migration = %v", vm.State())
+	}
+	// Source still carries (overheaded) load; dst reserved but idle.
+	if src.Utilization() == 0 {
+		t.Error("source lost load during pre-copy")
+	}
+	if dst.Utilization() != 0 {
+		t.Error("destination has load during pre-copy")
+	}
+	if _, err := e.RunUntil(3600); err != nil {
+		t.Fatal(err)
+	}
+	if !completed {
+		t.Fatal("migration never completed")
+	}
+	if done.TotalSeconds() <= 0 {
+		t.Error("plan has no duration")
+	}
+	if vm.State() != VMRunning {
+		t.Errorf("state after migration = %v", vm.State())
+	}
+	if src.NumVMs() != 0 {
+		t.Error("vm still on source")
+	}
+	if dst.NumVMs() != 1 {
+		t.Error("vm not on destination")
+	}
+	if dst.Utilization() == 0 {
+		t.Error("destination idle after completed migration")
+	}
+}
+
+func TestMigrateRejectedWhenDstFull(t *testing.T) {
+	e := sim.NewEngine()
+	src := mustHost(t, "src")
+	dst := mustHost(t, "dst")
+	// Fill destination memory.
+	filler := mustVM(t, "filler", 4, 64)
+	if err := dst.Place(filler); err != nil {
+		t.Fatal(err)
+	}
+	vm := mustVM(t, "v1", 4, 8)
+	if err := src.Place(vm); err != nil {
+		t.Fatal(err)
+	}
+	if err := vm.Start(0); err != nil {
+		t.Fatal(err)
+	}
+	mig, err := NewMigrator(DefaultMigrationSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = mig.Migrate(e, vm, src, dst, nil)
+	if !errors.Is(err, ErrMigrationRejected) {
+		t.Fatalf("err = %v, want ErrMigrationRejected", err)
+	}
+	// VM unaffected on source.
+	if vm.State() != VMRunning {
+		t.Errorf("state after rejection = %v", vm.State())
+	}
+	if src.NumVMs() != 1 || dst.NumVMs() != 1 {
+		t.Error("placement changed despite rejection")
+	}
+}
+
+func TestMigrateInvalidArguments(t *testing.T) {
+	e := sim.NewEngine()
+	src := mustHost(t, "src")
+	dst := mustHost(t, "dst")
+	vm := mustVM(t, "v1", 1, 1)
+	mig, err := NewMigrator(DefaultMigrationSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mig.Migrate(nil, vm, src, dst, nil); err == nil {
+		t.Error("nil engine should fail")
+	}
+	if err := mig.Migrate(e, nil, src, dst, nil); err == nil {
+		t.Error("nil vm should fail")
+	}
+	if err := mig.Migrate(e, vm, src, src, nil); err == nil {
+		t.Error("same src/dst should fail")
+	}
+	if err := mig.Migrate(e, vm, src, dst, nil); err == nil {
+		t.Error("vm not on src should fail")
+	}
+}
+
+func TestMigratePendingVMRollsBack(t *testing.T) {
+	e := sim.NewEngine()
+	src := mustHost(t, "src")
+	dst := mustHost(t, "dst")
+	vm := mustVM(t, "v1", 1, 1) // still pending: not migratable
+	if err := src.Place(vm); err != nil {
+		t.Fatal(err)
+	}
+	mig, err := NewMigrator(DefaultMigrationSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mig.Migrate(e, vm, src, dst, nil); !errors.Is(err, ErrInvalidTransition) {
+		t.Fatalf("err = %v, want ErrInvalidTransition", err)
+	}
+	if dst.NumVMs() != 0 {
+		t.Error("reservation not rolled back after failed transition")
+	}
+}
+
+func TestNewMigratorValidation(t *testing.T) {
+	if _, err := NewMigrator(MigrationSpec{}); err == nil {
+		t.Error("invalid spec should fail")
+	}
+	m, err := NewMigrator(DefaultMigrationSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Spec().BandwidthGBps != DefaultMigrationSpec().BandwidthGBps {
+		t.Error("Spec() lost configuration")
+	}
+}

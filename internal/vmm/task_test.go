@@ -1,0 +1,59 @@
+package vmm
+
+import "testing"
+
+func TestTaskValidate(t *testing.T) {
+	valid := Task{ID: "t1", Class: CPUBound, CPUFraction: 0.5, MemGB: 1}
+	tests := []struct {
+		name   string
+		mutate func(*Task)
+		ok     bool
+	}{
+		{"valid", func(*Task) {}, true},
+		{"missing id", func(x *Task) { x.ID = "" }, false},
+		{"bad class", func(x *Task) { x.Class = TaskClass(0) }, false},
+		{"negative cpu", func(x *Task) { x.CPUFraction = -0.1 }, false},
+		{"cpu over 1", func(x *Task) { x.CPUFraction = 1.1 }, false},
+		{"negative mem", func(x *Task) { x.MemGB = -2 }, false},
+		{"zero cpu ok", func(x *Task) { x.CPUFraction = 0 }, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			task := valid
+			tt.mutate(&task)
+			err := task.Validate()
+			if (err == nil) != tt.ok {
+				t.Errorf("Validate = %v, ok %v", err, tt.ok)
+			}
+		})
+	}
+}
+
+func TestTaskClassStrings(t *testing.T) {
+	want := map[TaskClass]string{
+		CPUBound:      "cpu-bound",
+		MemBound:      "mem-bound",
+		IOBound:       "io-bound",
+		Bursty:        "bursty",
+		TaskClass(77): "TaskClass(77)",
+	}
+	for c, s := range want {
+		if got := c.String(); got != s {
+			t.Errorf("String(%d) = %q, want %q", int(c), got, s)
+		}
+	}
+}
+
+func TestTaskClassesComplete(t *testing.T) {
+	classes := TaskClasses()
+	if len(classes) != 4 {
+		t.Fatalf("TaskClasses = %d entries, want 4", len(classes))
+	}
+	seen := map[TaskClass]bool{}
+	for _, c := range classes {
+		if seen[c] {
+			t.Errorf("duplicate class %v", c)
+		}
+		seen[c] = true
+	}
+}

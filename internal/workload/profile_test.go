@@ -1,0 +1,231 @@
+package workload
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestConstantClamped(t *testing.T) {
+	if (Constant{Level: 1.7}).At(10) != 1 {
+		t.Error("constant not clamped high")
+	}
+	if (Constant{Level: -0.5}).At(0) != 0 {
+		t.Error("constant not clamped low")
+	}
+	if (Constant{Level: 0.42}).At(999) != 0.42 {
+		t.Error("constant changed value")
+	}
+}
+
+func TestStep(t *testing.T) {
+	s := Step{Before: 0.2, After: 0.8, SwitchAt: 100}
+	if s.At(99.9) != 0.2 {
+		t.Error("before switch wrong")
+	}
+	if s.At(100) != 0.8 {
+		t.Error("at switch should take After")
+	}
+	if s.At(500) != 0.8 {
+		t.Error("after switch wrong")
+	}
+}
+
+func TestRamp(t *testing.T) {
+	r := Ramp{From: 0.2, To: 0.6, Start: 10, Duration: 20}
+	if r.At(5) != 0.2 {
+		t.Error("before ramp")
+	}
+	if got := r.At(20); math.Abs(got-0.4) > 1e-12 {
+		t.Errorf("mid ramp = %v, want 0.4", got)
+	}
+	if r.At(30) != 0.6 || r.At(100) != 0.6 {
+		t.Error("after ramp")
+	}
+}
+
+func TestRampZeroDuration(t *testing.T) {
+	r := Ramp{From: 0.1, To: 0.9, Start: 10, Duration: 0}
+	if r.At(9) != 0.1 {
+		t.Error("before instant ramp")
+	}
+	if r.At(11) != 0.9 {
+		t.Error("after instant ramp")
+	}
+}
+
+func TestSinePeriodic(t *testing.T) {
+	s := Sine{Base: 0.5, Amplitude: 0.3, Period: 100}
+	if math.Abs(s.At(0)-0.5) > 1e-12 {
+		t.Errorf("At(0) = %v", s.At(0))
+	}
+	if math.Abs(s.At(25)-0.8) > 1e-12 {
+		t.Errorf("At(quarter) = %v, want 0.8", s.At(25))
+	}
+	if math.Abs(s.At(0)-s.At(100)) > 1e-12 {
+		t.Error("not periodic")
+	}
+}
+
+func TestSineZeroPeriodFallsBackToBase(t *testing.T) {
+	s := Sine{Base: 0.4, Amplitude: 0.3, Period: 0}
+	if s.At(17) != 0.4 {
+		t.Errorf("At = %v, want base", s.At(17))
+	}
+}
+
+func TestBurstySquareWave(t *testing.T) {
+	b := Bursty{Low: 0.1, High: 0.9, Period: 100, DutyCycle: 0.25}
+	if b.At(0) != 0.9 || b.At(24) != 0.9 {
+		t.Error("high phase wrong")
+	}
+	if b.At(25) != 0.1 || b.At(99) != 0.1 {
+		t.Error("low phase wrong")
+	}
+	if b.At(100) != 0.9 {
+		t.Error("next period should restart high")
+	}
+}
+
+func TestBurstyZeroPeriod(t *testing.T) {
+	b := Bursty{Low: 0.2, High: 0.9, Period: 0, DutyCycle: 0.5}
+	if b.At(5) != 0.2 {
+		t.Error("zero period should hold Low")
+	}
+}
+
+func TestTrace(t *testing.T) {
+	tr, err := NewTrace([]TracePoint{{0, 0}, {10, 1}, {20, 0.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.At(-5) != 0 {
+		t.Error("clamp before start")
+	}
+	if got := tr.At(5); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("interp = %v, want 0.5", got)
+	}
+	if got := tr.At(15); math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("interp = %v, want 0.75", got)
+	}
+	if tr.At(100) != 0.5 {
+		t.Error("clamp after end")
+	}
+}
+
+func TestNewTraceValidation(t *testing.T) {
+	if _, err := NewTrace(nil); err == nil {
+		t.Error("empty trace should fail")
+	}
+	if _, err := NewTrace([]TracePoint{{0, 1}, {0, 2}}); err == nil {
+		t.Error("non-increasing trace should fail")
+	}
+}
+
+func TestMeanOver(t *testing.T) {
+	m, err := MeanOver(Constant{Level: 0.3}, 0, 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m-0.3) > 1e-12 {
+		t.Errorf("mean = %v", m)
+	}
+	if _, err := MeanOver(nil, 0, 1, 1); err == nil {
+		t.Error("nil profile should fail")
+	}
+	if _, err := MeanOver(Constant{}, 10, 0, 1); err == nil {
+		t.Error("inverted range should fail")
+	}
+	if _, err := MeanOver(Constant{}, 0, 1, 0); err == nil {
+		t.Error("zero step should fail")
+	}
+}
+
+// Property: every profile stays within [0, 1] at all times.
+func TestProfilesBoundedProperty(t *testing.T) {
+	f := func(base, amp, period, t float64) bool {
+		if math.IsNaN(base) || math.IsNaN(amp) || math.IsNaN(period) || math.IsNaN(t) {
+			return true
+		}
+		t = math.Abs(t)
+		profiles := []Profile{
+			Constant{Level: base},
+			Step{Before: base, After: amp, SwitchAt: period},
+			Ramp{From: base, To: amp, Start: 0, Duration: math.Abs(period)},
+			Sine{Base: base, Amplitude: amp, Period: period},
+			Bursty{Low: base, High: amp, Period: period, DutyCycle: 0.5},
+		}
+		for _, p := range profiles {
+			v := p.At(t)
+			if v < 0 || v > 1 || math.IsNaN(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTraceFromCSV(t *testing.T) {
+	csvText := "t_s,demand\n0,0.2\n60,0.8\n120,0.5\n"
+	tr, err := TraceFromCSV(strings.NewReader(csvText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.At(0) != 0.2 || tr.At(120) != 0.5 {
+		t.Errorf("endpoints = %v, %v", tr.At(0), tr.At(120))
+	}
+	if got := tr.At(30); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("interpolated = %v, want 0.5", got)
+	}
+}
+
+func TestTraceFromCSVNoHeader(t *testing.T) {
+	tr, err := TraceFromCSV(strings.NewReader("0,0.1\n10,0.9\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.At(10) != 0.9 {
+		t.Errorf("At(10) = %v", tr.At(10))
+	}
+}
+
+func TestTraceFromCSVErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":          "",
+		"header only":    "t,v\n",
+		"bad value":      "0,abc\n",
+		"bad mid time":   "0,0.5\nxyz,0.6\n",
+		"wrong columns":  "0,0.5,9\n",
+		"non-increasing": "0,0.5\n0,0.6\n",
+	}
+	for name, text := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := TraceFromCSV(strings.NewReader(text)); err == nil {
+				t.Error("expected error")
+			}
+		})
+	}
+}
+
+func TestTraceFromCSVDrivesTask(t *testing.T) {
+	// End to end: a recorded trace becomes a task profile on a rig-ready
+	// spec (values clamp into [0,1] like every profile).
+	tr, err := TraceFromCSV(strings.NewReader("0,0.3\n900,1.5\n1800,0.1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.At(900) != 1 {
+		t.Errorf("over-unity trace should clamp: %v", tr.At(900))
+	}
+	mean, err := MeanOver(tr, 0, 1800, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mean <= 0.3 || mean >= 1 {
+		t.Errorf("trace mean = %v", mean)
+	}
+}

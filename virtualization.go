@@ -1,0 +1,61 @@
+package vmtherm
+
+import (
+	"vmtherm/internal/vmm"
+)
+
+// Virtualization-layer re-exports: the VMM substrate is part of the public
+// surface because thermal-aware schedulers and the examples build on it.
+type (
+	// VM is a virtual machine instance with lifecycle and tasks.
+	VM = vmm.VM
+	// VMConfig is a VM's requested shape.
+	VMConfig = vmm.VMConfig
+	// VMState is the lifecycle state (pending/running/migrating/stopped).
+	VMState = vmm.VMState
+	// Task is one deployed workload inside a VM.
+	Task = vmm.Task
+	// TaskClass labels a task's dominant resource profile.
+	TaskClass = vmm.TaskClass
+	// Host is a physical server with capacity accounting.
+	Host = vmm.Host
+	// HostConfig is a host's capacity.
+	HostConfig = vmm.HostConfig
+	// MigrationSpec parameterizes live pre-copy migration.
+	MigrationSpec = vmm.MigrationSpec
+	// MigrationPlan is a computed pre-copy schedule.
+	MigrationPlan = vmm.MigrationPlan
+)
+
+// VM lifecycle states.
+const (
+	VMPending   = vmm.VMPending
+	VMRunning   = vmm.VMRunning
+	VMMigrating = vmm.VMMigrating
+	VMStopped   = vmm.VMStopped
+)
+
+// Task classes.
+const (
+	CPUBound = vmm.CPUBound
+	MemBound = vmm.MemBound
+	IOBound  = vmm.IOBound
+	Bursty   = vmm.Bursty
+)
+
+// NewVM creates a VM in the pending state.
+func NewVM(id string, config VMConfig) (*VM, error) { return vmm.NewVM(id, config) }
+
+// NewHost creates an empty host.
+func NewHost(id string, config HostConfig) (*Host, error) { return vmm.NewHost(id, config) }
+
+// DefaultHostConfig is the reference 16-core, 64 GB host.
+func DefaultHostConfig() HostConfig { return vmm.DefaultHostConfig() }
+
+// DefaultMigrationSpec models a 10 GbE migration network.
+func DefaultMigrationSpec() MigrationSpec { return vmm.DefaultMigrationSpec() }
+
+// PlanMigration computes the pre-copy schedule for a memory footprint.
+func PlanMigration(memGB float64, spec MigrationSpec) (MigrationPlan, error) {
+	return vmm.PlanMigration(memGB, spec)
+}

@@ -1,0 +1,167 @@
+// Package vmtherm is a Go reproduction of "Virtual Machine Level Temperature
+// Profiling and Prediction in Cloud Datacenters" (Wu et al., ICDCS 2016).
+//
+// It predicts per-server CPU temperature in virtualized datacenters two
+// ways:
+//
+//   - Stable prediction: an ε-SVR (LIBSVM-equivalent, RBF kernel, grid-
+//     searched with k-fold cross-validation) maps records of server
+//     capacity, fan status, VM/task deployment and environment temperature
+//     to the post-break-in stable CPU temperature ψ_stable (paper Eqs. 1–2).
+//
+//   - Dynamic prediction: a pre-defined saturation curve anchored at the
+//     start temperature and ψ_stable, calibrated online every Δ_update
+//     seconds with learning rate λ, predicts temperature Δ_gap seconds
+//     ahead (paper Eqs. 3–8) — including through VM migrations.
+//
+// Because the paper's physical testbed is not reproducible offline, the
+// package ships a complete simulated substrate: an RC-network thermal
+// simulator, a VMM with live migration, workload generators, a telemetry
+// pipeline and a datacenter model (see DESIGN.md for the substitution
+// argument). The top-level API below is a thin facade over the internal
+// packages; examples/ and cmd/ show it end to end.
+//
+// Quickstart:
+//
+//	cases, _ := vmtherm.GenerateCases(vmtherm.DefaultGenOptions(), 1, "exp", 60)
+//	records, _ := vmtherm.BuildDataset(ctx, cases, vmtherm.DefaultBuildOptions(1))
+//	model, _ := vmtherm.TrainStable(ctx, records, vmtherm.FastStableConfig())
+//	temp, _ := model.PredictCase(cases[0], 1800)
+package vmtherm
+
+import (
+	"context"
+
+	"vmtherm/internal/core"
+	"vmtherm/internal/dataset"
+	"vmtherm/internal/testbed"
+	"vmtherm/internal/thermal"
+	"vmtherm/internal/timeseries"
+	"vmtherm/internal/workload"
+)
+
+// Re-exported types. Aliases keep one canonical implementation in the
+// internal packages while giving users a single import.
+type (
+	// Case is one experiment: host shape, cooling, environment, VMs.
+	Case = workload.Case
+	// VMSpec describes one VM with its tasks.
+	VMSpec = workload.VMSpec
+	// TaskSpec pairs a task with its load profile.
+	TaskSpec = workload.TaskSpec
+	// GenOptions bounds the randomized case generator.
+	GenOptions = workload.GenOptions
+
+	// Record is one Eq. (2) training example.
+	Record = dataset.Record
+	// BuildOptions configures dataset generation from simulation.
+	BuildOptions = dataset.BuildOptions
+
+	// StableConfig configures ψ_stable training.
+	StableConfig = core.StableConfig
+	// StablePredictor is the trained SVM pipeline.
+	StablePredictor = core.StablePredictor
+	// Curve is the paper's Eq. (3) pre-defined trajectory.
+	Curve = core.Curve
+	// DynamicConfig holds λ, Δ_update and Δ_gap.
+	DynamicConfig = core.DynamicConfig
+	// DynamicPredictor is the calibrated online predictor (Eq. 8).
+	DynamicPredictor = core.DynamicPredictor
+	// ReplayResult scores a dynamic predictor over a recorded trace.
+	ReplayResult = core.ReplayResult
+
+	// Rig is a runnable simulated experiment.
+	Rig = testbed.Rig
+	// RigOptions seeds and parameterizes a rig.
+	RigOptions = testbed.Options
+	// RunConfig controls one experiment run.
+	RunConfig = testbed.RunConfig
+	// RunResult holds an experiment's recorded traces.
+	RunResult = testbed.Result
+
+	// Series is a timestamped sample sequence.
+	Series = timeseries.Series
+	// ServerParams configures the thermal server model.
+	ServerParams = thermal.ServerParams
+	// SensorParams configures the sensor error model.
+	SensorParams = thermal.SensorParams
+)
+
+// TBreakSeconds is the paper's break-in time t_break (Eq. 1).
+const TBreakSeconds = 600.0
+
+// DefaultGenOptions mirrors the paper's evaluation: 2–12 VMs, 2–6 fans,
+// 18–28 °C ambient.
+func DefaultGenOptions() GenOptions { return workload.DefaultGenOptions() }
+
+// GenerateCase produces one deterministic randomized experiment case.
+func GenerateCase(opts GenOptions, seed int64, name string) (Case, error) {
+	return workload.GenerateCase(opts, seed, name)
+}
+
+// GenerateCases produces n deterministic randomized cases.
+func GenerateCases(opts GenOptions, seed int64, base string, n int) ([]Case, error) {
+	return workload.GenerateCases(opts, seed, base, n)
+}
+
+// DefaultBuildOptions mirrors the paper's experiment protocol (1800 s runs,
+// t_break = 600 s).
+func DefaultBuildOptions(seed int64) BuildOptions { return dataset.DefaultBuildOptions(seed) }
+
+// BuildDataset runs every case on a simulated rig and returns Eq. (2)
+// records.
+func BuildDataset(ctx context.Context, cases []Case, opts BuildOptions) ([]Record, error) {
+	return dataset.Build(ctx, cases, opts)
+}
+
+// SplitDataset shuffles records deterministically into train/test.
+func SplitDataset(records []Record, testFrac float64, seed int64) (train, test []Record, err error) {
+	return dataset.Split(records, testFrac, seed)
+}
+
+// DefaultStableConfig is the paper's full pipeline (large grid, 10-fold CV).
+func DefaultStableConfig() StableConfig { return core.DefaultStableConfig() }
+
+// FastStableConfig is a reduced grid for interactive use and tests.
+func FastStableConfig() StableConfig { return core.FastStableConfig() }
+
+// TrainStable fits the scaler + grid-searched ε-SVR pipeline.
+func TrainStable(ctx context.Context, records []Record, cfg StableConfig) (*StablePredictor, error) {
+	return core.TrainStable(ctx, records, cfg)
+}
+
+// LoadStable reads a model saved with StablePredictor.Save.
+var LoadStable = core.LoadStable
+
+// NewCurve builds the Eq. (3) pre-defined trajectory.
+func NewCurve(phi0, stable, tBreakS, deltaS float64) (Curve, error) {
+	return core.NewCurve(phi0, stable, tBreakS, deltaS)
+}
+
+// DefaultCurveDelta is the default curvature δ.
+const DefaultCurveDelta = core.DefaultCurveDelta
+
+// DefaultDynamicConfig is the paper's λ=0.8, Δ_update=15 s, Δ_gap=60 s.
+func DefaultDynamicConfig() DynamicConfig { return core.DefaultDynamicConfig() }
+
+// NewDynamicPredictor builds the calibrated online predictor.
+func NewDynamicPredictor(curve Curve, cfg DynamicConfig) (*DynamicPredictor, error) {
+	return core.NewDynamicPredictor(curve, cfg)
+}
+
+// Replay scores a dynamic configuration over a recorded trace, simulating
+// online operation.
+func Replay(trace *Series, curve Curve, cfg DynamicConfig) (*ReplayResult, error) {
+	return core.Replay(trace, curve, cfg)
+}
+
+// ProfileTrace extracts φ(0) and ψ_stable from a measured trace.
+func ProfileTrace(trace *Series, tBreakS float64) (phi0, stable float64, err error) {
+	return core.ProfileTrace(trace, tBreakS)
+}
+
+// NewRig assembles a runnable simulated experiment from a case.
+func NewRig(c Case, opts RigOptions) (*Rig, error) { return testbed.New(c, opts) }
+
+// DefaultRunConfig is the paper's 1800 s experiment shape.
+func DefaultRunConfig() RunConfig { return testbed.DefaultRunConfig() }

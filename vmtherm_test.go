@@ -1,0 +1,112 @@
+package vmtherm_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"vmtherm"
+)
+
+// TestEndToEndPublicAPI walks the full facade: generate cases, simulate,
+// train, predict stable, run a rig, and replay dynamic prediction — the
+// exact flow the README documents.
+func TestEndToEndPublicAPI(t *testing.T) {
+	ctx := context.Background()
+
+	cases, err := vmtherm.GenerateCases(vmtherm.DefaultGenOptions(), 1, "e2e", 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	records, err := vmtherm.BuildDataset(ctx, cases, vmtherm.DefaultBuildOptions(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, test, err := vmtherm.SplitDataset(records, 0.2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := vmtherm.TrainStable(ctx, train, vmtherm.FastStableConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Stable prediction on held-out records.
+	var worst float64
+	for _, rec := range test {
+		p, err := model.PredictFeatures(rec.Features)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := p - rec.StableTemp; d*d > worst {
+			worst = d * d
+		}
+	}
+	if worst > 25 {
+		t.Errorf("worst-case squared error %v implausible for a trained model", worst)
+	}
+
+	// Save/Load round trip through the facade alias.
+	var sb strings.Builder
+	if err := model.Save(&sb); err != nil {
+		t.Fatal(err)
+	}
+	back, err := vmtherm.LoadStable(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := model.PredictFeatures(test[0].Features)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := back.PredictFeatures(test[0].Features)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("loaded model predicts differently")
+	}
+
+	// Dynamic prediction on a fresh rig.
+	rig, err := vmtherm.NewRig(cases[0], vmtherm.RigOptions{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := rig.Run(vmtherm.DefaultRunConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	phi0, _, err := vmtherm.ProfileTrace(run.SensorTemps, vmtherm.TBreakSeconds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stable, err := model.PredictCase(cases[0], 1800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	curve, err := vmtherm.NewCurve(phi0, stable, vmtherm.TBreakSeconds, vmtherm.DefaultCurveDelta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, err := vmtherm.Replay(run.SensorTemps, curve, vmtherm.DefaultDynamicConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.MSE <= 0 || rr.MSE > 10 {
+		t.Errorf("dynamic replay MSE = %v outside plausible band", rr.MSE)
+	}
+
+	// Online predictor matches the replay mechanics.
+	pred, err := vmtherm.NewDynamicPredictor(curve, vmtherm.DefaultDynamicConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := run.SensorTemps.First()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred.Observe(first.T, first.V)
+	if p := pred.Predict(first.T); p < 0 || p > 120 {
+		t.Errorf("online prediction %v implausible", p)
+	}
+}
