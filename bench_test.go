@@ -16,11 +16,14 @@ package vmtherm_test
 
 import (
 	"context"
+	"net/http/httptest"
 	"testing"
 
 	"vmtherm"
 	"vmtherm/internal/dataset"
 	"vmtherm/internal/experiments"
+	"vmtherm/internal/predictclient"
+	"vmtherm/internal/predictserver"
 	"vmtherm/internal/svm"
 	"vmtherm/internal/testbed"
 	"vmtherm/internal/thermal"
@@ -29,6 +32,14 @@ import (
 
 // benchSeed keeps benchmark runs reproducible.
 const benchSeed = 2016
+
+// reportPredsPerSec reports prediction throughput for a benchmark whose
+// every iteration evaluates perOp predictions.
+func reportPredsPerSec(b *testing.B, perOp int) {
+	if d := b.Elapsed().Seconds(); d > 0 {
+		b.ReportMetric(float64(perOp*b.N)/d, "preds/s")
+	}
+}
 
 // BenchmarkFig1aStablePrediction regenerates Fig. 1(a): train on 160
 // simulated experiments, evaluate stable-temperature prediction on 20
@@ -250,6 +261,98 @@ func BenchmarkSVMPredict(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkStableBatch compares fleet-scale batch prediction against the
+// naive loop of single Predict calls it replaces. The "looped-single" and
+// "batch-64" sub-benchmarks evaluate the same 64 rows; the batch path goes
+// through StablePredictor.PredictBatch (shared scaled-feature buffers,
+// flattened support vectors, blocked distance pass, table-driven exp) and
+// must sustain >= 2x the preds/s of the loop.
+func BenchmarkStableBatch(b *testing.B) {
+	ctx := context.Background()
+	cases, err := vmtherm.GenerateCases(vmtherm.DefaultGenOptions(), benchSeed, "bb", 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	recs, err := vmtherm.BuildDataset(ctx, cases, vmtherm.DefaultBuildOptions(benchSeed))
+	if err != nil {
+		b.Fatal(err)
+	}
+	model, err := vmtherm.TrainStable(ctx, recs, vmtherm.FastStableConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	const batch = 64
+	rows := make([][]float64, batch)
+	for i := range rows {
+		rows[i] = recs[i%len(recs)].Features
+	}
+
+	b.Run("looped-single", func(b *testing.B) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, row := range rows {
+				if _, err := model.PredictFeatures(row); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		reportPredsPerSec(b, batch)
+	})
+	b.Run("batch-64", func(b *testing.B) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := model.PredictBatch(rows); err != nil {
+				b.Fatal(err)
+			}
+		}
+		reportPredsPerSec(b, batch)
+	})
+}
+
+// BenchmarkServerBatchThroughput measures end-to-end served predictions per
+// second through POST /v1/stable/batch — JSON decode, worker-pool dispatch,
+// SVM batch kernel, JSON encode — the number a capacity plan for a
+// thermal-aware scheduler actually needs.
+func BenchmarkServerBatchThroughput(b *testing.B) {
+	ctx := context.Background()
+	cases, err := vmtherm.GenerateCases(vmtherm.DefaultGenOptions(), benchSeed, "sb", 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	recs, err := vmtherm.BuildDataset(ctx, cases, vmtherm.DefaultBuildOptions(benchSeed))
+	if err != nil {
+		b.Fatal(err)
+	}
+	model, err := vmtherm.TrainStable(ctx, recs, vmtherm.FastStableConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv, err := predictserver.New(model)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client, err := predictclient.New(ts.URL)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	const batch = 64
+	rows := make([][]float64, batch)
+	for i := range rows {
+		rows[i] = recs[i%len(recs)].Features
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := client.PredictStableBatch(ctx, rows); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportPredsPerSec(b, batch)
 }
 
 // BenchmarkMigrationStudy measures dynamic prediction through a live VM

@@ -1,0 +1,282 @@
+// vmtherm-loadgen drives a running vmtherm-predictd with open-loop batch
+// traffic and reports sustained throughput and tail latency — the serving
+// metrics that matter when a thermal-aware scheduler consumes predictions
+// for hundreds of hosts per round.
+//
+// Like the vHive profiling loader, requests are issued in an open loop: a
+// dispatcher schedules request start times at the target rate regardless of
+// how fast responses come back, so server slowdowns surface as queueing
+// delay in the measured latencies instead of silently throttling the load.
+// A warm-up phase precedes the measured window.
+//
+// Modes:
+//
+//	stable   POST /v1/stable/batch with -batch feature rows per request
+//	dynamic  POST /v1/session/batch/predict over -batch pre-opened sessions
+//
+// Usage:
+//
+//	vmtherm-train -fast -out model.svm
+//	vmtherm-predictd -model model.svm -addr :8080 &
+//	vmtherm-loadgen -addr http://127.0.0.1:8080 -mode stable -batch 64 -rps 200 -duration 10s
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"vmtherm"
+	"vmtherm/internal/predictclient"
+	"vmtherm/internal/predictserver"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("vmtherm-loadgen: ")
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	var (
+		addr     = flag.String("addr", "http://127.0.0.1:8080", "predictd base URL")
+		mode     = flag.String("mode", "stable", "workload: stable | dynamic")
+		batch    = flag.Int("batch", 64, "predictions per request")
+		rps      = flag.Float64("rps", 200, "target requests per second (open loop)")
+		duration = flag.Duration("duration", 10*time.Second, "measured window")
+		warmup   = flag.Duration("warmup", 2*time.Second, "warm-up before measuring")
+		senders  = flag.Int("senders", 32, "concurrent sender goroutines")
+		seed     = flag.Int64("seed", 1, "feature-generation seed")
+	)
+	flag.Parse()
+	if *batch <= 0 || *rps <= 0 || *senders <= 0 {
+		return fmt.Errorf("batch, rps and senders must be positive")
+	}
+
+	client, err := predictclient.New(*addr,
+		predictclient.WithHTTPClient(&http.Client{
+			Timeout: 30 * time.Second,
+			Transport: &http.Transport{
+				MaxIdleConns:        *senders * 2,
+				MaxIdleConnsPerHost: *senders * 2,
+			},
+		}))
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+	if err := client.Healthy(ctx); err != nil {
+		return fmt.Errorf("server not healthy: %w", err)
+	}
+
+	var fire func() error
+	switch *mode {
+	case "stable":
+		rows, err := syntheticRows(*seed, *batch)
+		if err != nil {
+			return err
+		}
+		fire = func() error {
+			_, err := client.PredictStableBatch(ctx, rows)
+			return err
+		}
+	case "dynamic":
+		items, cleanup, err := openSessions(ctx, client, *batch)
+		if err != nil {
+			return err
+		}
+		defer cleanup()
+		var tick atomic.Int64
+		fire = func() error {
+			t := float64(tick.Add(1))
+			reqItems := make([]predictserver.PredictBatchItem, len(items))
+			for i, id := range items {
+				reqItems[i] = predictserver.PredictBatchItem{ID: id, T: t}
+			}
+			res, err := client.PredictBatch(ctx, reqItems)
+			if err != nil {
+				return err
+			}
+			for _, r := range res {
+				if r.Error != "" {
+					return fmt.Errorf("item error: %s", r.Error)
+				}
+			}
+			return nil
+		}
+	default:
+		return fmt.Errorf("unknown mode %q", *mode)
+	}
+
+	fmt.Printf("mode=%s batch=%d target=%.0f req/s (%.0f preds/s) warmup=%s window=%s\n",
+		*mode, *batch, *rps, *rps*float64(*batch), *warmup, *duration)
+
+	res := drive(fire, *rps, *warmup, *duration, *senders)
+	res.print(os.Stdout, *batch)
+	if res.errors > 0 {
+		return fmt.Errorf("%d request errors", res.errors)
+	}
+	return nil
+}
+
+// syntheticRows builds batch-many plausible Eq. (2) feature rows by encoding
+// generated workload cases through the real dataset pipeline.
+func syntheticRows(seed int64, batch int) ([][]float64, error) {
+	cases, err := vmtherm.GenerateCases(vmtherm.DefaultGenOptions(), seed, "lg", batch)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([][]float64, len(cases))
+	for i, c := range cases {
+		row, err := vmtherm.EncodeCase(c, 1800)
+		if err != nil {
+			return nil, err
+		}
+		rows[i] = row
+	}
+	return rows, nil
+}
+
+// openSessions creates n dynamic sessions and returns their ids plus a
+// cleanup closing them.
+func openSessions(ctx context.Context, c *predictclient.Client, n int) ([]string, func(), error) {
+	r := rand.New(rand.NewSource(42))
+	ids := make([]string, n)
+	sessions := make([]*predictclient.Session, n)
+	for i := 0; i < n; i++ {
+		stable := 50 + r.Float64()*30
+		sess, err := c.OpenSession(ctx, predictserver.SessionRequest{
+			Phi0:        20 + r.Float64()*5,
+			StableTempC: &stable,
+		})
+		if err != nil {
+			return nil, nil, fmt.Errorf("opening session %d: %w", i, err)
+		}
+		ids[i] = sess.ID()
+		sessions[i] = sess
+	}
+	cleanup := func() {
+		for _, s := range sessions {
+			_ = s.Close(context.Background())
+		}
+	}
+	return ids, cleanup, nil
+}
+
+// result aggregates the measured window.
+type result struct {
+	issued  int
+	errors  int
+	elapsed time.Duration
+	lats    []time.Duration
+}
+
+// drive issues fire() calls open-loop at rate rps using a fixed sender pool.
+// Latency is measured from each request's scheduled start, so dispatch
+// queueing (the server falling behind the offered load) counts against it.
+func drive(fire func() error, rps float64, warmup, window time.Duration, senders int) *result {
+	type job struct {
+		scheduled time.Time
+		measured  bool
+	}
+	interval := time.Duration(float64(time.Second) / rps)
+	jobs := make(chan job, senders*4)
+
+	var (
+		mu  sync.Mutex
+		res = &result{}
+	)
+	var wg sync.WaitGroup
+	for i := 0; i < senders; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				err := fire()
+				lat := time.Since(j.scheduled)
+				if !j.measured {
+					continue
+				}
+				mu.Lock()
+				if err != nil {
+					res.errors++
+				} else {
+					res.lats = append(res.lats, lat)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+
+	start := time.Now()
+	measureFrom := start.Add(warmup)
+	end := measureFrom.Add(window)
+	// Schedule against absolute ideal start times rather than a ticker: a
+	// ticker coalesces missed ticks, silently offering less than the target
+	// rate, and stamps jobs with delivery time instead of the time they
+	// should have started. With absolute times a stalled dispatcher catches
+	// up by issuing every overdue job immediately, and latency is always
+	// measured from the ideal schedule, so falling behind shows up as
+	// queueing delay — the defining property of an open loop.
+	for i := 0; ; i++ {
+		scheduled := start.Add(time.Duration(i) * interval)
+		if scheduled.After(end) {
+			break
+		}
+		if d := time.Until(scheduled); d > 0 {
+			time.Sleep(d)
+		}
+		measured := scheduled.After(measureFrom)
+		select {
+		case jobs <- job{scheduled: scheduled, measured: measured}:
+		default:
+			// Sender pool and queue saturated: the server is more than
+			// senders*4 requests behind the open-loop schedule. Count the
+			// drop as an error rather than blocking the dispatcher.
+			if measured {
+				mu.Lock()
+				res.errors++
+				mu.Unlock()
+			}
+		}
+		if measured {
+			res.issued++
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	res.elapsed = window
+	return res
+}
+
+func (r *result) print(w *os.File, batch int) {
+	secs := r.elapsed.Seconds()
+	achieved := float64(len(r.lats)) / secs
+	fmt.Fprintf(w, "issued %d requests, %d ok, %d errors in %.1fs\n",
+		r.issued, len(r.lats), r.errors, secs)
+	fmt.Fprintf(w, "throughput: %.1f req/s = %.0f predictions/s\n",
+		achieved, achieved*float64(batch))
+	if len(r.lats) == 0 {
+		return
+	}
+	sort.Slice(r.lats, func(i, j int) bool { return r.lats[i] < r.lats[j] })
+	pct := func(p float64) time.Duration {
+		idx := int(p * float64(len(r.lats)-1))
+		return r.lats[idx]
+	}
+	fmt.Fprintf(w, "latency: p50=%s p90=%s p99=%s max=%s\n",
+		pct(0.50).Round(time.Microsecond),
+		pct(0.90).Round(time.Microsecond),
+		pct(0.99).Round(time.Microsecond),
+		r.lats[len(r.lats)-1].Round(time.Microsecond))
+}

@@ -1,0 +1,3 @@
+module vmtherm
+
+go 1.24

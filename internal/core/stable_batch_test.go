@@ -1,0 +1,84 @@
+package core
+
+import (
+	"context"
+	"math"
+	"sync"
+	"testing"
+
+	"vmtherm/internal/dataset"
+	"vmtherm/internal/workload"
+)
+
+// batchModel trains one small real model per test binary.
+var (
+	batchOnce sync.Once
+	batchPred *StablePredictor
+	batchRecs []dataset.Record
+	batchErr  error
+)
+
+func testBatchModel(t *testing.T) (*StablePredictor, []dataset.Record) {
+	t.Helper()
+	batchOnce.Do(func() {
+		cases, err := workload.GenerateCases(workload.DefaultGenOptions(), 23, "cb", 30)
+		if err != nil {
+			batchErr = err
+			return
+		}
+		recs, err := dataset.Build(context.Background(), cases, dataset.DefaultBuildOptions(23))
+		if err != nil {
+			batchErr = err
+			return
+		}
+		p, err := TrainStable(context.Background(), recs, FastStableConfig())
+		if err != nil {
+			batchErr = err
+			return
+		}
+		batchPred, batchRecs = p, recs
+	})
+	if batchErr != nil {
+		t.Fatal(batchErr)
+	}
+	return batchPred, batchRecs
+}
+
+func TestPredictBatchMatchesSingle(t *testing.T) {
+	p, recs := testBatchModel(t)
+	rows := make([][]float64, len(recs))
+	for i, r := range recs {
+		rows[i] = r.Features
+	}
+	got, err := p.PredictBatch(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(rows) {
+		t.Fatalf("got %d predictions for %d rows", len(got), len(rows))
+	}
+	for i, row := range rows {
+		want, err := p.PredictFeatures(row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got[i]-want) > 1e-9 {
+			t.Errorf("row %d: batch %v vs single %v", i, got[i], want)
+		}
+	}
+}
+
+func TestPredictBatchEmpty(t *testing.T) {
+	p, _ := testBatchModel(t)
+	out, err := p.PredictBatch(nil)
+	if err != nil || len(out) != 0 {
+		t.Errorf("empty batch: out=%v err=%v", out, err)
+	}
+}
+
+func TestPredictBatchBadRow(t *testing.T) {
+	p, recs := testBatchModel(t)
+	if _, err := p.PredictBatch([][]float64{recs[0].Features, {1, 2}}); err == nil {
+		t.Error("wrong-dimension row accepted")
+	}
+}

@@ -83,6 +83,55 @@ func (c *Client) PredictStable(ctx context.Context, features []float64) (float64
 	return out.StableTempC, nil
 }
 
+// PredictStableBatch asks for ψ_stable for many feature rows in one
+// request — the call a thermal-aware scheduler makes once per placement
+// round instead of one HTTP round-trip per candidate host. Predictions come
+// back in row order.
+func (c *Client) PredictStableBatch(ctx context.Context, rows [][]float64) ([]float64, error) {
+	var out predictserver.StableBatchResponse
+	err := c.postJSON(ctx, "/v1/stable/batch",
+		predictserver.StableBatchRequest{Rows: rows}, &out)
+	if err != nil {
+		return nil, err
+	}
+	if len(out.StableTempsC) != len(rows) {
+		return nil, fmt.Errorf("predictclient: %d predictions for %d rows", len(out.StableTempsC), len(rows))
+	}
+	return out.StableTempsC, nil
+}
+
+// ObserveBatch feeds one measurement into each of many sessions in one
+// request. Results are item-for-item in request order; items whose session
+// is gone carry a non-empty Error instead of failing the whole round.
+func (c *Client) ObserveBatch(ctx context.Context, items []predictserver.ObserveBatchItem) ([]predictserver.ObserveBatchResult, error) {
+	var out predictserver.ObserveBatchResponse
+	err := c.postJSON(ctx, "/v1/session/batch/observe",
+		predictserver.ObserveBatchRequest{Items: items}, &out)
+	if err != nil {
+		return nil, err
+	}
+	if len(out.Results) != len(items) {
+		return nil, fmt.Errorf("predictclient: %d results for %d items", len(out.Results), len(items))
+	}
+	return out.Results, nil
+}
+
+// PredictBatch queries many sessions in one request. Results are
+// item-for-item in request order; items whose session is gone carry a
+// non-empty Error instead of failing the whole round.
+func (c *Client) PredictBatch(ctx context.Context, items []predictserver.PredictBatchItem) ([]predictserver.PredictBatchResult, error) {
+	var out predictserver.PredictBatchResponse
+	err := c.postJSON(ctx, "/v1/session/batch/predict",
+		predictserver.PredictBatchRequest{Items: items}, &out)
+	if err != nil {
+		return nil, err
+	}
+	if len(out.Results) != len(items) {
+		return nil, fmt.Errorf("predictclient: %d results for %d items", len(out.Results), len(items))
+	}
+	return out.Results, nil
+}
+
 // Session is a server-side dynamic prediction session.
 type Session struct {
 	c  *Client

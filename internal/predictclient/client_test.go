@@ -156,6 +156,88 @@ func TestSessionFlowAgainstLocalPredictor(t *testing.T) {
 	}
 }
 
+func TestPredictStableBatchRoundTrip(t *testing.T) {
+	c, rec := testServer(t)
+	ctx := context.Background()
+	rows := [][]float64{rec.Features, rec.Features, rec.Features}
+	got, err := c.PredictStableBatch(ctx, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := model.PredictFeatures(rec.Features)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if math.Abs(v-want) > 1e-6 {
+			t.Errorf("row %d: batch %v vs direct %v", i, v, want)
+		}
+	}
+	// Bad rows surface as an APIError.
+	_, err = c.PredictStableBatch(ctx, [][]float64{{1}})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != 422 {
+		t.Errorf("bad batch err = %v, want 422 APIError", err)
+	}
+}
+
+func TestSessionBatchRoundTrip(t *testing.T) {
+	c, _ := testServer(t)
+	ctx := context.Background()
+	stable := 65.0
+	var ids []string
+	for i := 0; i < 3; i++ {
+		sess, err := c.OpenSession(ctx, predictserver.SessionRequest{Phi0: 21, StableTempC: &stable})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, sess.ID())
+	}
+
+	obs, err := c.ObserveBatch(ctx, []predictserver.ObserveBatchItem{
+		{ID: ids[0], T: 0, TempC: 23},
+		{ID: ids[1], T: 0, TempC: 25},
+		{ID: "ghost", T: 0, TempC: 30},
+		{ID: ids[2], T: 0, TempC: 27},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// γ after the first observation: λ·(φ − φ0) with φ0 = 21, λ = 0.8.
+	for i, want := range []float64{0.8 * 2, 0.8 * 4, 0, 0.8 * 6} {
+		if i == 2 {
+			if obs[i].Error == "" {
+				t.Error("ghost item succeeded")
+			}
+			continue
+		}
+		if obs[i].Error != "" || math.Abs(obs[i].Gamma-want) > 1e-9 {
+			t.Errorf("item %d = %+v, want gamma %v", i, obs[i], want)
+		}
+	}
+
+	preds, err := c.PredictBatch(ctx, []predictserver.PredictBatchItem{
+		{ID: ids[0], T: 0},
+		{ID: "ghost", T: 0},
+		{ID: ids[1], T: 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if preds[1].Error == "" {
+		t.Error("ghost item succeeded")
+	}
+	for _, i := range []int{0, 2} {
+		if preds[i].Error != "" {
+			t.Errorf("item %d error: %s", i, preds[i].Error)
+			continue
+		}
+		if preds[i].TempC <= 21 || preds[i].TempC > 70 {
+			t.Errorf("item %d temp %v implausible", i, preds[i].TempC)
+		}
+	}
+}
+
 func TestSessionOpenValidationError(t *testing.T) {
 	c, _ := testServer(t)
 	_, err := c.OpenSession(context.Background(), predictserver.SessionRequest{Phi0: 20})

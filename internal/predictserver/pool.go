@@ -1,0 +1,66 @@
+package predictserver
+
+import (
+	"runtime"
+	"sync"
+)
+
+// workerPool is a fixed set of goroutines that batch handlers fan work out
+// to. Batch requests arrive with hundreds of independent items (one per
+// datacenter host in a scheduling round); splitting them into contiguous
+// chunks across the pool evaluates them concurrently while bounding the
+// goroutine count regardless of request size or request concurrency.
+type workerPool struct {
+	tasks   chan func()
+	workers int
+	wg      sync.WaitGroup
+	closed  sync.Once
+}
+
+// newWorkerPool starts n workers; n <= 0 selects GOMAXPROCS.
+func newWorkerPool(n int) *workerPool {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	p := &workerPool{tasks: make(chan func()), workers: n}
+	p.wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func() {
+			defer p.wg.Done()
+			for f := range p.tasks {
+				f()
+			}
+		}()
+	}
+	return p
+}
+
+// dispatch partitions [0, n) into at most `workers` contiguous chunks, runs
+// f on each chunk across the pool, and waits for all of them. The final
+// chunk runs on the calling goroutine so a single-worker pool (or a tiny
+// batch) degenerates to a plain loop with no channel round-trips.
+func (p *workerPool) dispatch(n int, f func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	chunk := (n + p.workers - 1) / p.workers
+	var wg sync.WaitGroup
+	lo := 0
+	for lo+chunk < n {
+		hi := lo + chunk
+		wg.Add(1)
+		task := func(lo, hi int) func() {
+			return func() { defer wg.Done(); f(lo, hi) }
+		}(lo, hi)
+		p.tasks <- task
+		lo = hi
+	}
+	f(lo, n)
+	wg.Wait()
+}
+
+// close stops the workers; pending dispatch calls must have returned.
+func (p *workerPool) close() {
+	p.closed.Do(func() { close(p.tasks) })
+	p.wg.Wait()
+}

@@ -4,6 +4,12 @@
 // measurements and answer Δ_gap-ahead queries — the deployment loop the
 // paper describes ("the model received data collected online and output
 // prediction values").
+//
+// The service is built for fleet-scale batch traffic: thermal-aware
+// schedulers consume predictions for hundreds of hosts per round, so
+// alongside the single-item endpoints it serves batch variants backed by a
+// sharded striped-lock session store and a worker pool, with the stable
+// path funnelled through the SVM batch kernel.
 package predictserver
 
 import (
@@ -18,25 +24,77 @@ import (
 	"vmtherm/internal/core"
 )
 
+// MaxBatchItems caps the item count of one batch request. A datacenter
+// round larger than this should be split into several requests.
+const MaxBatchItems = 65536
+
+// maxBatchBodyBytes caps a batch request body before JSON decoding starts,
+// so the memory bound holds even against bodies that would decode into far
+// more than MaxBatchItems rows. 64 MiB comfortably fits MaxBatchItems
+// 16-feature rows in JSON.
+const maxBatchBodyBytes = 64 << 20
+
+// decodeBatch decodes a size-limited batch request body into v, writing the
+// appropriate error response (413 for an oversized body, 400 otherwise) and
+// reporting false on failure.
+func decodeBatch(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBatchBodyBytes)
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge, err)
+		} else {
+			writeError(w, http.StatusBadRequest, err)
+		}
+		return false
+	}
+	return true
+}
+
 // Server routes prediction requests to a trained model and manages dynamic
-// sessions. Create with New; it is safe for concurrent use.
+// sessions. Create with New; it is safe for concurrent use. Call Close when
+// done to release the worker pool.
 type Server struct {
 	model *core.StablePredictor
+	store *sessionStore
+	pool  *workerPool
+}
 
-	mu       sync.Mutex
-	sessions map[string]*core.DynamicPredictor
-	nextID   int
+// Option customizes a Server.
+type Option func(*Server)
+
+// WithWorkers sets the worker-pool size for batch evaluation (default:
+// GOMAXPROCS).
+func WithWorkers(n int) Option {
+	return func(s *Server) {
+		if n > 0 {
+			s.pool = newWorkerPool(n)
+		}
+	}
 }
 
 // New creates a server around a trained stable model.
-func New(model *core.StablePredictor) (*Server, error) {
+func New(model *core.StablePredictor, opts ...Option) (*Server, error) {
 	if model == nil {
 		return nil, errors.New("predictserver: nil model")
 	}
-	return &Server{
-		model:    model,
-		sessions: make(map[string]*core.DynamicPredictor),
-	}, nil
+	s := &Server{
+		model: model,
+		store: newSessionStore(),
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	if s.pool == nil {
+		s.pool = newWorkerPool(0)
+	}
+	return s, nil
+}
+
+// Close stops the worker pool. The server must not serve requests after
+// Close.
+func (s *Server) Close() {
+	s.pool.close()
 }
 
 // Handler returns the HTTP routes.
@@ -46,9 +104,12 @@ func (s *Server) Handler() http.Handler {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
 	mux.HandleFunc("POST /v1/predict/stable", s.handleStable)
+	mux.HandleFunc("POST /v1/stable/batch", s.handleStableBatch)
 	mux.HandleFunc("POST /v1/session", s.handleCreateSession)
 	mux.HandleFunc("POST /v1/session/{id}/observe", s.handleObserve)
 	mux.HandleFunc("GET /v1/session/{id}/predict", s.handlePredict)
+	mux.HandleFunc("POST /v1/session/batch/observe", s.handleObserveBatch)
+	mux.HandleFunc("POST /v1/session/batch/predict", s.handlePredictBatch)
 	mux.HandleFunc("DELETE /v1/session/{id}", s.handleDeleteSession)
 	return mux
 }
@@ -75,6 +136,54 @@ func (s *Server) handleStable(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, StableResponse{StableTempC: v})
+}
+
+// StableBatchRequest asks for ψ_stable predictions for many feature rows at
+// once — one scheduling round's worth of candidate placements.
+type StableBatchRequest struct {
+	Rows [][]float64 `json:"rows"`
+}
+
+// StableBatchResponse carries one prediction per request row, in order.
+type StableBatchResponse struct {
+	StableTempsC []float64 `json:"stable_temps_c"`
+}
+
+func (s *Server) handleStableBatch(w http.ResponseWriter, r *http.Request) {
+	var req StableBatchRequest
+	if !decodeBatch(w, r, &req) {
+		return
+	}
+	if len(req.Rows) > MaxBatchItems {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("batch of %d rows exceeds limit %d", len(req.Rows), MaxBatchItems))
+		return
+	}
+	out := make([]float64, len(req.Rows))
+	var (
+		errMu    sync.Mutex
+		firstErr error
+	)
+	s.pool.dispatch(len(req.Rows), func(lo, hi int) {
+		chunk, err := s.model.PredictBatch(req.Rows[lo:hi])
+		if err != nil {
+			// A row error rejects the whole batch: rows are validated
+			// before evaluation, so any error means malformed input,
+			// not a partial result.
+			errMu.Lock()
+			if firstErr == nil {
+				firstErr = err
+			}
+			errMu.Unlock()
+			return
+		}
+		copy(out[lo:hi], chunk)
+	})
+	if firstErr != nil {
+		writeError(w, http.StatusUnprocessableEntity, firstErr)
+		return
+	}
+	writeJSON(w, http.StatusOK, StableBatchResponse{StableTempsC: out})
 }
 
 // SessionRequest opens a dynamic prediction session. ψ_stable comes either
@@ -148,19 +257,8 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	s.mu.Lock()
-	s.nextID++
-	id := fmt.Sprintf("s%d", s.nextID)
-	s.sessions[id] = pred
-	s.mu.Unlock()
+	id := s.store.put(pred)
 	writeJSON(w, http.StatusCreated, SessionResponse{ID: id, StableTempC: stable})
-}
-
-func (s *Server) session(id string) (*core.DynamicPredictor, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	p, ok := s.sessions[id]
-	return p, ok
 }
 
 // ObserveRequest feeds one measurement φ(t) into a session.
@@ -175,7 +273,7 @@ type ObserveResponse struct {
 }
 
 func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
-	pred, ok := s.session(r.PathValue("id"))
+	sess, ok := s.store.get(r.PathValue("id"))
 	if !ok {
 		writeError(w, http.StatusNotFound, errors.New("unknown session"))
 		return
@@ -185,11 +283,7 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	s.mu.Lock()
-	pred.Observe(req.T, req.TempC)
-	gamma := pred.Gamma()
-	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, ObserveResponse{Gamma: gamma})
+	writeJSON(w, http.StatusOK, ObserveResponse{Gamma: sess.observe(req.T, req.TempC)})
 }
 
 // PredictResponse answers a dynamic prediction query.
@@ -199,7 +293,7 @@ type PredictResponse struct {
 }
 
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
-	pred, ok := s.session(r.PathValue("id"))
+	sess, ok := s.store.get(r.PathValue("id"))
 	if !ok {
 		writeError(w, http.StatusNotFound, errors.New("unknown session"))
 		return
@@ -209,20 +303,110 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad t: %w", err))
 		return
 	}
-	s.mu.Lock()
-	v := pred.Predict(t)
-	gamma := pred.Gamma()
-	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, PredictResponse{TempC: v, Gamma: gamma})
+	tempC, gamma := sess.predict(t)
+	writeJSON(w, http.StatusOK, PredictResponse{TempC: tempC, Gamma: gamma})
+}
+
+// ObserveBatchItem feeds one measurement into one session.
+type ObserveBatchItem struct {
+	ID    string  `json:"id"`
+	T     float64 `json:"t"`
+	TempC float64 `json:"temp_c"`
+}
+
+// ObserveBatchRequest carries one fleet round of measurements.
+type ObserveBatchRequest struct {
+	Items []ObserveBatchItem `json:"items"`
+}
+
+// ObserveBatchResult is the per-item outcome; Error is set (and Gamma
+// meaningless) when the item's session does not exist.
+type ObserveBatchResult struct {
+	Gamma float64 `json:"gamma"`
+	Error string  `json:"error,omitempty"`
+}
+
+// ObserveBatchResponse answers item-for-item, in request order.
+type ObserveBatchResponse struct {
+	Results []ObserveBatchResult `json:"results"`
+}
+
+func (s *Server) handleObserveBatch(w http.ResponseWriter, r *http.Request) {
+	var req ObserveBatchRequest
+	if !decodeBatch(w, r, &req) {
+		return
+	}
+	if len(req.Items) > MaxBatchItems {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("batch of %d items exceeds limit %d", len(req.Items), MaxBatchItems))
+		return
+	}
+	results := make([]ObserveBatchResult, len(req.Items))
+	s.pool.dispatch(len(req.Items), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			item := req.Items[i]
+			sess, ok := s.store.get(item.ID)
+			if !ok {
+				results[i].Error = "unknown session"
+				continue
+			}
+			results[i].Gamma = sess.observe(item.T, item.TempC)
+		}
+	})
+	writeJSON(w, http.StatusOK, ObserveBatchResponse{Results: results})
+}
+
+// PredictBatchItem queries one session at one time.
+type PredictBatchItem struct {
+	ID string  `json:"id"`
+	T  float64 `json:"t"`
+}
+
+// PredictBatchRequest carries one fleet round of prediction queries.
+type PredictBatchRequest struct {
+	Items []PredictBatchItem `json:"items"`
+}
+
+// PredictBatchResult is the per-item outcome; Error is set (and the values
+// meaningless) when the item's session does not exist.
+type PredictBatchResult struct {
+	TempC float64 `json:"temp_c"`
+	Gamma float64 `json:"gamma"`
+	Error string  `json:"error,omitempty"`
+}
+
+// PredictBatchResponse answers item-for-item, in request order.
+type PredictBatchResponse struct {
+	Results []PredictBatchResult `json:"results"`
+}
+
+func (s *Server) handlePredictBatch(w http.ResponseWriter, r *http.Request) {
+	var req PredictBatchRequest
+	if !decodeBatch(w, r, &req) {
+		return
+	}
+	if len(req.Items) > MaxBatchItems {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("batch of %d items exceeds limit %d", len(req.Items), MaxBatchItems))
+		return
+	}
+	results := make([]PredictBatchResult, len(req.Items))
+	s.pool.dispatch(len(req.Items), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			item := req.Items[i]
+			sess, ok := s.store.get(item.ID)
+			if !ok {
+				results[i].Error = "unknown session"
+				continue
+			}
+			results[i].TempC, results[i].Gamma = sess.predict(item.T)
+		}
+	})
+	writeJSON(w, http.StatusOK, PredictBatchResponse{Results: results})
 }
 
 func (s *Server) handleDeleteSession(w http.ResponseWriter, r *http.Request) {
-	id := r.PathValue("id")
-	s.mu.Lock()
-	_, ok := s.sessions[id]
-	delete(s.sessions, id)
-	s.mu.Unlock()
-	if !ok {
+	if !s.store.delete(r.PathValue("id")) {
 		writeError(w, http.StatusNotFound, errors.New("unknown session"))
 		return
 	}
@@ -231,9 +415,7 @@ func (s *Server) handleDeleteSession(w http.ResponseWriter, r *http.Request) {
 
 // SessionCount reports active dynamic sessions (for observability).
 func (s *Server) SessionCount() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.sessions)
+	return s.store.len()
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

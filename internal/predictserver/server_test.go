@@ -54,10 +54,11 @@ func testModel(t *testing.T) (*core.StablePredictor, dataset.Record) {
 func newTestServer(t *testing.T) (*Server, *httptest.Server, dataset.Record) {
 	t.Helper()
 	m, rec := testModel(t)
-	srv, err := New(m)
+	srv, err := New(m, WithWorkers(4))
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(srv.Close)
 	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(ts.Close)
 	return srv, ts, rec
@@ -286,6 +287,262 @@ func TestPredictBadTimestamp(t *testing.T) {
 	if getResp.StatusCode != http.StatusBadRequest {
 		t.Errorf("bad t status = %d", getResp.StatusCode)
 	}
+}
+
+func TestStableBatchRoundTrip(t *testing.T) {
+	_, ts, rec := newTestServer(t)
+	const n = 24
+	rows := make([][]float64, n)
+	for i := range rows {
+		rows[i] = rec.Features
+	}
+	resp := postJSON(t, ts.URL+"/v1/stable/batch", StableBatchRequest{Rows: rows})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	body := decode[StableBatchResponse](t, resp)
+	if len(body.StableTempsC) != n {
+		t.Fatalf("got %d predictions, want %d", len(body.StableTempsC), n)
+	}
+	// Every row is identical, so every prediction must match the single
+	// endpoint's answer.
+	single := postJSON(t, ts.URL+"/v1/predict/stable", StableRequest{Features: rec.Features})
+	want := decode[StableResponse](t, single).StableTempC
+	for i, v := range body.StableTempsC {
+		if math.Abs(v-want) > 1e-6 {
+			t.Errorf("row %d: batch %v vs single %v", i, v, want)
+		}
+	}
+}
+
+func TestStableBatchBadRows(t *testing.T) {
+	_, ts, rec := newTestServer(t)
+	resp := postJSON(t, ts.URL+"/v1/stable/batch",
+		StableBatchRequest{Rows: [][]float64{rec.Features, {1, 2}}})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Errorf("ragged batch status = %d", resp.StatusCode)
+	}
+	resp = postJSON(t, ts.URL+"/v1/stable/batch", StableBatchRequest{})
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("empty batch status = %d", resp.StatusCode)
+	}
+	body := decode[StableBatchResponse](t, resp)
+	if len(body.StableTempsC) != 0 {
+		t.Errorf("empty batch returned %d predictions", len(body.StableTempsC))
+	}
+}
+
+func TestSessionBatchObservePredict(t *testing.T) {
+	_, ts, _ := newTestServer(t)
+
+	// Open three sessions with distinct anchors.
+	ids := make([]string, 3)
+	for i := range ids {
+		stable := 50.0 + 10*float64(i)
+		resp := postJSON(t, ts.URL+"/v1/session", SessionRequest{Phi0: 20, StableTempC: &stable})
+		ids[i] = decode[SessionResponse](t, resp).ID
+	}
+
+	// Batch-observe all three plus one ghost id: per-item errors, not a
+	// request-level failure.
+	obsReq := ObserveBatchRequest{Items: []ObserveBatchItem{
+		{ID: ids[0], T: 0, TempC: 24},
+		{ID: ids[1], T: 0, TempC: 26},
+		{ID: "ghost", T: 0, TempC: 30},
+		{ID: ids[2], T: 0, TempC: 28},
+	}}
+	resp := postJSON(t, ts.URL+"/v1/session/batch/observe", obsReq)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("observe batch status = %d", resp.StatusCode)
+	}
+	obs := decode[ObserveBatchResponse](t, resp)
+	if len(obs.Results) != 4 {
+		t.Fatalf("got %d results, want 4", len(obs.Results))
+	}
+	// First observation at t=0: γ = λ·(φ − curve(0)) = 0.8·(temp − 20).
+	for i, want := range []float64{0.8 * 4, 0.8 * 6, 0, 0.8 * 8} {
+		if i == 2 {
+			if obs.Results[i].Error == "" {
+				t.Error("ghost observe succeeded")
+			}
+			continue
+		}
+		if obs.Results[i].Error != "" {
+			t.Errorf("item %d error: %s", i, obs.Results[i].Error)
+		}
+		if math.Abs(obs.Results[i].Gamma-want) > 1e-9 {
+			t.Errorf("item %d gamma = %v, want %v", i, obs.Results[i].Gamma, want)
+		}
+	}
+
+	// Batch-predict mirrors the single endpoint.
+	predReq := PredictBatchRequest{Items: []PredictBatchItem{
+		{ID: ids[0], T: 0},
+		{ID: "ghost", T: 0},
+		{ID: ids[1], T: 0},
+	}}
+	resp = postJSON(t, ts.URL+"/v1/session/batch/predict", predReq)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("predict batch status = %d", resp.StatusCode)
+	}
+	preds := decode[PredictBatchResponse](t, resp)
+	if len(preds.Results) != 3 {
+		t.Fatalf("got %d results, want 3", len(preds.Results))
+	}
+	if preds.Results[1].Error == "" {
+		t.Error("ghost predict succeeded")
+	}
+	for _, i := range []int{0, 2} {
+		id := predReq.Items[i].ID
+		single, err := http.Get(fmt.Sprintf("%s/v1/session/%s/predict?t=0", ts.URL, id))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := decode[PredictResponse](t, single)
+		if preds.Results[i].Error != "" {
+			t.Errorf("item %d error: %s", i, preds.Results[i].Error)
+		}
+		if preds.Results[i].TempC != want.TempC || preds.Results[i].Gamma != want.Gamma {
+			t.Errorf("item %d: batch %+v vs single %+v", i, preds.Results[i], want)
+		}
+	}
+}
+
+func TestBatchTooLarge(t *testing.T) {
+	_, ts, _ := newTestServer(t)
+	items := make([]PredictBatchItem, MaxBatchItems+1)
+	resp := postJSON(t, ts.URL+"/v1/session/batch/predict", PredictBatchRequest{Items: items})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized batch status = %d", resp.StatusCode)
+	}
+}
+
+// TestStoreConcurrentLifecycle hammers the sharded session store directly:
+// goroutines concurrently create, observe, predict and delete sessions.
+// Run under -race (CI does) this is the striped-locking correctness test.
+func TestStoreConcurrentLifecycle(t *testing.T) {
+	st := newSessionStore()
+	// Only t.Error may be used below: workers run on non-test goroutines.
+	newPred := func() (*core.DynamicPredictor, error) {
+		curve, err := core.NewCurve(20, 60, 600, core.DefaultCurveDelta)
+		if err != nil {
+			return nil, err
+		}
+		return core.NewDynamicPredictor(curve, core.DefaultDynamicConfig())
+	}
+
+	const workers = 16
+	const perWorker = 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ids := make([]string, 0, perWorker)
+			for i := 0; i < perWorker; i++ {
+				pred, err := newPred()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				id := st.put(pred)
+				ids = append(ids, id)
+				sess, ok := st.get(id)
+				if !ok {
+					t.Errorf("worker %d: fresh session %s missing", w, id)
+					return
+				}
+				sess.observe(float64(i), 25+float64(i%10))
+				sess.predict(float64(i))
+				// Interleave deletes of every other session.
+				if i%2 == 1 {
+					prev := ids[len(ids)-2]
+					if !st.delete(prev) {
+						t.Errorf("worker %d: delete %s failed", w, prev)
+						return
+					}
+					if _, ok := st.get(prev); ok {
+						t.Errorf("worker %d: deleted %s still present", w, prev)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	want := workers * perWorker / 2
+	if got := st.len(); got != want {
+		t.Errorf("store len = %d, want %d", got, want)
+	}
+	// Double-delete reports false.
+	pred, err := newPred()
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := st.put(pred)
+	if !st.delete(id) || st.delete(id) {
+		t.Error("delete/double-delete semantics broken")
+	}
+}
+
+// TestConcurrentBatchEndpoints drives the batch HTTP surface from many
+// goroutines at once to exercise the worker pool and striped locks together.
+func TestConcurrentBatchEndpoints(t *testing.T) {
+	_, ts, rec := newTestServer(t)
+
+	// A shared pool of sessions.
+	const nSessions = 12
+	ids := make([]string, nSessions)
+	for i := range ids {
+		stable := 55.0
+		resp := postJSON(t, ts.URL+"/v1/session", SessionRequest{Phi0: 20, StableTempC: &stable})
+		ids[i] = decode[SessionResponse](t, resp).ID
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for round := 0; round < 5; round++ {
+				obs := ObserveBatchRequest{}
+				for i, id := range ids {
+					obs.Items = append(obs.Items, ObserveBatchItem{
+						ID: id, T: float64(round * 15), TempC: 25 + float64(i),
+					})
+				}
+				r1 := postJSON(t, ts.URL+"/v1/session/batch/observe", obs)
+				if r1.StatusCode != http.StatusOK {
+					t.Errorf("observe status = %d", r1.StatusCode)
+				}
+				r1.Body.Close()
+
+				pred := PredictBatchRequest{}
+				for _, id := range ids {
+					pred.Items = append(pred.Items, PredictBatchItem{ID: id, T: float64(round * 15)})
+				}
+				r2 := postJSON(t, ts.URL+"/v1/session/batch/predict", pred)
+				if r2.StatusCode != http.StatusOK {
+					t.Errorf("predict status = %d", r2.StatusCode)
+				}
+				r2.Body.Close()
+
+				rows := make([][]float64, 16)
+				for i := range rows {
+					rows[i] = rec.Features
+				}
+				r3 := postJSON(t, ts.URL+"/v1/stable/batch", StableBatchRequest{Rows: rows})
+				if r3.StatusCode != http.StatusOK {
+					t.Errorf("stable batch status = %d", r3.StatusCode)
+				}
+				r3.Body.Close()
+			}
+		}(g)
+	}
+	wg.Wait()
 }
 
 func TestConcurrentSessions(t *testing.T) {

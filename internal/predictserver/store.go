@@ -1,0 +1,116 @@
+package predictserver
+
+import (
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"vmtherm/internal/core"
+)
+
+// The session store is sharded so that a fleet of monitoring agents
+// observing hundreds of servers concurrently does not serialize on one
+// mutex. Locking is striped at two levels: a per-shard RWMutex guards the
+// id→session map, and each session carries its own mutex guarding the
+// DynamicPredictor (which is not safe for concurrent use). Different
+// sessions therefore observe and predict fully in parallel; only
+// same-session traffic serializes.
+
+// storeShards is the stripe count. Power of two so the hash reduces with a
+// mask; 32 stripes keeps contention negligible for hundreds of concurrent
+// agents at a few bytes of overhead each.
+const storeShards = 32
+
+// session pairs a dynamic predictor with the mutex that serializes access
+// to it.
+type session struct {
+	mu   sync.Mutex
+	pred *core.DynamicPredictor
+}
+
+// observe feeds one measurement and returns the resulting γ.
+func (s *session) observe(t, tempC float64) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pred.Observe(t, tempC)
+	return s.pred.Gamma()
+}
+
+// predict answers ψ(t + Δ_gap) and the γ it used.
+func (s *session) predict(t float64) (tempC, gamma float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pred.Predict(t), s.pred.Gamma()
+}
+
+type storeShard struct {
+	mu       sync.RWMutex
+	sessions map[string]*session
+}
+
+// sessionStore is a sharded, striped-lock map of live dynamic sessions.
+type sessionStore struct {
+	shards [storeShards]storeShard
+	nextID atomic.Uint64
+	count  atomic.Int64
+}
+
+func newSessionStore() *sessionStore {
+	st := &sessionStore{}
+	for i := range st.shards {
+		st.shards[i].sessions = make(map[string]*session)
+	}
+	return st
+}
+
+// shardFor hashes a session id onto its stripe (FNV-1a).
+func (st *sessionStore) shardFor(id string) *storeShard {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	var h uint64 = offset64
+	for i := 0; i < len(id); i++ {
+		h ^= uint64(id[i])
+		h *= prime64
+	}
+	return &st.shards[h&(storeShards-1)]
+}
+
+// put registers a predictor under a fresh id and returns the id.
+func (st *sessionStore) put(pred *core.DynamicPredictor) string {
+	id := "s" + strconv.FormatUint(st.nextID.Add(1), 10)
+	sh := st.shardFor(id)
+	sh.mu.Lock()
+	sh.sessions[id] = &session{pred: pred}
+	sh.mu.Unlock()
+	st.count.Add(1)
+	return id
+}
+
+// get looks a session up by id.
+func (st *sessionStore) get(id string) (*session, bool) {
+	sh := st.shardFor(id)
+	sh.mu.RLock()
+	s, ok := sh.sessions[id]
+	sh.mu.RUnlock()
+	return s, ok
+}
+
+// delete removes a session, reporting whether it existed.
+func (st *sessionStore) delete(id string) bool {
+	sh := st.shardFor(id)
+	sh.mu.Lock()
+	_, ok := sh.sessions[id]
+	delete(sh.sessions, id)
+	sh.mu.Unlock()
+	if ok {
+		st.count.Add(-1)
+	}
+	return ok
+}
+
+// len reports the number of live sessions.
+func (st *sessionStore) len() int {
+	return int(st.count.Load())
+}

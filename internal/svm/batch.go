@@ -1,0 +1,128 @@
+package svm
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Batch prediction. A fleet-scale prediction service evaluates hundreds of
+// rows per request, so the per-row path matters: Model.Predict walks a
+// [][]float64 of support vectors (a pointer chase per SV), re-dispatches on
+// the kernel type per SV, and pays math.Exp per kernel value. PredictBatch
+// amortizes all of that across the batch: the support vectors are flattened
+// once into a contiguous row-major matrix, squared distances are computed
+// four SVs at a time with independent accumulators (breaking the FP add
+// dependency chain), and the exponentials go through expNeg. Scratch buffers
+// are reused across rows, so a batch of n rows costs one O(nSV) allocation
+// total instead of per-row garbage.
+
+// flatSVs returns the support vectors as one contiguous row-major matrix,
+// building and caching it on first use. Callers must not mutate SV after
+// prediction has started (the single-row path makes the same assumption).
+func (m *Model) flatSVs() []float64 {
+	m.flatOnce.Do(func() {
+		flat := make([]float64, len(m.SV)*m.Dim)
+		for i, sv := range m.SV {
+			copy(flat[i*m.Dim:(i+1)*m.Dim], sv)
+		}
+		m.flatSV = flat
+	})
+	return m.flatSV
+}
+
+// PredictBatch evaluates the model on every row of xs, returning one
+// prediction per row. Results match Predict to ~1e-12 relative (the batch
+// path uses a table-driven exponential); use it whenever more than a
+// handful of rows are evaluated together.
+func (m *Model) PredictBatch(xs [][]float64) ([]float64, error) {
+	out := make([]float64, len(xs))
+	if len(xs) == 0 {
+		return out, nil
+	}
+	for i, x := range xs {
+		if len(x) != m.Dim {
+			return nil, fmt.Errorf("svm: batch row %d has %d features, model wants %d", i, len(x), m.Dim)
+		}
+	}
+	if m.Kernel.Type != RBF {
+		// Non-RBF kernels are dot-product shaped and not exp-bound; the
+		// generic path is already close to memory-bandwidth-bound.
+		for i, x := range xs {
+			v, err := m.Predict(x)
+			if err != nil {
+				return nil, fmt.Errorf("svm: batch row %d: %w", i, err)
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+
+	flat := m.flatSVs()
+	nsv := len(m.SV)
+	dists := make([]float64, nsv)
+	gamma := m.Kernel.Gamma
+	for i, x := range xs {
+		sqDistsInto(flat, m.Dim, x, dists)
+		var sum float64
+		k := 0
+		for ; k+4 <= nsv; k += 4 {
+			sum += m.Coef[k]*expNeg(gamma*dists[k]) +
+				m.Coef[k+1]*expNeg(gamma*dists[k+1]) +
+				m.Coef[k+2]*expNeg(gamma*dists[k+2]) +
+				m.Coef[k+3]*expNeg(gamma*dists[k+3])
+		}
+		for ; k < nsv; k++ {
+			sum += m.Coef[k] * expNeg(gamma*dists[k])
+		}
+		out[i] = sum - m.Rho
+	}
+	return out, nil
+}
+
+// sqDistsGeneric writes ||sv_k - x||^2 for every support-vector row of flat
+// (row-major, stride dim) into dists. Four rows are processed per pass with
+// independent accumulators so the FP adds pipeline instead of serializing;
+// amd64 replaces the hot block with an AVX2 kernel (dist_amd64.go).
+func sqDistsGeneric(flat []float64, dim int, x, dists []float64) {
+	n := len(dists)
+	xs := x[:dim:dim]
+	k := 0
+	for ; k+4 <= n; k += 4 {
+		base := k * dim
+		sv0 := flat[base : base+dim : base+dim]
+		sv1 := flat[base+dim : base+2*dim : base+2*dim]
+		sv2 := flat[base+2*dim : base+3*dim : base+3*dim]
+		sv3 := flat[base+3*dim : base+4*dim : base+4*dim]
+		var d0, d1, d2, d3 float64
+		for j := 0; j < dim; j++ {
+			xv := xs[j]
+			t0 := sv0[j] - xv
+			t1 := sv1[j] - xv
+			t2 := sv2[j] - xv
+			t3 := sv3[j] - xv
+			d0 += t0 * t0
+			d1 += t1 * t1
+			d2 += t2 * t2
+			d3 += t3 * t3
+		}
+		dists[k] = d0
+		dists[k+1] = d1
+		dists[k+2] = d2
+		dists[k+3] = d3
+	}
+	for ; k < n; k++ {
+		sv := flat[k*dim : (k+1)*dim : (k+1)*dim]
+		var d float64
+		for j := 0; j < dim; j++ {
+			t := sv[j] - xs[j]
+			d += t * t
+		}
+		dists[k] = d
+	}
+}
+
+// batchCache holds the lazily built flattened support-vector matrix.
+type batchCache struct {
+	flatOnce sync.Once
+	flatSV   []float64
+}

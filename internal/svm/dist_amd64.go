@@ -1,0 +1,62 @@
+//go:build amd64
+
+package svm
+
+// Implemented in dist_amd64.s.
+func cpuid(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+func xgetbv() (eax, edx uint32)
+
+//go:noescape
+func sqdist4AVX(flat, x *float64, dim int, out *float64)
+
+// useAVX reports whether the vectorized distance kernel may run: the CPU
+// must support AVX2 and FMA, and the OS must save ymm state on context
+// switch (OSXSAVE + XCR0 bits 1-2).
+var useAVX = func() bool {
+	maxID, _, _, _ := cpuid(0, 0)
+	if maxID < 7 {
+		return false
+	}
+	_, _, c, _ := cpuid(1, 0)
+	const (
+		fmaBit     = 1 << 12
+		osxsaveBit = 1 << 27
+		avxBit     = 1 << 28
+	)
+	if c&osxsaveBit == 0 || c&avxBit == 0 || c&fmaBit == 0 {
+		return false
+	}
+	if eax, _ := xgetbv(); eax&6 != 6 {
+		return false
+	}
+	_, b, _, _ := cpuid(7, 0)
+	return b&(1<<5) != 0 // AVX2
+}()
+
+// sqDistsInto writes ||sv_k - x||^2 for every support-vector row of flat
+// (row-major, stride dim) into dists, using the AVX2 kernel for blocks of
+// four rows when available.
+func sqDistsInto(flat []float64, dim int, x, dists []float64) {
+	if !useAVX || dim < 4 {
+		sqDistsGeneric(flat, dim, x, dists)
+		return
+	}
+	n := len(dists)
+	vecDim := dim &^ 3
+	k := 0
+	for ; k+4 <= n; k += 4 {
+		sqdist4AVX(&flat[k*dim], &x[0], dim, &dists[k])
+		for r := k; r < k+4 && vecDim < dim; r++ {
+			sv := flat[r*dim : (r+1)*dim : (r+1)*dim]
+			d := dists[r]
+			for j := vecDim; j < dim; j++ {
+				t := sv[j] - x[j]
+				d += t * t
+			}
+			dists[r] = d
+		}
+	}
+	if k < n {
+		sqDistsGeneric(flat[k*dim:], dim, x, dists[k:])
+	}
+}

@@ -1,0 +1,94 @@
+// AVX2+FMA kernels for batch RBF evaluation. Only used when runtime CPUID
+// detection (dist_amd64.go) confirms AVX2, FMA and OS ymm-state support;
+// sqDistsGeneric is the portable fallback.
+
+#include "textflag.h"
+
+// func cpuid(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuid(SB), NOSPLIT, $0-24
+	MOVL eaxIn+0(FP), AX
+	MOVL ecxIn+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv() (eax, edx uint32)
+TEXT ·xgetbv(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET
+
+// func sqdist4AVX(flat, x *float64, dim int, out *float64)
+//
+// flat points at four consecutive row-major support-vector rows of length
+// dim; out receives the four squared distances to x, summed over the first
+// dim&^3 elements only (the caller adds the scalar tail). Four independent
+// ymm accumulators keep the FMA pipeline full.
+TEXT ·sqdist4AVX(SB), NOSPLIT, $0-32
+	MOVQ flat+0(FP), SI
+	MOVQ x+8(FP), DX
+	MOVQ dim+16(FP), CX
+	MOVQ out+24(FP), DI
+
+	MOVQ CX, AX
+	SHLQ $3, AX          // row stride in bytes
+	MOVQ SI, R8          // row 0
+	LEAQ (SI)(AX*1), R9  // row 1
+	LEAQ (R9)(AX*1), R10 // row 2
+	LEAQ (R10)(AX*1), R11 // row 3
+
+	MOVQ CX, BX
+	ANDQ $-4, BX         // vectorizable element count
+
+	VXORPD Y1, Y1, Y1
+	VXORPD Y2, Y2, Y2
+	VXORPD Y3, Y3, Y3
+	VXORPD Y4, Y4, Y4
+
+	XORQ AX, AX          // j = 0
+loop:
+	CMPQ AX, BX
+	JGE  done
+	VMOVUPD (DX)(AX*8), Y0
+	VMOVUPD (R8)(AX*8), Y5
+	VSUBPD  Y0, Y5, Y5
+	VFMADD231PD Y5, Y5, Y1
+	VMOVUPD (R9)(AX*8), Y6
+	VSUBPD  Y0, Y6, Y6
+	VFMADD231PD Y6, Y6, Y2
+	VMOVUPD (R10)(AX*8), Y7
+	VSUBPD  Y0, Y7, Y7
+	VFMADD231PD Y7, Y7, Y3
+	VMOVUPD (R11)(AX*8), Y8
+	VSUBPD  Y0, Y8, Y8
+	VFMADD231PD Y8, Y8, Y4
+	ADDQ $4, AX
+	JMP  loop
+done:
+	VEXTRACTF128 $1, Y1, X5
+	VADDPD  X5, X1, X1
+	VHADDPD X1, X1, X1
+	VMOVSD  X1, (DI)
+
+	VEXTRACTF128 $1, Y2, X5
+	VADDPD  X5, X2, X2
+	VHADDPD X2, X2, X2
+	VMOVSD  X2, 8(DI)
+
+	VEXTRACTF128 $1, Y3, X5
+	VADDPD  X5, X3, X3
+	VHADDPD X3, X3, X3
+	VMOVSD  X3, 16(DI)
+
+	VEXTRACTF128 $1, Y4, X5
+	VADDPD  X5, X4, X4
+	VHADDPD X4, X4, X4
+	VMOVSD  X4, 24(DI)
+
+	VZEROUPPER
+	RET

@@ -1,0 +1,10 @@
+//go:build !amd64
+
+package svm
+
+// sqDistsInto writes ||sv_k - x||^2 for every support-vector row of flat
+// (row-major, stride dim) into dists. Non-amd64 platforms always take the
+// portable blocked path.
+func sqDistsInto(flat []float64, dim int, x, dists []float64) {
+	sqDistsGeneric(flat, dim, x, dists)
+}

@@ -1,0 +1,51 @@
+package svm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestSqDistsIntoMatchesGeneric cross-checks the arch-selected distance
+// kernel (AVX2 on capable amd64) against the portable implementation over
+// awkward shapes: dims that are not multiples of the vector width and SV
+// counts that are not multiples of the unroll factor.
+func TestSqDistsIntoMatchesGeneric(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	for _, dim := range []int{1, 2, 3, 4, 5, 7, 8, 13, 16, 19, 32} {
+		for _, nsv := range []int{1, 2, 3, 4, 5, 8, 11, 17} {
+			flat := make([]float64, nsv*dim)
+			x := make([]float64, dim)
+			for i := range flat {
+				flat[i] = r.Float64()*200 - 100
+			}
+			for i := range x {
+				x[i] = r.Float64()*200 - 100
+			}
+			got := make([]float64, nsv)
+			want := make([]float64, nsv)
+			sqDistsInto(flat, dim, x, got)
+			sqDistsGeneric(flat, dim, x, want)
+			for k := range got {
+				tol := 1e-12 * math.Max(1, want[k])
+				if math.Abs(got[k]-want[k]) > tol {
+					t.Errorf("dim=%d nsv=%d row %d: %v vs generic %v", dim, nsv, k, got[k], want[k])
+				}
+			}
+		}
+	}
+}
+
+func TestSqDistsGenericValues(t *testing.T) {
+	// 2 SVs, dim 3, hand-checked.
+	flat := []float64{1, 2, 3, -1, 0, 1}
+	x := []float64{0, 2, 4}
+	dists := make([]float64, 2)
+	sqDistsGeneric(flat, 3, x, dists)
+	if dists[0] != 1+0+1 {
+		t.Errorf("dists[0] = %v, want 2", dists[0])
+	}
+	if dists[1] != 1+4+9 {
+		t.Errorf("dists[1] = %v, want 14", dists[1])
+	}
+}

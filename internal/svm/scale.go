@@ -12,6 +12,10 @@ import (
 type Scaler struct {
 	Lower, Upper float64
 	mins, maxs   []float64
+	// factors[j] = (Upper-Lower)/(maxs[j]-mins[j]), or 0 for constant
+	// features; precomputed so the per-row transform multiplies instead
+	// of dividing (divisions dominate the scaling cost otherwise).
+	factors []float64
 }
 
 // NewScaler returns a scaler targeting [lower, upper].
@@ -49,7 +53,18 @@ func (s *Scaler) Fit(features [][]float64) error {
 		}
 	}
 	s.mins, s.maxs = mins, maxs
+	s.refit()
 	return nil
+}
+
+// refit recomputes the per-feature scale factors from mins/maxs.
+func (s *Scaler) refit() {
+	s.factors = make([]float64, len(s.mins))
+	for j := range s.mins {
+		if span := s.maxs[j] - s.mins[j]; span != 0 {
+			s.factors[j] = (s.Upper - s.Lower) / span
+		}
+	}
 }
 
 // Dim returns the fitted feature dimensionality (0 before Fit).
@@ -59,23 +74,36 @@ func (s *Scaler) Dim() int { return len(s.mins) }
 // map to the range midpoint. Values outside the fitted range extrapolate
 // linearly, matching svm-scale behaviour on unseen data.
 func (s *Scaler) Transform(row []float64) ([]float64, error) {
-	if s.Dim() == 0 {
-		return nil, errors.New("svm: scaler not fitted")
-	}
-	if len(row) != s.Dim() {
-		return nil, fmt.Errorf("svm: transform row length %d, want %d", len(row), s.Dim())
-	}
 	out := make([]float64, len(row))
-	mid := (s.Lower + s.Upper) / 2
-	for j, v := range row {
-		span := s.maxs[j] - s.mins[j]
-		if span == 0 {
-			out[j] = mid
-			continue
-		}
-		out[j] = s.Lower + (v-s.mins[j])/span*(s.Upper-s.Lower)
+	if err := s.TransformInto(row, out); err != nil {
+		return nil, err
 	}
 	return out, nil
+}
+
+// TransformInto scales row into dst (len(dst) must equal len(row)) without
+// allocating, the building block for batch prediction where one scratch
+// buffer is reused across every row of a request.
+func (s *Scaler) TransformInto(row, dst []float64) error {
+	if s.Dim() == 0 {
+		return errors.New("svm: scaler not fitted")
+	}
+	if len(row) != s.Dim() {
+		return fmt.Errorf("svm: transform row length %d, want %d", len(row), s.Dim())
+	}
+	if len(dst) != len(row) {
+		return fmt.Errorf("svm: transform dst length %d, want %d", len(dst), len(row))
+	}
+	mid := (s.Lower + s.Upper) / 2
+	for j, v := range row {
+		f := s.factors[j]
+		if f == 0 {
+			dst[j] = mid
+			continue
+		}
+		dst[j] = s.Lower + (v-s.mins[j])*f
+	}
+	return nil
 }
 
 // TransformAll maps a whole matrix.
@@ -115,5 +143,6 @@ func (s *Scaler) SetBounds(mins, maxs []float64) error {
 	}
 	s.mins = append([]float64(nil), mins...)
 	s.maxs = append([]float64(nil), maxs...)
+	s.refit()
 	return nil
 }

@@ -75,6 +75,8 @@ type Model struct {
 	Dim int
 	// Iters records the SMO iterations used in training (informational).
 	Iters int
+
+	batchCache // flattened-SV matrix for PredictBatch, built lazily
 }
 
 // Train fits an ε-SVR on features x and targets z.

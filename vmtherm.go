@@ -114,6 +114,12 @@ func BuildDataset(ctx context.Context, cases []Case, opts BuildOptions) ([]Recor
 	return dataset.Build(ctx, cases, opts)
 }
 
+// EncodeCase builds the Eq. (2) feature vector for one workload case, the
+// row format PredictFeatures/PredictBatch and the prediction service accept.
+func EncodeCase(c Case, horizonS float64) ([]float64, error) {
+	return dataset.Encode(c, horizonS)
+}
+
 // SplitDataset shuffles records deterministically into train/test.
 func SplitDataset(records []Record, testFrac float64, seed int64) (train, test []Record, err error) {
 	return dataset.Split(records, testFrac, seed)
