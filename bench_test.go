@@ -355,6 +355,63 @@ func BenchmarkServerBatchThroughput(b *testing.B) {
 	reportPredsPerSec(b, batch)
 }
 
+// BenchmarkFleetRound measures one control round of the fleet thermal
+// control plane at 256 hosts: Δ_update seconds of simulated physics and
+// telemetry, bounded-pipeline drain, per-host session calibration, one
+// batch ψ_stable fan-out through the SVM batch kernel, hotspot detection
+// over predicted temperatures, and reconciliation — the recurring cost a
+// deployment pays per calibration interval. Faster-than-real-time operation
+// means ns/op must stay far below Δ_update (15 s).
+func BenchmarkFleetRound(b *testing.B) {
+	ctx := context.Background()
+	cases, err := vmtherm.GenerateCases(vmtherm.DefaultGenOptions(), benchSeed, "fr", 32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	recs, err := vmtherm.BuildDataset(ctx, cases, vmtherm.DefaultBuildOptions(benchSeed))
+	if err != nil {
+		b.Fatal(err)
+	}
+	model, err := vmtherm.TrainStable(ctx, recs, vmtherm.FastStableConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	const hosts = 256
+	cfg := vmtherm.DefaultFleetConfig()
+	cfg.Racks = 8
+	cfg.HostsPerRack = hosts / cfg.Racks
+	cfg.Seed = benchSeed
+	ctl, err := vmtherm.NewFleet(cfg, vmtherm.FleetStablePredictor(model, 1800))
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Populate half the fleet so the batch anchor pass has real work.
+	opts := vmtherm.DefaultGenOptions()
+	opts.VMCountMin, opts.VMCountMax = hosts, hosts
+	opts.Host.Cores = 1 << 20
+	opts.Host.MemoryGB = 1 << 24
+	pool, err := vmtherm.GenerateCase(opts, benchSeed, "fleet-bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i, spec := range pool.VMs[:hosts/2] {
+		if err := ctl.PlaceAt(ctl.Hosts()[i*2], spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ctl.RunRound(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if d := b.Elapsed().Seconds(); d > 0 {
+		b.ReportMetric(float64(hosts*b.N)/d, "hosts/s")
+		b.ReportMetric(cfg.UpdateEveryS*float64(b.N)/d, "x-realtime")
+	}
+}
+
 // BenchmarkMigrationStudy measures dynamic prediction through a live VM
 // migration — the "dynamic scenario" the paper's introduction motivates.
 func BenchmarkMigrationStudy(b *testing.B) {

@@ -1,0 +1,237 @@
+// vmtherm-fleetd runs the fleet thermal control plane end to end: a
+// simulated datacenter of racks × hosts streams telemetry through the
+// bounded ingest pipeline into per-host dynamic prediction sessions, every
+// round batch-predicts ψ_stable anchors through the SVM batch kernel, rolls
+// Δ_gap-ahead temperatures into a hotspot map, reconciles migration
+// proposals, and places incoming VM requests thermally — printing one
+// summary line per round.
+//
+// The loop runs simulated time faster than real time; the final summary
+// reports the speedup so a capacity plan can check that a real deployment
+// at the same calibration interval would keep up.
+//
+// Usage:
+//
+//	vmtherm-fleetd -racks 8 -hosts 32 -rounds 40          # train a fast model, run
+//	vmtherm-fleetd -model model.svm -rounds 40            # use a pretrained model
+//	vmtherm-fleetd -synthetic -rounds 40                  # no SVM, physics stand-in
+//	vmtherm-fleetd -addr :8080 -rounds 0                  # serve /v1/fleet/* forever
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"vmtherm"
+	"vmtherm/internal/predictserver"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("vmtherm-fleetd: ")
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	var (
+		racks      = flag.Int("racks", 8, "number of racks")
+		hosts      = flag.Int("hosts", 32, "hosts per rack")
+		rounds     = flag.Int("rounds", 40, "control rounds to run (0 = until interrupted)")
+		seed       = flag.Int64("seed", 2016, "simulation seed")
+		threshold  = flag.Float64("threshold", 65, "hotspot threshold, °C")
+		update     = flag.Float64("update", 15, "Δ_update calibration interval, s")
+		gap        = flag.Float64("gap", 60, "Δ_gap prediction horizon, s")
+		arrivals   = flag.Int("arrivals", 2, "VM requests submitted per round")
+		migrations = flag.Int("migrations", 1, "max migrations applied per round")
+		hotseed    = flag.Int("hotseed", 0, "force-place this many heavy VMs on r0-h0 to provoke a hotspot")
+		trainCases = flag.Int("train-cases", 24, "simulated experiments to train the fast model on")
+		modelPath  = flag.String("model", "", "load a pretrained stable model instead of training")
+		synthetic  = flag.Bool("synthetic", false, "skip the SVM; use a physics stand-in predictor")
+		addr       = flag.String("addr", "", "optional listen address for /v1/fleet endpoints")
+		pace       = flag.Bool("pace", false, "pace rounds to wall-clock Δ_update (default when serving forever)")
+	)
+	flag.Parse()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var model *vmtherm.StablePredictor
+	var predict vmtherm.BatchCasePredictor
+	switch {
+	case *synthetic:
+		predict = vmtherm.FleetSyntheticPredictor(75)
+		log.Print("using synthetic physics predictor (no SVM)")
+	case *modelPath != "":
+		f, err := os.Open(*modelPath)
+		if err != nil {
+			return err
+		}
+		model, err = vmtherm.LoadStable(f)
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("loading model: %w", err)
+		}
+		log.Printf("loaded stable model from %s", *modelPath)
+	default:
+		log.Printf("training fast stable model on %d simulated experiments...", *trainCases)
+		cases, err := vmtherm.GenerateCases(vmtherm.DefaultGenOptions(), *seed, "fleet-train", *trainCases)
+		if err != nil {
+			return err
+		}
+		recs, err := vmtherm.BuildDataset(ctx, cases, vmtherm.DefaultBuildOptions(*seed))
+		if err != nil {
+			return err
+		}
+		model, err = vmtherm.TrainStable(ctx, recs, vmtherm.FastStableConfig())
+		if err != nil {
+			return err
+		}
+	}
+	if predict == nil {
+		predict = vmtherm.FleetStablePredictor(model, 1800)
+	}
+
+	cfg := vmtherm.DefaultFleetConfig()
+	cfg.Racks = *racks
+	cfg.HostsPerRack = *hosts
+	cfg.ThresholdC = *threshold
+	cfg.UpdateEveryS = *update
+	cfg.GapS = *gap
+	cfg.MaxMigrationsPerRound = *migrations
+	cfg.Seed = *seed
+	ctl, err := vmtherm.NewFleet(cfg, predict)
+	if err != nil {
+		return err
+	}
+	n := *racks * *hosts
+	log.Printf("fleet: %d racks × %d hosts = %d servers, Δ_update %.0fs, Δ_gap %.0fs, threshold %.1f°C",
+		*racks, *hosts, n, cfg.UpdateEveryS, cfg.GapS, cfg.ThresholdC)
+
+	// An optional adversarial seed: pile heavy VMs onto one machine so the
+	// proactive loop (flag from prediction → propose → migrate) is visible.
+	for v := 0; v < *hotseed; v++ {
+		spec := vmtherm.FleetHeavyVMSpec(fmt.Sprintf("hotseed-%02d", v), 4, 8)
+		if err := ctl.PlaceAt("r0-h0", spec); err != nil {
+			return fmt.Errorf("hotseed: %w", err)
+		}
+	}
+
+	// Seed the fleet with an initial tenant population (~40% of capacity)
+	// placed thermally, then feed fresh arrivals every round.
+	arrivalStream, err := arrivalSpecs(*seed, n*2)
+	if err != nil {
+		return err
+	}
+	next := 0
+	for i := 0; i < n/2 && next < len(arrivalStream); i++ {
+		ctl.Submit(arrivalStream[next])
+		next++
+	}
+
+	if *addr != "" {
+		if model == nil {
+			return fmt.Errorf("-addr requires a stable model (drop -synthetic)")
+		}
+		srv, err := predictserver.New(model, predictserver.WithFleet(ctl))
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler(), ReadHeaderTimeout: 5 * time.Second}
+		go func() {
+			if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("http: %v", err)
+			}
+		}()
+		defer func() {
+			shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			_ = httpSrv.Shutdown(shutCtx)
+		}()
+		log.Printf("serving fleet API on %s", *addr)
+	}
+
+	// Serving forever at simulation speed would just spin the CPU; pace the
+	// loop to real time unless told otherwise.
+	paced := *pace || (*rounds == 0 && *addr != "")
+	if paced {
+		log.Printf("pacing rounds to wall-clock Δ_update (%.0fs)", cfg.UpdateEveryS)
+	}
+	start := time.Now()
+	var simSeconds float64
+	var totalHotspots, totalMoves, totalPlaced int
+loop:
+	for round := 1; *rounds == 0 || round <= *rounds; round++ {
+		select {
+		case <-ctx.Done():
+			log.Print("interrupted")
+			break loop
+		default:
+		}
+		for a := 0; a < *arrivals && next < len(arrivalStream); a++ {
+			ctl.Submit(arrivalStream[next])
+			next++
+		}
+		rep, err := ctl.RunRound()
+		if err != nil {
+			return err
+		}
+		simSeconds += cfg.UpdateEveryS
+		totalHotspots += rep.Hotspots
+		totalMoves += rep.AppliedMoves
+		totalPlaced += rep.Placements
+		speedup := cfg.UpdateEveryS / rep.Latency.Seconds()
+		fmt.Printf("round %3d t=%5.0fs | sessions %3d/%3d | telemetry %4d (drops %d) | stale %2d | hotspots %2d (max %.1f°C) | placed %d rejected %d | moves %d/%d | %6.1fms (ctl %.1fms) | %6.0f× realtime\n",
+			rep.Round, rep.SimTimeS, rep.SessionsLive, rep.Hosts,
+			rep.TelemetryDrained, rep.DroppedTotal, rep.StaleHosts,
+			rep.Hotspots, rep.MaxPredictedC, rep.Placements, rep.Rejections,
+			rep.AppliedMoves, rep.ProposedMoves,
+			float64(rep.Latency.Microseconds())/1000,
+			float64(rep.ControlLatency.Microseconds())/1000, speedup)
+		if paced {
+			wait := time.Duration(cfg.UpdateEveryS*float64(time.Second)) - rep.Latency
+			if wait > 0 {
+				select {
+				case <-ctx.Done():
+				case <-time.After(wait):
+				}
+			}
+		}
+	}
+	wall := time.Since(start)
+	log.Printf("simulated %.0fs of fleet time in %v (%.0f× real time): %d hotspot-rounds, %d migrations, %d placements",
+		simSeconds, wall.Round(time.Millisecond), simSeconds/wall.Seconds(),
+		totalHotspots, totalMoves, totalPlaced)
+	if wall.Seconds() < simSeconds {
+		log.Printf("OK: a %.0fs calibration interval is sustainable in real time at this fleet size", cfg.UpdateEveryS)
+	} else {
+		log.Printf("WARNING: control loop slower than real time at this fleet size")
+	}
+	return nil
+}
+
+// arrivalSpecs generates a deterministic stream of VM requests, using one
+// oversized generated case as a convenient spec factory.
+func arrivalSpecs(seed int64, count int) ([]vmtherm.VMSpec, error) {
+	opts := vmtherm.DefaultGenOptions()
+	opts.VMCountMin, opts.VMCountMax = count, count
+	opts.Host.Cores = 1 << 20
+	opts.Host.MemoryGB = 1 << 24
+	opts.Dynamic = true
+	c, err := vmtherm.GenerateCase(opts, seed, "fleet-arrivals")
+	if err != nil {
+		return nil, err
+	}
+	return c.VMs, nil
+}

@@ -1,0 +1,55 @@
+package vmtherm
+
+import (
+	"vmtherm/internal/fleet"
+)
+
+// Fleet-layer re-exports: the thermal control plane that closes the paper's
+// proactive-management loop — streaming telemetry into per-host dynamic
+// sessions, batch ψ_stable anchoring, a Δ_gap-ahead hotspot map, and
+// thermal-aware placement/migration at datacenter scale.
+type (
+	// FleetConfig parameterizes the control plane.
+	FleetConfig = fleet.Config
+	// FleetController runs the closed loop.
+	FleetController = fleet.Controller
+	// FleetReading is one telemetry observation of one host.
+	FleetReading = fleet.Reading
+	// FleetSnapshot is the published per-round hotspot view.
+	FleetSnapshot = fleet.Snapshot
+	// FleetHotspot is one predicted-over-threshold host.
+	FleetHotspot = fleet.Hotspot
+	// FleetRoundReport carries one control round's metrics.
+	FleetRoundReport = fleet.RoundReport
+	// FleetPlacementDecision records one VM request's outcome.
+	FleetPlacementDecision = fleet.PlacementDecision
+	// BatchCasePredictor predicts ψ_stable for many cases at once.
+	BatchCasePredictor = fleet.BatchCasePredictor
+)
+
+// DefaultFleetConfig is a 4-rack × 16-host fleet with the paper's dynamic
+// parameters.
+func DefaultFleetConfig() FleetConfig { return fleet.DefaultConfig() }
+
+// NewFleet builds a control plane over a freshly assembled simulated fleet.
+func NewFleet(cfg FleetConfig, predict BatchCasePredictor) (*FleetController, error) {
+	return fleet.New(cfg, predict)
+}
+
+// FleetStablePredictor adapts a trained stable model into the batch shape
+// the controller fans prediction rounds through.
+func FleetStablePredictor(model *StablePredictor, horizonS float64) BatchCasePredictor {
+	return fleet.StableBatchPredictor(model, horizonS)
+}
+
+// FleetSyntheticPredictor is the no-SVM physics stand-in (ambient +
+// risePerUtilC × utilization) for demos and smoke runs.
+func FleetSyntheticPredictor(risePerUtilC float64) BatchCasePredictor {
+	return fleet.SyntheticStablePredictor(risePerUtilC)
+}
+
+// FleetHeavyVMSpec builds a VM pinning vcpus of constant full CPU load —
+// the adversarial tenant used to provoke hotspots.
+func FleetHeavyVMSpec(id string, vcpus int, memGB float64) VMSpec {
+	return fleet.HeavyVMSpec(id, vcpus, memGB)
+}

@@ -181,6 +181,37 @@ func TestDetectHotspots(t *testing.T) {
 	}
 }
 
+// TestDetectHotspotsDeterministicOrder hammers a wide map repeatedly: the
+// output must be identical across calls (map iteration order must never
+// leak) and sorted by strictly non-increasing margin.
+func TestDetectHotspotsDeterministicOrder(t *testing.T) {
+	temps := make(map[string]float64, 64)
+	for i := 0; i < 64; i++ {
+		// Many deliberate margin ties (pairs share a temperature).
+		temps[fmt.Sprintf("h%02d", i)] = 60 + float64(i/2)
+	}
+	ref := DetectHotspots(temps, 65)
+	if len(ref) == 0 {
+		t.Fatal("expected hotspots")
+	}
+	for i := 1; i < len(ref); i++ {
+		if ref[i].Margin > ref[i-1].Margin {
+			t.Fatalf("margins not descending at %d: %+v then %+v", i, ref[i-1], ref[i])
+		}
+		if ref[i].Margin == ref[i-1].Margin && ref[i].HostID < ref[i-1].HostID {
+			t.Fatalf("tie not broken by id at %d: %q then %q", i, ref[i-1].HostID, ref[i].HostID)
+		}
+	}
+	for trial := 0; trial < 20; trial++ {
+		got := DetectHotspots(temps, 65)
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("trial %d: order diverged at %d: %+v vs %+v", trial, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
 func TestHostStateCase(t *testing.T) {
 	h := mustHost(t, "h1")
 	runVM(t, h, "v1", 0.7)

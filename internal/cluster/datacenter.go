@@ -177,7 +177,9 @@ type Hotspot struct {
 }
 
 // DetectHotspots flags hosts whose (measured or predicted) temperature
-// exceeds thresholdC, sorted hottest first.
+// exceeds thresholdC. The input map's iteration order is random; the output
+// is deterministic for tests and API consumers: sorted by descending margin,
+// ties broken by host id.
 func DetectHotspots(temps map[string]float64, thresholdC float64) []Hotspot {
 	var out []Hotspot
 	for id, tc := range temps {
@@ -186,8 +188,8 @@ func DetectHotspots(temps map[string]float64, thresholdC float64) []Hotspot {
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {
-		if out[i].TempC != out[j].TempC {
-			return out[i].TempC > out[j].TempC
+		if out[i].Margin != out[j].Margin {
+			return out[i].Margin > out[j].Margin
 		}
 		return out[i].HostID < out[j].HostID
 	})

@@ -1,0 +1,848 @@
+// Package fleet is the thermal control plane that closes the paper's
+// proactive-management loop at datacenter scale: a simulated fleet of
+// N racks × M hosts streams per-host temperature/load telemetry through a
+// bounded ingest pipeline into per-host dynamic prediction sessions
+// (calibrated every Δ_update as in Eqs. 3–8), fans ψ_stable anchor updates
+// through the SVM batch kernel, rolls the Δ_gap-ahead predicted temperatures
+// into a rack/DC hotspot map (cluster.DetectHotspots), and drives
+// thermal-aware placement and migration proposals for incoming VM requests —
+// acting on where temperature is *going* rather than where it is.
+//
+// The controller degrades gracefully: hosts whose telemetry has gone stale
+// have their prediction uncertainty widened and are excluded from the
+// hotspot map instead of poisoning it, and every round reports latency,
+// staleness and drop metrics so the degradation is observable.
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"vmtherm/internal/cluster"
+	"vmtherm/internal/core"
+	"vmtherm/internal/dataset"
+	"vmtherm/internal/thermal"
+	"vmtherm/internal/vmm"
+	"vmtherm/internal/workload"
+)
+
+// BatchCasePredictor predicts ψ_stable for many workload cases in one call.
+// The production implementation is StableBatchPredictor (feature encoding +
+// StablePredictor.PredictBatch through the SVM batch kernel); tests inject
+// synthetic physics instead.
+type BatchCasePredictor func(cases []workload.Case) ([]float64, error)
+
+// StableBatchPredictor adapts a trained stable model into the batch shape
+// the controller fans prediction rounds through. horizonS is the averaging
+// horizon for dynamic profiles (use the experiment duration, e.g. 1800).
+func StableBatchPredictor(model *core.StablePredictor, horizonS float64) BatchCasePredictor {
+	return func(cases []workload.Case) ([]float64, error) {
+		rows := make([][]float64, len(cases))
+		for i, c := range cases {
+			f, err := dataset.Encode(c, horizonS)
+			if err != nil {
+				return nil, fmt.Errorf("fleet: encoding %s: %w", c.Name, err)
+			}
+			rows[i] = f
+		}
+		return model.PredictBatch(rows)
+	}
+}
+
+// Config parameterizes the control plane. Zero values take defaults via
+// (Config).withDefaults; see DefaultConfig for the reference shape.
+type Config struct {
+	// Racks × HostsPerRack is the fleet size.
+	Racks, HostsPerRack int
+	// FanCount is the fan configuration assumed for every host (θ_fan).
+	FanCount int
+	// HostShape is the per-host capacity.
+	HostShape vmm.HostConfig
+	// Server is the thermal model template (FanCount/AmbientC are set per
+	// host from FanCount and the datacenter model).
+	Server thermal.ServerParams
+	// Sensor is the telemetry error model.
+	Sensor thermal.SensorParams
+	// CRAC is the room cooling configuration.
+	CRAC cluster.CRAC
+	// RackSpreadC is the total inlet temperature spread from the bottom to
+	// the top slot of a rack (top-of-rack slots ingest warmer air). Each
+	// slot's offset is RackSpreadC · slot/(HostsPerRack−1), so the spread is
+	// physical regardless of rack depth.
+	RackSpreadC float64
+	// ThresholdC is the hotspot threshold applied to predicted temperatures.
+	ThresholdC float64
+	// TickS is the simulation step; SampleS the telemetry sampling interval.
+	TickS, SampleS float64
+	// UpdateEveryS is Δ_update, the calibration (and round) interval.
+	UpdateEveryS float64
+	// GapS is Δ_gap, the prediction horizon the hotspot map looks ahead.
+	GapS float64
+	// Lambda is the calibration learning rate λ.
+	Lambda float64
+	// TBreakS and CurveDeltaS shape the Eq. (3) pre-defined curve.
+	TBreakS, CurveDeltaS float64
+	// HorizonS is the feature-encoding horizon for ψ_stable anchors.
+	HorizonS float64
+	// StaleAfterS is how old telemetry may get before a host is degraded
+	// (uncertainty widened, excluded from the hotspot map).
+	StaleAfterS float64
+	// ReanchorEpsC re-anchors a session when its predicted ψ_stable moves by
+	// more than this (deployment changed underneath it).
+	ReanchorEpsC float64
+	// UncertaintyBaseC and UncertaintyPerSC shape per-prediction uncertainty:
+	// base + perS · staleness.
+	UncertaintyBaseC, UncertaintyPerSC float64
+	// IngestBuffer bounds the telemetry pipeline.
+	IngestBuffer int
+	// MaxMigrationsPerRound bounds reconciliation work per round; 0 disables
+	// migration (proposals are still produced).
+	MaxMigrationsPerRound int
+	// Seed drives all stochastic components.
+	Seed int64
+}
+
+// DefaultConfig is a 4-rack × 16-host fleet with the paper's dynamic
+// parameters (λ=0.8, Δ_update=15 s, Δ_gap=60 s, t_break=600 s).
+func DefaultConfig() Config {
+	return Config{
+		Racks:                 4,
+		HostsPerRack:          16,
+		FanCount:              4,
+		HostShape:             vmm.DefaultHostConfig(),
+		Server:                thermal.DefaultServerParams(),
+		Sensor:                thermal.DefaultSensorParams(),
+		CRAC:                  cluster.DefaultCRAC(),
+		RackSpreadC:           4.5,
+		ThresholdC:            65,
+		TickS:                 1,
+		SampleS:               5,
+		UpdateEveryS:          15,
+		GapS:                  60,
+		Lambda:                core.DefaultLambda,
+		TBreakS:               600,
+		CurveDeltaS:           core.DefaultCurveDelta,
+		HorizonS:              1800,
+		StaleAfterS:           45,
+		ReanchorEpsC:          1.0,
+		UncertaintyBaseC:      0.5,
+		UncertaintyPerSC:      0.05,
+		IngestBuffer:          4096,
+		MaxMigrationsPerRound: 1,
+		Seed:                  1,
+	}
+}
+
+// withDefaults fills zero-valued fields from DefaultConfig.
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.HostShape == (vmm.HostConfig{}) {
+		c.HostShape = d.HostShape
+	}
+	if c.Server == (thermal.ServerParams{}) {
+		c.Server = d.Server
+	}
+	if c.Sensor == (thermal.SensorParams{}) {
+		c.Sensor = d.Sensor
+	}
+	if c.CRAC == (cluster.CRAC{}) {
+		c.CRAC = d.CRAC
+	}
+	if c.FanCount == 0 {
+		c.FanCount = d.FanCount
+	}
+	if c.ThresholdC == 0 {
+		c.ThresholdC = d.ThresholdC
+	}
+	if c.TickS == 0 {
+		c.TickS = d.TickS
+	}
+	if c.SampleS == 0 {
+		c.SampleS = d.SampleS
+	}
+	if c.UpdateEveryS == 0 {
+		c.UpdateEveryS = d.UpdateEveryS
+	}
+	if c.GapS == 0 {
+		c.GapS = d.GapS
+	}
+	if c.Lambda == 0 {
+		c.Lambda = d.Lambda
+	}
+	if c.TBreakS == 0 {
+		c.TBreakS = d.TBreakS
+	}
+	if c.CurveDeltaS == 0 {
+		c.CurveDeltaS = d.CurveDeltaS
+	}
+	if c.HorizonS == 0 {
+		c.HorizonS = d.HorizonS
+	}
+	if c.StaleAfterS == 0 {
+		c.StaleAfterS = 3 * c.UpdateEveryS
+	}
+	if c.ReanchorEpsC == 0 {
+		c.ReanchorEpsC = d.ReanchorEpsC
+	}
+	if c.UncertaintyBaseC == 0 {
+		c.UncertaintyBaseC = d.UncertaintyBaseC
+	}
+	if c.UncertaintyPerSC == 0 {
+		c.UncertaintyPerSC = d.UncertaintyPerSC
+	}
+	if c.IngestBuffer == 0 {
+		c.IngestBuffer = d.IngestBuffer
+	}
+	if c.RackSpreadC == 0 {
+		c.RackSpreadC = d.RackSpreadC
+	}
+	return c
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Racks < 1 || c.HostsPerRack < 1 {
+		return fmt.Errorf("fleet: fleet shape %d×%d invalid", c.Racks, c.HostsPerRack)
+	}
+	if err := c.HostShape.Validate(); err != nil {
+		return err
+	}
+	if err := c.CRAC.Validate(); err != nil {
+		return err
+	}
+	if c.TickS <= 0 || c.SampleS <= 0 || c.UpdateEveryS <= 0 || c.GapS <= 0 {
+		return fmt.Errorf("fleet: intervals must be > 0 (tick %v, sample %v, update %v, gap %v)",
+			c.TickS, c.SampleS, c.UpdateEveryS, c.GapS)
+	}
+	if c.StaleAfterS <= 0 {
+		return fmt.Errorf("fleet: stale-after must be > 0, got %v", c.StaleAfterS)
+	}
+	if c.IngestBuffer < 1 {
+		return fmt.Errorf("fleet: ingest buffer %d < 1", c.IngestBuffer)
+	}
+	if c.MaxMigrationsPerRound < 0 {
+		return fmt.Errorf("fleet: negative migration bound %d", c.MaxMigrationsPerRound)
+	}
+	return nil
+}
+
+// hostSession is one host's dynamic prediction state: an Eq. (3) curve
+// anchored at (anchorAtS, phi0) with the ψ_stable the batch model last
+// predicted for the host's deployment, plus the online calibrator.
+type hostSession struct {
+	pred     *core.DynamicPredictor
+	stable   float64
+	anchorAt float64
+}
+
+// localT converts fleet time to session-local curve time.
+func (s *hostSession) localT(t float64) float64 { return t - s.anchorAt }
+
+// Prediction is one host's Δ_gap-ahead temperature estimate.
+type Prediction struct {
+	HostID string
+	// TempC is the predicted temperature at now + Δ_gap.
+	TempC float64
+	// UncertaintyC widens with telemetry staleness.
+	UncertaintyC float64
+	// StalenessS is the age of the newest telemetry behind the prediction.
+	StalenessS float64
+	// Stale marks hosts degraded out of the hotspot map.
+	Stale bool
+}
+
+// Hotspot is one host whose *predicted* temperature exceeds the threshold.
+type Hotspot struct {
+	HostID         string  `json:"host_id"`
+	PredictedTempC float64 `json:"predicted_temp_c"`
+	MarginC        float64 `json:"margin_c"`
+	UncertaintyC   float64 `json:"uncertainty_c"`
+}
+
+// Snapshot is the control plane's published view after a round: what the
+// fleet API serves and what schedulers consume.
+type Snapshot struct {
+	Round      int
+	SimTimeS   float64
+	GapS       float64
+	ThresholdC float64
+	// Hotspots is sorted by descending margin.
+	Hotspots []Hotspot
+	// Predicted maps host → Δ_gap-ahead temperature (stale hosts excluded).
+	Predicted map[string]float64
+	// Measured maps host → newest telemetry temperature.
+	Measured map[string]float64
+	// StaleHosts lists hosts degraded for stale telemetry, sorted.
+	StaleHosts []string
+}
+
+// PlacementDecision records one VM request's outcome.
+type PlacementDecision struct {
+	VMID             string
+	HostID           string
+	PredictedStableC float64
+	// Rejected carries the reason when no host could admit the VM.
+	Rejected string
+}
+
+// MigrationProposal asks to move a VM off a predicted hotspot.
+type MigrationProposal struct {
+	VMID       string
+	FromHostID string
+	ToHostID   string
+	// MarginC is the source hotspot's margin when proposed.
+	MarginC float64
+}
+
+// RoundReport carries one control round's metrics.
+type RoundReport struct {
+	Round    int
+	SimTimeS float64
+	// Latency is the wall-clock cost of the round (simulation + control).
+	Latency time.Duration
+	// ControlLatency is the control-plane share (ingest drain → decisions),
+	// excluding the simulated-physics advance.
+	ControlLatency time.Duration
+	Hosts          int
+	SessionsLive   int
+	// TelemetryDrained counts readings consumed this round; DroppedTotal is
+	// the cumulative ingest drop counter.
+	TelemetryDrained int
+	DroppedTotal     int64
+	StaleHosts       int
+	MaxStalenessS    float64
+	// AnchorFailures counts observed hosts left without a session because
+	// the model produced an unusable ψ_stable anchor (graceful blindness
+	// must be visible, never silent).
+	AnchorFailures int
+	Hotspots       int
+	MaxPredictedC  float64
+	Placements     int
+	Rejections     int
+	ProposedMoves  int
+	AppliedMoves   int
+}
+
+// Controller runs the closed loop. Create with New; Submit/Ingest/Hotspots
+// are safe to call concurrently with RunRound.
+type Controller struct {
+	cfg     Config
+	predict BatchCasePredictor
+
+	mu       sync.Mutex // guards sim, sessions, proposals during rounds
+	sim      *fleetSim
+	sessions map[string]*hostSession
+	latest   map[string]Reading
+	pendingP []MigrationProposal // proposals awaiting reconciliation
+
+	pendMu  sync.Mutex
+	pending []workload.VMSpec
+
+	ingest *ingestPipeline
+
+	snapMu sync.RWMutex
+	snap   Snapshot
+
+	round int
+}
+
+// New builds a controller over a freshly assembled simulated fleet.
+func New(cfg Config, predict BatchCasePredictor) (*Controller, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if predict == nil {
+		return nil, errors.New("fleet: nil predictor")
+	}
+	fs, err := newFleetSim(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Controller{
+		cfg:      cfg,
+		predict:  predict,
+		sim:      fs,
+		sessions: make(map[string]*hostSession),
+		latest:   make(map[string]Reading),
+		ingest:   newIngestPipeline(cfg.IngestBuffer),
+	}, nil
+}
+
+// Config returns the resolved configuration.
+func (c *Controller) Config() Config { return c.cfg }
+
+// Hosts returns every host id in rack/slot order.
+func (c *Controller) Hosts() []string {
+	out := make([]string, len(c.sim.order))
+	copy(out, c.sim.order)
+	return out
+}
+
+// Submit queues a VM request for thermal-aware placement next round.
+func (c *Controller) Submit(spec workload.VMSpec) {
+	c.pendMu.Lock()
+	c.pending = append(c.pending, spec)
+	c.pendMu.Unlock()
+}
+
+// Ingest offers an externally produced telemetry reading to the pipeline
+// (the path a real monitoring agent would use). It reports false when the
+// bounded buffer is full and the reading was dropped.
+func (c *Controller) Ingest(r Reading) bool { return c.ingest.push(r) }
+
+// Hotspots returns the latest published snapshot.
+func (c *Controller) Hotspots() Snapshot {
+	c.snapMu.RLock()
+	defer c.snapMu.RUnlock()
+	return cloneSnapshot(c.snap)
+}
+
+func cloneSnapshot(s Snapshot) Snapshot {
+	out := s
+	out.Hotspots = append([]Hotspot(nil), s.Hotspots...)
+	out.StaleHosts = append([]string(nil), s.StaleHosts...)
+	out.Predicted = make(map[string]float64, len(s.Predicted))
+	for k, v := range s.Predicted {
+		out.Predicted[k] = v
+	}
+	out.Measured = make(map[string]float64, len(s.Measured))
+	for k, v := range s.Measured {
+		out.Measured[k] = v
+	}
+	return out
+}
+
+// PlaceNow synchronously places one VM with the thermal-aware policy against
+// the controller's current state and applies the decision. It is the
+// POST /v1/fleet/place path.
+func (c *Controller) PlaceNow(spec workload.VMSpec) (PlacementDecision, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.placeLocked(spec)
+}
+
+// PlaceAt force-places a VM on a named host, bypassing the thermal policy —
+// the deterministic seeding path for tests and demos.
+func (c *Controller) PlaceAt(hostID string, spec workload.VMSpec) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sim.place(hostID, spec)
+}
+
+// Run executes n rounds and returns their reports.
+func (c *Controller) Run(n int) ([]RoundReport, error) {
+	out := make([]RoundReport, 0, n)
+	for i := 0; i < n; i++ {
+		rep, err := c.RunRound()
+		if err != nil {
+			return out, err
+		}
+		out = append(out, rep)
+	}
+	return out, nil
+}
+
+// RunRound advances the fleet by Δ_update seconds and executes one control
+// round: drain telemetry → calibrate sessions → batch ψ_stable anchors →
+// Δ_gap-ahead predictions → hotspot map → reconcile migrations → place
+// queued VMs → publish snapshot.
+func (c *Controller) RunRound() (RoundReport, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	roundStart := time.Now()
+
+	// 1. Physics: the fleet runs for one calibration interval, streaming
+	// telemetry into the bounded pipeline as it goes.
+	if err := c.sim.advance(c.cfg.UpdateEveryS, c.ingest); err != nil {
+		return RoundReport{}, err
+	}
+	now := c.sim.engine.Now()
+	ctrlStart := time.Now()
+
+	// 2. Ingest: drain the pipeline, newest reading per host wins. Readings
+	// for hosts this fleet does not own are discarded so a misbehaving
+	// producer cannot grow c.latest (or the published snapshot) without
+	// bound — the pipeline's memory bound must hold end to end.
+	drained := c.ingest.drainInto(c.latest)
+	for id := range c.latest {
+		if _, ok := c.sim.hosts[id]; !ok {
+			delete(c.latest, id)
+		}
+	}
+
+	// 3. Anchors: one batch prediction over every occupied host's current
+	// deployment (the SVM batch-kernel fan-out).
+	stable, err := c.stableAnchors()
+	if err != nil {
+		return RoundReport{}, err
+	}
+
+	// 4. Sessions + predictions.
+	preds, maxStale, live, anchorFailures := c.updateSessions(now, stable)
+
+	// 5. Hotspot map from *predicted* temperatures.
+	predicted := make(map[string]float64, len(preds))
+	uncertainty := make(map[string]float64, len(preds))
+	var staleHosts []string
+	for _, p := range preds {
+		if p.Stale {
+			staleHosts = append(staleHosts, p.HostID)
+			continue
+		}
+		predicted[p.HostID] = p.TempC
+		uncertainty[p.HostID] = p.UncertaintyC
+	}
+	sort.Strings(staleHosts)
+	spots := cluster.DetectHotspots(predicted, c.cfg.ThresholdC)
+	hotspots := make([]Hotspot, len(spots))
+	for i, s := range spots {
+		hotspots[i] = Hotspot{
+			HostID:         s.HostID,
+			PredictedTempC: s.TempC,
+			MarginC:        s.Margin,
+			UncertaintyC:   uncertainty[s.HostID],
+		}
+	}
+
+	// 6. Reconciliation: apply last round's still-valid proposals, bounded
+	// per round, then derive fresh proposals from this round's map.
+	applied := c.reconcile(predicted)
+	proposals := c.propose(hotspots, predicted)
+	c.pendingP = proposals
+
+	// 7. Publish the snapshot BEFORE placing queued VMs: placement avoids
+	// predicted hotspots by consulting the published map, which must be this
+	// round's, not last round's.
+	c.round++
+	measured := make(map[string]float64, len(c.latest))
+	for id, r := range c.latest {
+		measured[id] = r.TempC
+	}
+	snap := Snapshot{
+		Round:      c.round,
+		SimTimeS:   now,
+		GapS:       c.cfg.GapS,
+		ThresholdC: c.cfg.ThresholdC,
+		Hotspots:   hotspots,
+		Predicted:  predicted,
+		Measured:   measured,
+		StaleHosts: staleHosts,
+	}
+	c.snapMu.Lock()
+	c.snap = snap
+	c.snapMu.Unlock()
+
+	// 8. Placement of queued VM requests against the fresh hotspot map.
+	c.pendMu.Lock()
+	queue := c.pending
+	c.pending = nil
+	c.pendMu.Unlock()
+	var placements, rejections int
+	for _, spec := range queue {
+		dec, err := c.placeLocked(spec)
+		if err != nil {
+			return RoundReport{}, err
+		}
+		if dec.Rejected == "" {
+			placements++
+		} else {
+			rejections++
+		}
+	}
+
+	_, droppedTotal := c.ingest.stats()
+	maxPred := math.Inf(-1)
+	for _, v := range predicted {
+		if v > maxPred {
+			maxPred = v
+		}
+	}
+	if math.IsInf(maxPred, -1) {
+		maxPred = 0
+	}
+	return RoundReport{
+		Round:            c.round,
+		SimTimeS:         now,
+		Latency:          time.Since(roundStart),
+		ControlLatency:   time.Since(ctrlStart),
+		Hosts:            len(c.sim.order),
+		SessionsLive:     live,
+		TelemetryDrained: drained,
+		DroppedTotal:     droppedTotal,
+		StaleHosts:       len(staleHosts),
+		MaxStalenessS:    maxStale,
+		AnchorFailures:   anchorFailures,
+		Hotspots:         len(hotspots),
+		MaxPredictedC:    maxPred,
+		Placements:       placements,
+		Rejections:       rejections,
+		ProposedMoves:    len(proposals),
+		AppliedMoves:     applied,
+	}, nil
+}
+
+// stableAnchors batch-predicts ψ_stable for every occupied host's current
+// deployment; idle hosts anchor at their inlet temperature (an idle machine
+// settles at ambient).
+func (c *Controller) stableAnchors() (map[string]float64, error) {
+	var cases []workload.Case
+	var caseIDs []string
+	out := make(map[string]float64, len(c.sim.order))
+	for _, id := range c.sim.order {
+		cse, ok, err := c.sim.hostCase(id, nil)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			inlet, err := c.sim.inlet(id)
+			if err != nil {
+				return nil, err
+			}
+			out[id] = inlet
+			continue
+		}
+		cases = append(cases, cse)
+		caseIDs = append(caseIDs, id)
+	}
+	if len(cases) > 0 {
+		vals, err := c.predict(cases)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: stable anchors: %w", err)
+		}
+		if len(vals) != len(cases) {
+			return nil, fmt.Errorf("fleet: %d anchors for %d cases", len(vals), len(cases))
+		}
+		for i, id := range caseIDs {
+			out[id] = vals[i]
+		}
+	}
+	return out, nil
+}
+
+// updateSessions feeds fresh telemetry into each host's session (creating
+// or re-anchoring as needed) and issues Δ_gap-ahead predictions.
+func (c *Controller) updateSessions(now float64, stable map[string]float64) (preds []Prediction, maxStale float64, live, anchorFailures int) {
+	cfg := core.DynamicConfig{
+		Lambda:       c.cfg.Lambda,
+		UpdateEveryS: c.cfg.UpdateEveryS,
+		GapS:         c.cfg.GapS,
+	}
+	for _, id := range c.sim.order {
+		r, seen := c.latest[id]
+		if !seen {
+			continue // never observed: no session, no prediction
+		}
+		if r.AtS > now {
+			// Clock-skewed producer: a future-stamped reading would drive
+			// staleness (and uncertainty) negative and jump the calibration
+			// schedule ahead; clamp it to the present instead.
+			r.AtS = now
+		}
+		staleness := now - r.AtS
+		if staleness > maxStale {
+			maxStale = staleness
+		}
+		stale := staleness > c.cfg.StaleAfterS
+
+		sess := c.sessions[id]
+		// (Re-)anchor on first sight or when the deployment's predicted
+		// ψ_stable moved: the old curve no longer describes this host.
+		if sess == nil || math.Abs(stable[id]-sess.stable) > c.cfg.ReanchorEpsC {
+			// On failure (e.g. a NaN anchor from a degenerate model output)
+			// keep the previous session if there is one; a host left with no
+			// session at all is counted so the blindness is observable.
+			curve, err := core.NewCurve(r.TempC, stable[id], c.cfg.TBreakS, c.cfg.CurveDeltaS)
+			if err == nil {
+				if pred, err := core.NewDynamicPredictor(curve, cfg); err == nil {
+					sess = &hostSession{pred: pred, stable: stable[id], anchorAt: r.AtS}
+					c.sessions[id] = sess
+				}
+			}
+		}
+		if sess == nil {
+			anchorFailures++
+			continue
+		}
+		if !stale {
+			// Calibration: Eqs. (4)–(6) on the session's Δ_update schedule.
+			sess.pred.Observe(sess.localT(r.AtS), r.TempC)
+		}
+		live++
+		preds = append(preds, Prediction{
+			HostID:       id,
+			TempC:        sess.pred.PredictAt(sess.localT(now) + c.cfg.GapS),
+			UncertaintyC: c.cfg.UncertaintyBaseC + c.cfg.UncertaintyPerSC*staleness,
+			StalenessS:   staleness,
+			Stale:        stale,
+		})
+	}
+	return preds, maxStale, live, anchorFailures
+}
+
+// reconcile applies pending migration proposals that are still valid — the
+// source must still be predicted hot — bounded by MaxMigrationsPerRound.
+func (c *Controller) reconcile(predicted map[string]float64) (applied int) {
+	for _, p := range c.pendingP {
+		if applied >= c.cfg.MaxMigrationsPerRound {
+			break
+		}
+		if predicted[p.FromHostID] <= c.cfg.ThresholdC {
+			continue // cooled off on its own; desired state already met
+		}
+		if err := c.sim.migrate(p.VMID, p.FromHostID, p.ToHostID); err != nil {
+			continue // VM gone or target filled up: drop the proposal
+		}
+		// Force a re-anchor next round: both hosts' deployments changed.
+		delete(c.sessions, p.FromHostID)
+		delete(c.sessions, p.ToHostID)
+		applied++
+	}
+	return applied
+}
+
+// propose derives migration proposals from the hotspot map: for each hotspot
+// (hottest first), move its largest VM to the coolest non-hot host that can
+// admit it.
+func (c *Controller) propose(hotspots []Hotspot, predicted map[string]float64) []MigrationProposal {
+	var out []MigrationProposal
+	hot := make(map[string]bool, len(hotspots))
+	for _, h := range hotspots {
+		hot[h.HostID] = true
+	}
+	for _, h := range hotspots {
+		vm, err := c.sim.largestVM(h.HostID)
+		if err != nil {
+			continue // nothing running to move (e.g. hot purely from environment)
+		}
+		target := ""
+		best := math.Inf(1)
+		for _, id := range c.sim.order {
+			if id == h.HostID || hot[id] {
+				continue
+			}
+			sh := c.sim.hosts[id]
+			if !canAdmitVM(sh.host, vm.Config()) {
+				continue
+			}
+			t, ok := predicted[id]
+			if !ok {
+				continue // stale or unobserved: never migrate blind
+			}
+			if t < best {
+				best, target = t, id
+			}
+		}
+		if target == "" {
+			continue
+		}
+		out = append(out, MigrationProposal{
+			VMID:       vm.ID(),
+			FromHostID: h.HostID,
+			ToHostID:   target,
+			MarginC:    h.MarginC,
+		})
+	}
+	return out
+}
+
+// canAdmitVM checks capacity without mutating the host.
+func canAdmitVM(h *vmm.Host, cfg vmm.VMConfig) bool {
+	hc := h.Config()
+	if h.PlacedVCPUs()+float64(cfg.VCPUs) > float64(hc.Cores)*hc.CPUOvercommit {
+		return false
+	}
+	return h.PlacedMemGB()+cfg.MemoryGB <= hc.MemoryGB
+}
+
+// ErrNoCapacity is returned (inside PlacementDecision.Rejected) when no host
+// can admit a VM.
+var ErrNoCapacity = errors.New("fleet: no host with capacity")
+
+// placeLocked runs the thermal-aware placement policy for one VM: among
+// admitting hosts, choose the lowest predicted *post-placement* ψ_stable
+// (one batch prediction across all candidates), preferring hosts that are
+// not already predicted hotspots.
+func (c *Controller) placeLocked(spec workload.VMSpec) (PlacementDecision, error) {
+	snap := c.Hotspots()
+	hot := make(map[string]bool, len(snap.Hotspots))
+	for _, h := range snap.Hotspots {
+		hot[h.HostID] = true
+	}
+
+	var cases []workload.Case
+	var candidates []string
+	for _, id := range c.sim.order {
+		sh := c.sim.hosts[id]
+		if !canAdmitVM(sh.host, spec.Config) {
+			continue
+		}
+		cse, ok, err := c.sim.hostCase(id, &spec)
+		if err != nil {
+			return PlacementDecision{}, err
+		}
+		if !ok {
+			continue
+		}
+		cases = append(cases, cse)
+		candidates = append(candidates, id)
+	}
+	if len(candidates) == 0 {
+		return PlacementDecision{VMID: spec.ID, Rejected: ErrNoCapacity.Error()}, nil
+	}
+	vals, err := c.predict(cases)
+	if err != nil {
+		return PlacementDecision{}, fmt.Errorf("fleet: placement predict: %w", err)
+	}
+	if len(vals) != len(candidates) {
+		return PlacementDecision{}, fmt.Errorf("fleet: %d predictions for %d candidates", len(vals), len(candidates))
+	}
+	bestID, bestTemp := "", math.Inf(1)
+	for pass := 0; pass < 2 && bestID == ""; pass++ {
+		for i, id := range candidates {
+			if pass == 0 && hot[id] {
+				continue // first pass avoids predicted hotspots entirely
+			}
+			if vals[i] < bestTemp {
+				bestID, bestTemp = id, vals[i]
+			}
+		}
+	}
+	if err := c.sim.place(bestID, spec); err != nil {
+		return PlacementDecision{VMID: spec.ID, Rejected: err.Error()}, nil
+	}
+	// The deployment changed: the host's session re-anchors next round.
+	delete(c.sessions, bestID)
+	return PlacementDecision{VMID: spec.ID, HostID: bestID, PredictedStableC: bestTemp}, nil
+}
+
+// SetTelemetryMuted simulates a monitoring-agent outage on one host: while
+// muted the host keeps running (and heating) but emits no telemetry, so the
+// control plane must degrade it to stale.
+func (c *Controller) SetTelemetryMuted(hostID string, muted bool) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sh, ok := c.sim.hosts[hostID]
+	if !ok {
+		return fmt.Errorf("fleet: unknown host %q", hostID)
+	}
+	sh.muted = muted
+	return nil
+}
+
+// MeasuredDieTemp reads a host's true (noise-free) die temperature — for
+// tests and evaluation only; the control loop itself only ever sees
+// telemetry.
+func (c *Controller) MeasuredDieTemp(hostID string) (float64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sh, ok := c.sim.hosts[hostID]
+	if !ok {
+		return 0, fmt.Errorf("fleet: unknown host %q", hostID)
+	}
+	return sh.server.DieTemp(), nil
+}

@@ -1,0 +1,70 @@
+package fleet
+
+import "sync/atomic"
+
+// Reading is one telemetry observation of one host, as emitted by a
+// monitoring agent: the sensed CPU temperature plus the load the VMM
+// reports.
+type Reading struct {
+	// HostID names the observed host.
+	HostID string
+	// AtS is the observation time in fleet (simulation) seconds.
+	AtS float64
+	// TempC is the sensed CPU temperature.
+	TempC float64
+	// Util is host CPU utilization in [0, 1].
+	Util float64
+	// MemFrac is host memory activity in [0, 1].
+	MemFrac float64
+}
+
+// ingestPipeline is the bounded buffer between telemetry producers and the
+// control loop. Producers push without blocking — when the buffer is full
+// the reading is dropped and counted, never stalling an agent — and the
+// controller drains everything buffered at the start of each round. The
+// bound is what keeps a misbehaving producer from growing memory without
+// limit; the drop counter is what makes that degradation visible.
+type ingestPipeline struct {
+	ch       chan Reading
+	received atomic.Int64
+	dropped  atomic.Int64
+}
+
+func newIngestPipeline(capacity int) *ingestPipeline {
+	return &ingestPipeline{ch: make(chan Reading, capacity)}
+}
+
+// push offers a reading; it reports false (and counts a drop) when the
+// buffer is full.
+func (p *ingestPipeline) push(r Reading) bool {
+	select {
+	case p.ch <- r:
+		p.received.Add(1)
+		return true
+	default:
+		p.dropped.Add(1)
+		return false
+	}
+}
+
+// drainInto moves every buffered reading into latest, keeping only the
+// newest reading per host, and returns how many readings were consumed.
+func (p *ingestPipeline) drainInto(latest map[string]Reading) int {
+	n := 0
+	for {
+		select {
+		case r := <-p.ch:
+			if cur, ok := latest[r.HostID]; !ok || r.AtS >= cur.AtS {
+				latest[r.HostID] = r
+			}
+			n++
+		default:
+			return n
+		}
+	}
+}
+
+// stats returns cumulative received/dropped counts.
+func (p *ingestPipeline) stats() (received, dropped int64) {
+	return p.received.Load(), p.dropped.Load()
+}

@@ -1,0 +1,337 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+
+	"vmtherm/internal/cluster"
+	"vmtherm/internal/mathx"
+	"vmtherm/internal/sim"
+	"vmtherm/internal/thermal"
+	"vmtherm/internal/vmm"
+	"vmtherm/internal/workload"
+)
+
+// simHost is one simulated machine of the fleet: capacity accounting
+// (vmm.Host), heat (thermal.Server), a noisy sensor, and the load profiles
+// driving its VMs' tasks over time.
+type simHost struct {
+	host     *vmm.Host
+	server   *thermal.Server
+	sensor   *thermal.Sensor
+	pos      cluster.HostPosition
+	profiles map[string]map[string]workload.Profile // vm id → task id → profile
+	// muted simulates a dead monitoring agent: the host keeps running and
+	// heating, but emits no telemetry.
+	muted bool
+}
+
+// fleetSim is the simulated datacenter the controller closes its loop
+// against: racks of simHosts under one CRAC on a shared discrete-event
+// engine. It is the stand-in for the physical fleet a production deployment
+// would observe through its monitoring agents.
+type fleetSim struct {
+	cfg    Config
+	engine *sim.Engine
+	dc     *cluster.Datacenter
+	hosts  map[string]*simHost
+	order  []string // host ids in rack/slot order (deterministic iteration)
+	// vmHost maps every placed VM id to its current host: vmm only enforces
+	// per-host uniqueness, but migration addresses VMs by id fleet-wide, so
+	// duplicates (e.g. a retried placement request) must be rejected here.
+	vmHost map[string]string
+}
+
+// newFleetSim assembles Racks × HostsPerRack machines, all idle and at
+// ambient temperature.
+func newFleetSim(cfg Config) (*fleetSim, error) {
+	fs := &fleetSim{
+		cfg:    cfg,
+		engine: sim.NewEngine(),
+		hosts:  make(map[string]*simHost, cfg.Racks*cfg.HostsPerRack),
+		vmHost: make(map[string]string),
+	}
+	var racks []*cluster.Rack
+	for r := 0; r < cfg.Racks; r++ {
+		hosts := make([]*vmm.Host, cfg.HostsPerRack)
+		offsets := make([]float64, cfg.HostsPerRack)
+		for s := 0; s < cfg.HostsPerRack; s++ {
+			id := fmt.Sprintf("r%d-h%d", r, s)
+			h, err := vmm.NewHost(id, cfg.HostShape)
+			if err != nil {
+				return nil, fmt.Errorf("fleet: host %s: %w", id, err)
+			}
+			hosts[s] = h
+			if cfg.HostsPerRack > 1 {
+				offsets[s] = cfg.RackSpreadC * float64(s) / float64(cfg.HostsPerRack-1)
+			}
+		}
+		rack, err := cluster.NewRack(fmt.Sprintf("r%d", r), hosts, offsets)
+		if err != nil {
+			return nil, err
+		}
+		racks = append(racks, rack)
+	}
+	dc, err := cluster.NewDatacenter(cfg.CRAC, racks)
+	if err != nil {
+		return nil, err
+	}
+	fs.dc = dc
+
+	for _, pos := range dc.AllHosts() {
+		h := pos.Rack.Hosts()[pos.Slot]
+		inlet, err := dc.InletTemp(pos.Rack, pos.Slot)
+		if err != nil {
+			return nil, err
+		}
+		sp := cfg.Server
+		sp.FanCount = cfg.FanCount
+		sp.AmbientC = inlet
+		srv, err := thermal.NewServer(sp)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: thermal %s: %w", h.ID(), err)
+		}
+		sensor, err := thermal.NewSensor(cfg.Sensor, srv.DieTemp,
+			mathx.SplitStable(cfg.Seed, "fleet-sensor:"+h.ID()))
+		if err != nil {
+			return nil, fmt.Errorf("fleet: sensor %s: %w", h.ID(), err)
+		}
+		fs.hosts[h.ID()] = &simHost{
+			host:     h,
+			server:   srv,
+			sensor:   sensor,
+			pos:      pos,
+			profiles: make(map[string]map[string]workload.Profile),
+		}
+		fs.order = append(fs.order, h.ID())
+	}
+	return fs, nil
+}
+
+// place admits a VM onto a host, starts it, and registers its task
+// profiles so the tick loop drives them.
+func (fs *fleetSim) place(hostID string, spec workload.VMSpec) error {
+	sh, ok := fs.hosts[hostID]
+	if !ok {
+		return fmt.Errorf("fleet: unknown host %q", hostID)
+	}
+	if cur, dup := fs.vmHost[spec.ID]; dup {
+		return fmt.Errorf("fleet: vm %q already placed on %q", spec.ID, cur)
+	}
+	vm, err := vmm.NewVM(spec.ID, spec.Config)
+	if err != nil {
+		return err
+	}
+	for _, ts := range spec.Tasks {
+		if err := vm.AddTask(ts.Task); err != nil {
+			return err
+		}
+	}
+	if err := sh.host.Place(vm); err != nil {
+		return err
+	}
+	if err := vm.Start(fs.engine.Now()); err != nil {
+		_ = sh.host.Remove(vm.ID())
+		return err
+	}
+	profs := make(map[string]workload.Profile, len(spec.Tasks))
+	for _, ts := range spec.Tasks {
+		if ts.Profile != nil {
+			profs[ts.Task.ID] = ts.Profile
+		}
+	}
+	sh.profiles[spec.ID] = profs
+	fs.vmHost[spec.ID] = hostID
+	return nil
+}
+
+// migrate moves a VM between hosts instantaneously (the controller models
+// migration cost in its proposal policy, not in the mechanics).
+func (fs *fleetSim) migrate(vmID, fromID, toID string) error {
+	src, ok := fs.hosts[fromID]
+	if !ok {
+		return fmt.Errorf("fleet: unknown source host %q", fromID)
+	}
+	dst, ok := fs.hosts[toID]
+	if !ok {
+		return fmt.Errorf("fleet: unknown target host %q", toID)
+	}
+	vm, err := src.host.VM(vmID)
+	if err != nil {
+		return err
+	}
+	if err := dst.host.Place(vm); err != nil {
+		return err
+	}
+	if err := src.host.Remove(vmID); err != nil {
+		_ = dst.host.Remove(vmID)
+		return err
+	}
+	dst.profiles[vmID] = src.profiles[vmID]
+	delete(src.profiles, vmID)
+	fs.vmHost[vmID] = toID
+	return nil
+}
+
+// tick drives one simulation step: task loads from profiles, rack inlet
+// temperatures (recirculation couples hosts through rack utilization), and
+// thermal integration.
+func (fs *fleetSim) tick(dt float64) error {
+	t := fs.engine.Now()
+	for _, id := range fs.order {
+		sh := fs.hosts[id]
+		for vmID, profs := range sh.profiles {
+			vm, err := sh.host.VM(vmID)
+			if err != nil {
+				return err
+			}
+			if st := vm.State(); st != vmm.VMRunning && st != vmm.VMMigrating {
+				continue
+			}
+			for taskID, p := range profs {
+				if err := vm.SetTaskCPU(taskID, p.At(t)); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	// Loads first, then inlets: recirculation sees this tick's utilization.
+	for _, id := range fs.order {
+		sh := fs.hosts[id]
+		inlet, err := fs.dc.InletTemp(sh.pos.Rack, sh.pos.Slot)
+		if err != nil {
+			return err
+		}
+		sh.server.SetAmbient(inlet)
+		sh.server.SetLoad(sh.host.Utilization(), sh.host.MemActiveFrac())
+		if err := sh.server.Advance(dt); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sample reads every host's sensor once and pushes the readings through the
+// ingest pipeline, exactly as a fleet of monitoring agents would.
+func (fs *fleetSim) sample(ingest *ingestPipeline) {
+	t := fs.engine.Now()
+	for _, id := range fs.order {
+		sh := fs.hosts[id]
+		if sh.muted {
+			continue // dead agent: host runs on, telemetry goes dark
+		}
+		v, err := sh.sensor.Read()
+		if err != nil {
+			continue // transient sensor failure: the sample is simply lost
+		}
+		ingest.push(Reading{
+			HostID:  id,
+			AtS:     t,
+			TempC:   v,
+			Util:    sh.host.Utilization(),
+			MemFrac: sh.host.MemActiveFrac(),
+		})
+	}
+}
+
+// advance runs the simulation forward by dur seconds, ticking thermals
+// every cfg.TickS and sampling telemetry every cfg.SampleS. Events are
+// scheduled explicitly (not via Every, whose immediate first fire would
+// double-tick at round boundaries); ticks are scheduled before samples so a
+// coincident sample observes the post-advance temperature.
+func (fs *fleetSim) advance(dur float64, ingest *ingestPipeline) error {
+	start := fs.engine.Now()
+	horizon := start + dur
+	var tickErr error
+	for k := 1; ; k++ {
+		at := start + float64(k)*fs.cfg.TickS
+		if at > horizon+1e-9 {
+			break
+		}
+		if err := fs.engine.Schedule(at, "fleet-tick", func(e *sim.Engine) {
+			if tickErr == nil {
+				if err := fs.tick(fs.cfg.TickS); err != nil {
+					tickErr = err
+					e.Stop()
+				}
+			}
+		}); err != nil {
+			return err
+		}
+	}
+	for k := 1; ; k++ {
+		at := start + float64(k)*fs.cfg.SampleS
+		if at > horizon+1e-9 {
+			break
+		}
+		if err := fs.engine.Schedule(at, "fleet-sample", func(*sim.Engine) {
+			fs.sample(ingest)
+		}); err != nil {
+			return err
+		}
+	}
+	if _, err := fs.engine.RunUntil(horizon); err != nil {
+		return err
+	}
+	if tickErr != nil {
+		return fmt.Errorf("fleet: tick: %w", tickErr)
+	}
+	return nil
+}
+
+// hostCase builds the workload.Case describing a host's current deployment
+// (plus an optional candidate VM) with the datacenter-model inlet as δ_env.
+// Hosts with no running VMs report ok=false: there is nothing to encode.
+func (fs *fleetSim) hostCase(id string, candidate *workload.VMSpec) (workload.Case, bool, error) {
+	sh, ok := fs.hosts[id]
+	if !ok {
+		return workload.Case{}, false, fmt.Errorf("fleet: unknown host %q", id)
+	}
+	inlet, err := fs.dc.InletTemp(sh.pos.Rack, sh.pos.Slot)
+	if err != nil {
+		return workload.Case{}, false, err
+	}
+	c, err := cluster.HostStateCase(sh.host, fs.cfg.FanCount, inlet, candidate)
+	if err != nil {
+		// The only expected failure is an empty host; anything else is a bug.
+		if candidate == nil && sh.host.NumVMs() == 0 {
+			return workload.Case{}, false, nil
+		}
+		return workload.Case{}, false, err
+	}
+	return c, true, nil
+}
+
+// inlet returns a host's current inlet temperature.
+func (fs *fleetSim) inlet(id string) (float64, error) {
+	sh, ok := fs.hosts[id]
+	if !ok {
+		return 0, fmt.Errorf("fleet: unknown host %q", id)
+	}
+	return fs.dc.InletTemp(sh.pos.Rack, sh.pos.Slot)
+}
+
+// errNoSuchVM distinguishes a vanished migration source VM.
+var errNoSuchVM = errors.New("fleet: vm not found")
+
+// largestVM returns the running VM with the highest current CPU demand on a
+// host, the natural candidate to move off a hotspot.
+func (fs *fleetSim) largestVM(hostID string) (*vmm.VM, error) {
+	sh, ok := fs.hosts[hostID]
+	if !ok {
+		return nil, fmt.Errorf("fleet: unknown host %q", hostID)
+	}
+	var best *vmm.VM
+	for _, vm := range sh.host.VMs() { // sorted by ID: deterministic ties
+		if vm.State() != vmm.VMRunning {
+			continue
+		}
+		if best == nil || vm.CPUDemandVCPUs() > best.CPUDemandVCPUs() {
+			best = vm
+		}
+	}
+	if best == nil {
+		return nil, errNoSuchVM
+	}
+	return best, nil
+}

@@ -1,0 +1,62 @@
+package fleet
+
+import (
+	"fmt"
+
+	"vmtherm/internal/vmm"
+	"vmtherm/internal/workload"
+)
+
+// SyntheticStablePredictor is a physics-flavored stand-in for the trained
+// SVM: it maps a host case to ambient plus risePerUtilC × utilization. The
+// absolute level is deliberately imperfect — the dynamic calibration γ is
+// what reconciles it with the measured trajectory, exactly as with a real
+// model. It backs `vmtherm-fleetd -synthetic`, the examples, and the test
+// suites (75 °C/util roughly matches the simulated substrate's full-load
+// rise).
+func SyntheticStablePredictor(risePerUtilC float64) BatchCasePredictor {
+	return func(cases []workload.Case) ([]float64, error) {
+		out := make([]float64, len(cases))
+		for i, c := range cases {
+			var demand float64
+			for _, vm := range c.VMs {
+				var s float64
+				for _, ts := range vm.Tasks {
+					s += ts.Task.CPUFraction
+				}
+				if cap := float64(vm.Config.VCPUs); s > cap {
+					s = cap
+				}
+				demand += s
+			}
+			util := demand / float64(c.Host.Cores)
+			if util > 1 {
+				util = 1
+			}
+			out[i] = c.AmbientC + risePerUtilC*util
+		}
+		return out, nil
+	}
+}
+
+// HeavyVMSpec builds a VM spec that pins vcpus worth of constant full CPU
+// load — the adversarial tenant used to provoke hotspots in tests, demos
+// and `vmtherm-fleetd -hotseed`.
+func HeavyVMSpec(id string, vcpus int, memGB float64) workload.VMSpec {
+	spec := workload.VMSpec{
+		ID:     id,
+		Config: vmm.VMConfig{VCPUs: vcpus, MemoryGB: memGB},
+	}
+	for k := 0; k < vcpus; k++ {
+		spec.Tasks = append(spec.Tasks, workload.TaskSpec{
+			Task: vmm.Task{
+				ID:          fmt.Sprintf("%s-t%d", id, k),
+				Class:       vmm.CPUBound,
+				CPUFraction: 1,
+				MemGB:       0.5,
+			},
+			Profile: workload.Constant{Level: 1},
+		})
+	}
+	return spec
+}

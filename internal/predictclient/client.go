@@ -132,6 +132,30 @@ func (c *Client) PredictBatch(ctx context.Context, items []predictserver.Predict
 	return out.Results, nil
 }
 
+// FleetHotspots fetches the control plane's latest published hotspot map —
+// the Δ_gap-ahead view a thermal-aware scheduler polls each round.
+func (c *Client) FleetHotspots(ctx context.Context) (*predictserver.FleetHotspotsResponse, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/fleet/hotspots", nil)
+	if err != nil {
+		return nil, err
+	}
+	var out predictserver.FleetHotspotsResponse
+	if err := c.do(req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// FleetPlace asks the control plane to place one VM with the thermal-aware
+// policy. A 409 APIError means no host could admit the VM.
+func (c *Client) FleetPlace(ctx context.Context, req predictserver.FleetPlaceRequest) (*predictserver.FleetPlaceResponse, error) {
+	var out predictserver.FleetPlaceResponse
+	if err := c.postJSON(ctx, "/v1/fleet/place", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
 // Session is a server-side dynamic prediction session.
 type Session struct {
 	c  *Client

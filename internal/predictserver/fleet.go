@@ -1,0 +1,150 @@
+package predictserver
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+
+	"vmtherm/internal/fleet"
+	"vmtherm/internal/vmm"
+	"vmtherm/internal/workload"
+)
+
+// FleetHotspot is one entry of the served hotspot map.
+type FleetHotspot struct {
+	HostID         string  `json:"host_id"`
+	PredictedTempC float64 `json:"predicted_temp_c"`
+	MarginC        float64 `json:"margin_c"`
+	UncertaintyC   float64 `json:"uncertainty_c"`
+}
+
+// FleetHotspotsResponse is the control plane's published snapshot: the
+// Δ_gap-ahead hotspot map a thermal-aware scheduler polls each round.
+type FleetHotspotsResponse struct {
+	Round      int            `json:"round"`
+	SimTimeS   float64        `json:"sim_time_s"`
+	GapS       float64        `json:"gap_s"`
+	ThresholdC float64        `json:"threshold_c"`
+	Hotspots   []FleetHotspot `json:"hotspots"`
+	StaleHosts []string       `json:"stale_hosts,omitempty"`
+}
+
+// FleetTaskSpec is one task of a placement request.
+type FleetTaskSpec struct {
+	CPUFraction float64 `json:"cpu_fraction"`
+	MemGB       float64 `json:"mem_gb"`
+}
+
+// FleetPlaceRequest asks the control plane to place one VM thermally.
+type FleetPlaceRequest struct {
+	ID       string          `json:"id"`
+	VCPUs    int             `json:"vcpus"`
+	MemoryGB float64         `json:"memory_gb"`
+	Tasks    []FleetTaskSpec `json:"tasks"`
+}
+
+// FleetPlaceResponse reports where the VM landed.
+type FleetPlaceResponse struct {
+	VMID             string  `json:"vm_id"`
+	HostID           string  `json:"host_id"`
+	PredictedStableC float64 `json:"predicted_stable_c"`
+}
+
+// WithFleet attaches a fleet control plane, enabling the /v1/fleet
+// endpoints.
+func WithFleet(f *fleet.Controller) Option {
+	return func(s *Server) { s.fleet = f }
+}
+
+func (s *Server) handleFleetHotspots(w http.ResponseWriter, _ *http.Request) {
+	if s.fleet == nil {
+		writeError(w, http.StatusServiceUnavailable, errors.New("no fleet control plane attached"))
+		return
+	}
+	snap := s.fleet.Hotspots()
+	resp := FleetHotspotsResponse{
+		Round:      snap.Round,
+		SimTimeS:   snap.SimTimeS,
+		GapS:       snap.GapS,
+		ThresholdC: snap.ThresholdC,
+		StaleHosts: snap.StaleHosts,
+		Hotspots:   make([]FleetHotspot, len(snap.Hotspots)),
+	}
+	for i, h := range snap.Hotspots {
+		resp.Hotspots[i] = FleetHotspot{
+			HostID:         h.HostID,
+			PredictedTempC: h.PredictedTempC,
+			MarginC:        h.MarginC,
+			UncertaintyC:   h.UncertaintyC,
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleFleetPlace(w http.ResponseWriter, r *http.Request) {
+	if s.fleet == nil {
+		writeError(w, http.StatusServiceUnavailable, errors.New("no fleet control plane attached"))
+		return
+	}
+	var req FleetPlaceRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	spec, err := req.toSpec()
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	dec, err := s.fleet.PlaceNow(spec)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	if dec.Rejected != "" {
+		writeError(w, http.StatusConflict, errors.New(dec.Rejected))
+		return
+	}
+	writeJSON(w, http.StatusOK, FleetPlaceResponse{
+		VMID:             dec.VMID,
+		HostID:           dec.HostID,
+		PredictedStableC: dec.PredictedStableC,
+	})
+}
+
+// toSpec converts the wire request to a workload spec. A request with no
+// tasks gets one full-vCPU CPU-bound task per vCPU (a conservatively hot
+// assumption for an unknown tenant).
+func (r FleetPlaceRequest) toSpec() (workload.VMSpec, error) {
+	if r.ID == "" {
+		return workload.VMSpec{}, errors.New("placement request missing id")
+	}
+	cfg := vmm.VMConfig{VCPUs: r.VCPUs, MemoryGB: r.MemoryGB}
+	if err := cfg.Validate(); err != nil {
+		return workload.VMSpec{}, err
+	}
+	spec := workload.VMSpec{ID: r.ID, Config: cfg}
+	tasks := r.Tasks
+	if len(tasks) == 0 {
+		for i := 0; i < r.VCPUs; i++ {
+			tasks = append(tasks, FleetTaskSpec{CPUFraction: 1, MemGB: r.MemoryGB / float64(r.VCPUs) / 2})
+		}
+	}
+	for i, ts := range tasks {
+		frac := ts.CPUFraction
+		if frac < 0 || frac > 1 {
+			return workload.VMSpec{}, errors.New("task cpu_fraction outside [0,1]")
+		}
+		spec.Tasks = append(spec.Tasks, workload.TaskSpec{
+			Task: vmm.Task{
+				ID:          spec.ID + "-t" + strconv.Itoa(i),
+				Class:       vmm.CPUBound,
+				CPUFraction: frac,
+				MemGB:       ts.MemGB,
+			},
+			Profile: workload.Constant{Level: frac},
+		})
+	}
+	return spec, nil
+}

@@ -1,0 +1,131 @@
+package predictserver
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"vmtherm/internal/fleet"
+)
+
+// hotFleet builds a 1-rack/4-host controller with one overloaded machine
+// and runs it until the hotspot map is non-empty.
+func hotFleet(t *testing.T) *fleet.Controller {
+	t.Helper()
+	cfg := fleet.DefaultConfig()
+	cfg.Racks = 1
+	cfg.HostsPerRack = 4
+	cfg.ThresholdC = 70
+	cfg.MaxMigrationsPerRound = 0
+	cfg.Seed = 23
+	ctl, err := fleet.New(cfg, fleet.SyntheticStablePredictor(75))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 6; v++ {
+		if err := ctl.PlaceAt("r0-h0", fleet.HeavyVMSpec(fmt.Sprintf("hot-%02d", v), 4, 8)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for round := 0; round < 40; round++ {
+		if _, err := ctl.RunRound(); err != nil {
+			t.Fatal(err)
+		}
+		if len(ctl.Hotspots().Hotspots) > 0 {
+			return ctl
+		}
+	}
+	t.Fatal("fleet never produced a hotspot")
+	return nil
+}
+
+func TestFleetEndpointsUnavailableWithoutController(t *testing.T) {
+	_, ts, _ := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/v1/fleet/hotspots")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("hotspots without fleet: got %d, want 503", resp.StatusCode)
+	}
+	resp = postJSON(t, ts.URL+"/v1/fleet/place", FleetPlaceRequest{ID: "x", VCPUs: 1, MemoryGB: 1})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("place without fleet: got %d, want 503", resp.StatusCode)
+	}
+}
+
+func TestFleetHotspotsEndpoint(t *testing.T) {
+	m, _ := testModel(t)
+	ctl := hotFleet(t)
+	srv, err := New(m, WithFleet(ctl))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	resp, err := http.Get(ts.URL + "/v1/fleet/hotspots")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := decode[FleetHotspotsResponse](t, resp)
+	if out.Round == 0 {
+		t.Fatal("snapshot round not populated")
+	}
+	if len(out.Hotspots) == 0 {
+		t.Fatal("hotspot map empty despite overloaded host")
+	}
+	if out.Hotspots[0].HostID != "r0-h0" {
+		t.Fatalf("hottest host %q, want r0-h0", out.Hotspots[0].HostID)
+	}
+	if out.Hotspots[0].MarginC <= 0 || out.Hotspots[0].PredictedTempC <= out.ThresholdC {
+		t.Fatalf("implausible hotspot %+v under threshold %v", out.Hotspots[0], out.ThresholdC)
+	}
+	// Margins must come back sorted descending (API determinism contract).
+	for i := 1; i < len(out.Hotspots); i++ {
+		if out.Hotspots[i].MarginC > out.Hotspots[i-1].MarginC {
+			t.Fatalf("hotspots not sorted by descending margin: %+v", out.Hotspots)
+		}
+	}
+}
+
+func TestFleetPlaceEndpoint(t *testing.T) {
+	m, _ := testModel(t)
+	ctl := hotFleet(t)
+	srv, err := New(m, WithFleet(ctl))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	resp := postJSON(t, ts.URL+"/v1/fleet/place", FleetPlaceRequest{
+		ID: "tenant-1", VCPUs: 2, MemoryGB: 4,
+		Tasks: []FleetTaskSpec{{CPUFraction: 0.8, MemGB: 1}},
+	})
+	out := decode[FleetPlaceResponse](t, resp)
+	if out.HostID == "" || out.HostID == "r0-h0" {
+		t.Fatalf("placement landed on %q (hotspot or empty)", out.HostID)
+	}
+	if out.VMID != "tenant-1" {
+		t.Fatalf("vm id %q, want tenant-1", out.VMID)
+	}
+
+	// Missing id → 422.
+	resp = postJSON(t, ts.URL+"/v1/fleet/place", FleetPlaceRequest{VCPUs: 1, MemoryGB: 1})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("missing id: got %d, want 422", resp.StatusCode)
+	}
+	// Impossible shape → 409 no capacity.
+	resp = postJSON(t, ts.URL+"/v1/fleet/place", FleetPlaceRequest{ID: "huge", VCPUs: 4096, MemoryGB: 4096})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("impossible placement: got %d, want 409", resp.StatusCode)
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"sync"
 
 	"vmtherm/internal/core"
+	"vmtherm/internal/fleet"
 )
 
 // MaxBatchItems caps the item count of one batch request. A datacenter
@@ -58,6 +59,9 @@ type Server struct {
 	model *core.StablePredictor
 	store *sessionStore
 	pool  *workerPool
+	// fleet, when attached via WithFleet, serves the /v1/fleet endpoints:
+	// the Δ_gap-ahead hotspot map and thermal-aware placement.
+	fleet *fleet.Controller
 }
 
 // Option customizes a Server.
@@ -111,6 +115,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/session/batch/observe", s.handleObserveBatch)
 	mux.HandleFunc("POST /v1/session/batch/predict", s.handlePredictBatch)
 	mux.HandleFunc("DELETE /v1/session/{id}", s.handleDeleteSession)
+	mux.HandleFunc("GET /v1/fleet/hotspots", s.handleFleetHotspots)
+	mux.HandleFunc("POST /v1/fleet/place", s.handleFleetPlace)
 	return mux
 }
 

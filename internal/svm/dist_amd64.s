@@ -1,6 +1,8 @@
 // AVX2+FMA kernels for batch RBF evaluation. Only used when runtime CPUID
 // detection (dist_amd64.go) confirms AVX2, FMA and OS ymm-state support;
-// sqDistsGeneric is the portable fallback.
+// sqDistsGeneric is the portable fallback (forced by the noasm build tag).
+
+//go:build amd64 && !noasm
 
 #include "textflag.h"
 

@@ -1,10 +1,11 @@
-//go:build !amd64
+//go:build !amd64 || noasm
 
 package svm
 
 // sqDistsInto writes ||sv_k - x||^2 for every support-vector row of flat
-// (row-major, stride dim) into dists. Non-amd64 platforms always take the
-// portable blocked path.
+// (row-major, stride dim) into dists. Non-amd64 platforms — and any build
+// with the noasm tag, which CI uses to exercise this path on every PR —
+// always take the portable blocked path.
 func sqDistsInto(flat []float64, dim int, x, dists []float64) {
 	sqDistsGeneric(flat, dim, x, dists)
 }
