@@ -16,15 +16,18 @@ package vmtherm_test
 
 import (
 	"context"
+	"fmt"
 	"net/http/httptest"
 	"testing"
 
 	"vmtherm"
 	"vmtherm/internal/dataset"
+	"vmtherm/internal/engine"
 	"vmtherm/internal/experiments"
 	"vmtherm/internal/predictclient"
 	"vmtherm/internal/predictserver"
 	"vmtherm/internal/svm"
+	"vmtherm/internal/telemetry"
 	"vmtherm/internal/testbed"
 	"vmtherm/internal/thermal"
 	"vmtherm/internal/workload"
@@ -409,6 +412,50 @@ func BenchmarkFleetRound(b *testing.B) {
 	if d := b.Elapsed().Seconds(); d > 0 {
 		b.ReportMetric(float64(hosts*b.N)/d, "hosts/s")
 		b.ReportMetric(cfg.UpdateEveryS*float64(b.N)/d, "x-realtime")
+	}
+}
+
+// BenchmarkEngineRound measures one steady-state control round of the
+// unified session engine at 1024 hosts: staleness accounting, calibration,
+// re-anchor checks and Δ_gap-ahead prediction per host — the hot path under
+// both the fleet control plane and the prediction service. The engine's
+// contract is zero allocations per round (the B/op column must stay 0).
+func BenchmarkEngineRound(b *testing.B) {
+	eng, err := engine.New(engine.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	const hosts = 1024
+	order := make([]string, hosts)
+	latest := make(map[string]telemetry.Reading, hosts)
+	anchors := make(map[string]float64, hosts)
+	for i := range order {
+		id := fmt.Sprintf("r%02d-h%03d", i/64, i%64)
+		order[i] = id
+		latest[id] = telemetry.Reading{HostID: id, AtS: 0, TempC: 25 + float64(i%30)}
+		anchors[id] = 40 + float64(i%40)
+	}
+	// Build every session before timing: steady state, not cold start.
+	dst, _ := eng.Round(nil, 0, order, latest, anchors)
+	now := 0.0
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now += 15
+		for _, id := range order {
+			r := latest[id]
+			r.AtS = now
+			r.TempC = 25 + float64((i+int(r.TempC))%30)
+			latest[id] = r
+		}
+		dst, _ = eng.Round(dst[:0], now, order, latest, anchors)
+		if len(dst) != hosts {
+			b.Fatalf("round produced %d predictions, want %d", len(dst), hosts)
+		}
+	}
+	if d := b.Elapsed().Seconds(); d > 0 {
+		b.ReportMetric(float64(hosts*b.N)/d, "hosts/s")
 	}
 }
 

@@ -1,14 +1,22 @@
-// vmtherm-fleetd runs the fleet thermal control plane end to end: a
-// simulated datacenter of racks × hosts streams telemetry through the
-// bounded ingest pipeline into per-host dynamic prediction sessions, every
-// round batch-predicts ψ_stable anchors through the SVM batch kernel, rolls
+// vmtherm-fleetd runs the fleet thermal control plane end to end against a
+// pluggable telemetry source: per-host readings stream through the bounded
+// ingest pipeline into the unified session engine, every round
+// batch-predicts ψ_stable anchors through the SVM batch kernel, rolls
 // Δ_gap-ahead temperatures into a hotspot map, reconciles migration
 // proposals, and places incoming VM requests thermally — printing one
 // summary line per round.
 //
-// The loop runs simulated time faster than real time; the final summary
-// reports the speedup so a capacity plan can check that a real deployment
-// at the same calibration interval would keep up.
+// Sources (-source):
+//
+//	sim     a simulated datacenter of racks × hosts (default); the loop runs
+//	        simulated time faster than real time and the final summary
+//	        reports the speedup
+//	trace   deterministic replay of a recorded trace CSV (-trace), at
+//	        optional real-time pacing (-speed); recorded experiments become
+//	        first-class workloads
+//	scrape  live ingestion from any Prometheus-exposition endpoint
+//	        (-scrape-url), e.g. a Kepler node exporter or another vmtherm's
+//	        /metrics; rounds pace to wall-clock Δ_update
 //
 // Usage:
 //
@@ -16,6 +24,8 @@
 //	vmtherm-fleetd -model model.svm -rounds 40            # use a pretrained model
 //	vmtherm-fleetd -synthetic -rounds 40                  # no SVM, physics stand-in
 //	vmtherm-fleetd -addr :8080 -rounds 0                  # serve /v1/fleet/* forever
+//	vmtherm-fleetd -source trace -trace run.csv -synthetic
+//	vmtherm-fleetd -source scrape -scrape-url http://kepler:9102/metrics -synthetic
 package main
 
 import (
@@ -44,21 +54,31 @@ func main() {
 
 func run() error {
 	var (
-		racks      = flag.Int("racks", 8, "number of racks")
-		hosts      = flag.Int("hosts", 32, "hosts per rack")
-		rounds     = flag.Int("rounds", 40, "control rounds to run (0 = until interrupted)")
+		source     = flag.String("source", "sim", "telemetry source: sim | trace | scrape")
+		racks      = flag.Int("racks", 8, "number of racks (sim source)")
+		hosts      = flag.Int("hosts", 32, "hosts per rack (sim source)")
+		rounds     = flag.Int("rounds", 40, "control rounds to run (0 = until interrupted or trace end)")
 		seed       = flag.Int64("seed", 2016, "simulation seed")
 		threshold  = flag.Float64("threshold", 65, "hotspot threshold, °C")
 		update     = flag.Float64("update", 15, "Δ_update calibration interval, s")
 		gap        = flag.Float64("gap", 60, "Δ_gap prediction horizon, s")
-		arrivals   = flag.Int("arrivals", 2, "VM requests submitted per round")
+		arrivals   = flag.Int("arrivals", 2, "VM requests submitted per round (sim source)")
 		migrations = flag.Int("migrations", 1, "max migrations applied per round")
-		hotseed    = flag.Int("hotseed", 0, "force-place this many heavy VMs on r0-h0 to provoke a hotspot")
+		hotseed    = flag.Int("hotseed", 0, "force-place this many heavy VMs on r0-h0 to provoke a hotspot (sim source)")
 		trainCases = flag.Int("train-cases", 24, "simulated experiments to train the fast model on")
 		modelPath  = flag.String("model", "", "load a pretrained stable model instead of training")
 		synthetic  = flag.Bool("synthetic", false, "skip the SVM; use a physics stand-in predictor")
-		addr       = flag.String("addr", "", "optional listen address for /v1/fleet endpoints")
-		pace       = flag.Bool("pace", false, "pace rounds to wall-clock Δ_update (default when serving forever)")
+		addr       = flag.String("addr", "", "optional listen address for /v1/fleet endpoints and /metrics")
+		pace       = flag.Bool("pace", false, "pace rounds to wall-clock Δ_update (default when serving forever or scraping)")
+		tracePath  = flag.String("trace", "", "trace CSV to replay (trace source)")
+		speed      = flag.Float64("speed", 0, "trace replay pacing multiplier (0 = as fast as possible)")
+		loop       = flag.Bool("loop", false, "loop the trace when it runs out")
+		scrapeURL  = flag.String("scrape-url", "", "Prometheus exposition endpoint (scrape source)")
+		scrapeTemp = flag.String("scrape-temp", "", "temperature metric name (default vmtherm_host_temp_celsius)")
+		scrapeUtil = flag.String("scrape-util", "", "utilization metric name (default vmtherm_host_util_ratio)")
+		scrapeMem  = flag.String("scrape-mem", "", "memory metric name (default vmtherm_host_mem_ratio)")
+		scrapeHost = flag.String("scrape-host-label", "", "host label name (default host)")
+		ambient    = flag.Float64("ambient", 22, "δ_env assumed for ψ_stable anchors (trace/scrape sources)")
 	)
 	flag.Parse()
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -109,46 +129,154 @@ func run() error {
 	cfg.UpdateEveryS = *update
 	cfg.GapS = *gap
 	cfg.MaxMigrationsPerRound = *migrations
+	cfg.SourceAmbientC = *ambient
 	cfg.Seed = *seed
-	ctl, err := vmtherm.NewFleet(cfg, predict)
-	if err != nil {
-		return err
-	}
-	n := *racks * *hosts
-	log.Printf("fleet: %d racks × %d hosts = %d servers, Δ_update %.0fs, Δ_gap %.0fs, threshold %.1f°C",
-		*racks, *hosts, n, cfg.UpdateEveryS, cfg.GapS, cfg.ThresholdC)
 
-	// An optional adversarial seed: pile heavy VMs onto one machine so the
-	// proactive loop (flag from prediction → propose → migrate) is visible.
-	for v := 0; v < *hotseed; v++ {
-		spec := vmtherm.FleetHeavyVMSpec(fmt.Sprintf("hotseed-%02d", v), 4, 8)
-		if err := ctl.PlaceAt("r0-h0", spec); err != nil {
-			return fmt.Errorf("hotseed: %w", err)
+	var ctl *vmtherm.FleetController
+	var trace *vmtherm.TraceSource
+	switch *source {
+	case "sim":
+		c, err := vmtherm.NewFleet(cfg, predict)
+		if err != nil {
+			return err
 		}
+		ctl = c
+		n := *racks * *hosts
+		log.Printf("fleet: %d racks × %d hosts = %d servers, Δ_update %.0fs, Δ_gap %.0fs, threshold %.1f°C",
+			*racks, *hosts, n, cfg.UpdateEveryS, cfg.GapS, cfg.ThresholdC)
+	case "trace":
+		if *tracePath == "" {
+			return errors.New("-source trace requires -trace <csv>")
+		}
+		f, err := os.Open(*tracePath)
+		if err != nil {
+			return err
+		}
+		readings, err := vmtherm.ReadTrace(f)
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("reading trace: %w", err)
+		}
+		src, err := vmtherm.NewTraceSource(readings, vmtherm.TraceOptions{Speed: *speed, Loop: *loop})
+		if err != nil {
+			return err
+		}
+		trace = src
+		ctl, err = vmtherm.NewFleetWithSource(cfg, src, predict)
+		if err != nil {
+			return err
+		}
+		log.Printf("replaying %d readings from %s (speed %.0gx, loop %v), Δ_update %.0fs, Δ_gap %.0fs",
+			len(readings), *tracePath, *speed, *loop, cfg.UpdateEveryS, cfg.GapS)
+	case "scrape":
+		if *scrapeURL == "" {
+			return errors.New("-source scrape requires -scrape-url <endpoint>")
+		}
+		src, err := vmtherm.NewScrapeSource(vmtherm.ScrapeConfig{
+			URL:        *scrapeURL,
+			TempMetric: *scrapeTemp,
+			UtilMetric: *scrapeUtil,
+			MemMetric:  *scrapeMem,
+			HostLabel:  *scrapeHost,
+		})
+		if err != nil {
+			return err
+		}
+		ctl, err = vmtherm.NewFleetWithSource(cfg, src, predict)
+		if err != nil {
+			return err
+		}
+		log.Printf("scraping %s every Δ_update %.0fs, Δ_gap %.0fs", *scrapeURL, cfg.UpdateEveryS, cfg.GapS)
+	default:
+		return fmt.Errorf("unknown -source %q (want sim, trace or scrape)", *source)
 	}
 
-	// Seed the fleet with an initial tenant population (~40% of capacity)
-	// placed thermally, then feed fresh arrivals every round.
-	arrivalStream, err := arrivalSpecs(*seed, n*2)
-	if err != nil {
-		return err
+	if *source == "sim" {
+		// An optional adversarial seed: pile heavy VMs onto one machine so
+		// the proactive loop (flag from prediction → propose → migrate) is
+		// visible.
+		for v := 0; v < *hotseed; v++ {
+			spec := vmtherm.FleetHeavyVMSpec(fmt.Sprintf("hotseed-%02d", v), 4, 8)
+			if err := ctl.PlaceAt("r0-h0", spec); err != nil {
+				return fmt.Errorf("hotseed: %w", err)
+			}
+		}
+		// Seed the fleet with an initial tenant population (~40% of
+		// capacity) placed thermally, then feed fresh arrivals every round.
+		n := *racks * *hosts
+		arrivalStream, err := arrivalSpecs(*seed, n*2)
+		if err != nil {
+			return err
+		}
+		next := 0
+		for i := 0; i < n/2 && next < len(arrivalStream); i++ {
+			ctl.Submit(arrivalStream[next])
+			next++
+		}
+		return runLoop(ctx, ctl, loopOptions{
+			rounds:   *rounds,
+			pace:     *pace || (*rounds == 0 && *addr != ""),
+			updateS:  cfg.UpdateEveryS,
+			addr:     *addr,
+			model:    model,
+			arrivals: func(round int) { submitArrivals(ctl, arrivalStream, &next, *arrivals) },
+		})
 	}
-	next := 0
-	for i := 0; i < n/2 && next < len(arrivalStream); i++ {
-		ctl.Submit(arrivalStream[next])
-		next++
+	paceInterval := 0.0
+	if *source == "scrape" || *pace {
+		paceInterval = cfg.UpdateEveryS
 	}
+	if trace != nil && trace.Speed() > 0 {
+		paceInterval = cfg.UpdateEveryS / trace.Speed()
+	}
+	return runLoop(ctx, ctl, loopOptions{
+		rounds:    *rounds,
+		pace:      paceInterval > 0,
+		updateS:   cfg.UpdateEveryS,
+		paceS:     paceInterval,
+		addr:      *addr,
+		model:     model,
+		traceDone: func() bool { return trace != nil && trace.Done() },
+	})
+}
 
-	if *addr != "" {
-		if model == nil {
+// loopOptions parameterize the round loop shared by every source.
+type loopOptions struct {
+	rounds  int
+	pace    bool
+	updateS float64
+	// paceS is the wall-clock interval when pacing (0 = updateS).
+	paceS float64
+	addr  string
+	model *vmtherm.StablePredictor
+	// arrivals, when set, submits the round's VM requests (sim source).
+	arrivals func(round int)
+	// traceDone, when set, reports replay exhaustion (trace source).
+	traceDone func() bool
+}
+
+func submitArrivals(ctl *vmtherm.FleetController, stream []vmtherm.VMSpec, next *int, n int) {
+	for a := 0; a < n && *next < len(stream); a++ {
+		ctl.Submit(stream[*next])
+		*next++
+	}
+}
+
+// runLoop serves the fleet API (optionally) and executes control rounds
+// until the round budget, the trace, or the context runs out.
+func runLoop(ctx context.Context, ctl *vmtherm.FleetController, opts loopOptions) error {
+	if opts.addr != "" {
+		if opts.model == nil {
 			return fmt.Errorf("-addr requires a stable model (drop -synthetic)")
 		}
-		srv, err := predictserver.New(model, predictserver.WithFleet(ctl))
+		srv, err := predictserver.New(opts.model, predictserver.WithFleet(ctl))
 		if err != nil {
 			return err
 		}
 		defer srv.Close()
-		httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler(), ReadHeaderTimeout: 5 * time.Second}
+		httpSrv := &http.Server{Addr: opts.addr, Handler: srv.Handler(), ReadHeaderTimeout: 5 * time.Second}
 		go func() {
 			if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 				log.Printf("http: %v", err)
@@ -159,48 +287,56 @@ func run() error {
 			defer cancel()
 			_ = httpSrv.Shutdown(shutCtx)
 		}()
-		log.Printf("serving fleet API on %s", *addr)
+		log.Printf("serving fleet API and /metrics on %s", opts.addr)
 	}
 
-	// Serving forever at simulation speed would just spin the CPU; pace the
-	// loop to real time unless told otherwise.
-	paced := *pace || (*rounds == 0 && *addr != "")
-	if paced {
-		log.Printf("pacing rounds to wall-clock Δ_update (%.0fs)", cfg.UpdateEveryS)
+	paceS := opts.paceS
+	if paceS == 0 {
+		paceS = opts.updateS
+	}
+	if opts.pace {
+		log.Printf("pacing rounds to wall-clock %.3gs", paceS)
 	}
 	start := time.Now()
 	var simSeconds float64
 	var totalHotspots, totalMoves, totalPlaced int
 loop:
-	for round := 1; *rounds == 0 || round <= *rounds; round++ {
+	for round := 1; opts.rounds == 0 || round <= opts.rounds; round++ {
 		select {
 		case <-ctx.Done():
 			log.Print("interrupted")
 			break loop
 		default:
 		}
-		for a := 0; a < *arrivals && next < len(arrivalStream); a++ {
-			ctl.Submit(arrivalStream[next])
-			next++
+		if opts.traceDone != nil && opts.traceDone() {
+			log.Print("trace exhausted")
+			break loop
+		}
+		if opts.arrivals != nil {
+			opts.arrivals(round)
 		}
 		rep, err := ctl.RunRound()
 		if err != nil {
 			return err
 		}
-		simSeconds += cfg.UpdateEveryS
+		simSeconds += opts.updateS
 		totalHotspots += rep.Hotspots
 		totalMoves += rep.AppliedMoves
 		totalPlaced += rep.Placements
-		speedup := cfg.UpdateEveryS / rep.Latency.Seconds()
-		fmt.Printf("round %3d t=%5.0fs | sessions %3d/%3d | telemetry %4d (drops %d) | stale %2d | hotspots %2d (max %.1f°C) | placed %d rejected %d | moves %d/%d | %6.1fms (ctl %.1fms) | %6.0f× realtime\n",
+		speedup := opts.updateS / rep.Latency.Seconds()
+		line := fmt.Sprintf("round %3d t=%5.0fs | sessions %3d/%3d | telemetry %4d (drops %d, superseded %d) | stale %2d | hotspots %2d (max %.1f°C) | placed %d rejected %d | moves %d/%d | %6.1fms (ctl %.1fms) | %6.0f× realtime",
 			rep.Round, rep.SimTimeS, rep.SessionsLive, rep.Hosts,
-			rep.TelemetryDrained, rep.DroppedTotal, rep.StaleHosts,
+			rep.TelemetryDrained, rep.DroppedTotal, rep.SupersededTotal, rep.StaleHosts,
 			rep.Hotspots, rep.MaxPredictedC, rep.Placements, rep.Rejections,
 			rep.AppliedMoves, rep.ProposedMoves,
 			float64(rep.Latency.Microseconds())/1000,
 			float64(rep.ControlLatency.Microseconds())/1000, speedup)
-		if paced {
-			wait := time.Duration(cfg.UpdateEveryS*float64(time.Second)) - rep.Latency
+		if rep.SourceError != "" {
+			line += " | SOURCE ERROR: " + rep.SourceError
+		}
+		fmt.Println(line)
+		if opts.pace {
+			wait := time.Duration(paceS*float64(time.Second)) - rep.Latency
 			if wait > 0 {
 				select {
 				case <-ctx.Done():
@@ -210,12 +346,12 @@ loop:
 		}
 	}
 	wall := time.Since(start)
-	log.Printf("simulated %.0fs of fleet time in %v (%.0f× real time): %d hotspot-rounds, %d migrations, %d placements",
+	log.Printf("processed %.0fs of fleet time in %v (%.0f× real time): %d hotspot-rounds, %d migrations, %d placements",
 		simSeconds, wall.Round(time.Millisecond), simSeconds/wall.Seconds(),
 		totalHotspots, totalMoves, totalPlaced)
 	if wall.Seconds() < simSeconds {
-		log.Printf("OK: a %.0fs calibration interval is sustainable in real time at this fleet size", cfg.UpdateEveryS)
-	} else {
+		log.Printf("OK: a %.0fs calibration interval is sustainable in real time at this fleet size", opts.updateS)
+	} else if !opts.pace {
 		log.Printf("WARNING: control loop slower than real time at this fleet size")
 	}
 	return nil

@@ -5,16 +5,26 @@
 // Endpoints:
 //
 //	GET    /healthz                      liveness probe
+//	GET    /metrics                      Prometheus exposition (scrape-able)
 //	POST   /v1/predict/stable            {"features": [16 floats]} → ψ_stable
+//	POST   /v1/stable/batch              batch ψ_stable through the SVM kernel
 //	POST   /v1/session                   create a dynamic-prediction session
 //	POST   /v1/session/{id}/observe      feed φ(t); calibrates per Δ_update
 //	GET    /v1/session/{id}/predict?t=   ψ(t + Δ_gap) with current γ
 //	DELETE /v1/session/{id}              drop a session
+//	POST   /v1/fleet/ingest              push telemetry (with -source)
+//	GET    /v1/fleet/hotspots            Δ_gap-ahead hotspot map (with -source)
+//
+// With -source, the daemon additionally runs a fleet control loop in the
+// background — simulated (sim), replaying a recorded trace (trace), or
+// scraping a live Prometheus exporter such as Kepler (scrape) — and serves
+// its hotspot map and per-host gauges from the same process.
 //
 // Usage:
 //
 //	vmtherm-train -fast -out model.svm
 //	vmtherm-predictd -model model.svm -addr :8080
+//	vmtherm-predictd -model model.svm -source scrape -scrape-url http://kepler:9102/metrics
 package main
 
 import (
@@ -43,8 +53,24 @@ func main() {
 
 func run() error {
 	var (
-		addr      = flag.String("addr", ":8080", "listen address")
-		modelPath = flag.String("model", "model.svm", "trained stable model path")
+		addr       = flag.String("addr", ":8080", "listen address")
+		modelPath  = flag.String("model", "model.svm", "trained stable model path")
+		source     = flag.String("source", "", "optional fleet telemetry source: sim | trace | scrape")
+		racks      = flag.Int("racks", 4, "number of racks (sim source)")
+		hosts      = flag.Int("hosts", 16, "hosts per rack (sim source)")
+		seed       = flag.Int64("seed", 2016, "simulation seed (sim source)")
+		threshold  = flag.Float64("threshold", 65, "hotspot threshold, °C")
+		update     = flag.Float64("update", 15, "Δ_update calibration interval, s")
+		gap        = flag.Float64("gap", 60, "Δ_gap prediction horizon, s")
+		tracePath  = flag.String("trace", "", "trace CSV to replay (trace source)")
+		speed      = flag.Float64("speed", 1, "trace replay pacing multiplier")
+		loop       = flag.Bool("loop", true, "loop the trace when it runs out")
+		scrapeURL  = flag.String("scrape-url", "", "Prometheus exposition endpoint (scrape source)")
+		scrapeTemp = flag.String("scrape-temp", "", "temperature metric name (default vmtherm_host_temp_celsius)")
+		scrapeUtil = flag.String("scrape-util", "", "utilization metric name (default vmtherm_host_util_ratio)")
+		scrapeMem  = flag.String("scrape-mem", "", "memory metric name (default vmtherm_host_mem_ratio)")
+		scrapeHost = flag.String("scrape-host-label", "", "host label name (default host)")
+		ambient    = flag.Float64("ambient", 22, "δ_env assumed for ψ_stable anchors (trace/scrape sources)")
 	)
 	flag.Parse()
 
@@ -60,18 +86,113 @@ func run() error {
 		return fmt.Errorf("loading model: %w", err)
 	}
 
-	srv, err := predictserver.New(model)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	opts := []predictserver.Option{}
+	var ctl *vmtherm.FleetController
+	var paceS float64
+	if *source != "" {
+		cfg := vmtherm.DefaultFleetConfig()
+		cfg.Racks = *racks
+		cfg.HostsPerRack = *hosts
+		cfg.ThresholdC = *threshold
+		cfg.UpdateEveryS = *update
+		cfg.GapS = *gap
+		cfg.SourceAmbientC = *ambient
+		cfg.Seed = *seed
+		predict := vmtherm.FleetStablePredictor(model, 1800)
+
+		switch *source {
+		case "sim":
+			ctl, err = vmtherm.NewFleet(cfg, predict)
+		case "trace":
+			if *tracePath == "" {
+				return errors.New("-source trace requires -trace <csv>")
+			}
+			var tf *os.File
+			if tf, err = os.Open(*tracePath); err != nil {
+				return err
+			}
+			var readings []vmtherm.FleetReading
+			readings, err = vmtherm.ReadTrace(tf)
+			if cerr := tf.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+			if err != nil {
+				return fmt.Errorf("reading trace: %w", err)
+			}
+			var src *vmtherm.TraceSource
+			if src, err = vmtherm.NewTraceSource(readings, vmtherm.TraceOptions{Speed: *speed, Loop: *loop}); err != nil {
+				return err
+			}
+			ctl, err = vmtherm.NewFleetWithSource(cfg, src, predict)
+		case "scrape":
+			if *scrapeURL == "" {
+				return errors.New("-source scrape requires -scrape-url <endpoint>")
+			}
+			var src *vmtherm.ScrapeSource
+			src, err = vmtherm.NewScrapeSource(vmtherm.ScrapeConfig{
+				URL:        *scrapeURL,
+				TempMetric: *scrapeTemp,
+				UtilMetric: *scrapeUtil,
+				MemMetric:  *scrapeMem,
+				HostLabel:  *scrapeHost,
+			})
+			if err != nil {
+				return err
+			}
+			ctl, err = vmtherm.NewFleetWithSource(cfg, src, predict)
+		default:
+			return fmt.Errorf("unknown -source %q (want sim, trace or scrape)", *source)
+		}
+		if err != nil {
+			return err
+		}
+		// Pace from the controller's *resolved* config: a zero -update flag
+		// is defaulted inside the controller, and a zero ticker interval
+		// would panic the round loop.
+		paceS = ctl.Config().UpdateEveryS
+		if *source == "trace" && *speed > 0 {
+			paceS /= *speed
+		}
+		opts = append(opts, predictserver.WithFleet(ctl))
+		log.Printf("fleet control loop attached (source %s, Δ_update %.0fs paced to %.3gs)",
+			*source, ctl.Config().UpdateEveryS, paceS)
+	}
+
+	srv, err := predictserver.New(model, opts...)
 	if err != nil {
 		return err
 	}
+	defer srv.Close()
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
+	// The background control loop: one round per paced interval, errors
+	// logged (live sources degrade; they must not kill the API server).
+	if ctl != nil {
+		go func() {
+			ticker := time.NewTicker(time.Duration(paceS * float64(time.Second)))
+			defer ticker.Stop()
+			for {
+				rep, err := ctl.RunRound()
+				if err != nil {
+					log.Printf("fleet round: %v", err)
+				} else if rep.SourceError != "" {
+					log.Printf("fleet round %d: source error: %s", rep.Round, rep.SourceError)
+				}
+				select {
+				case <-ctx.Done():
+					return
+				case <-ticker.C:
+				}
+			}
+		}()
+	}
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()

@@ -1,7 +1,11 @@
 package vmtherm
 
 import (
+	"io"
+
+	"vmtherm/internal/dataset"
 	"vmtherm/internal/fleet"
+	"vmtherm/internal/telemetry"
 )
 
 // Fleet-layer re-exports: the thermal control plane that closes the paper's
@@ -53,3 +57,42 @@ func FleetSyntheticPredictor(risePerUtilC float64) BatchCasePredictor {
 func FleetHeavyVMSpec(id string, vcpus int, memGB float64) VMSpec {
 	return fleet.HeavyVMSpec(id, vcpus, memGB)
 }
+
+// Telemetry-source re-exports: the pluggable data path that lets the same
+// closed loop run against synthetic fleets, recorded experiments, or live
+// Prometheus exporters.
+type (
+	// TelemetrySource streams host readings into the control plane.
+	TelemetrySource = telemetry.Source
+	// TraceSource replays a recorded trace deterministically.
+	TraceSource = telemetry.TraceSource
+	// TraceOptions tune trace replay (speed, looping).
+	TraceOptions = telemetry.TraceOptions
+	// ScrapeSource ingests any Prometheus-exposition endpoint.
+	ScrapeSource = telemetry.ScrapeSource
+	// ScrapeConfig parameterizes a scraper (metric/label names, URL).
+	ScrapeConfig = telemetry.ScrapeConfig
+)
+
+// NewFleetWithSource builds a control plane over an external telemetry
+// source (trace replay, live scraping) instead of a simulated fleet.
+func NewFleetWithSource(cfg FleetConfig, src TelemetrySource, predict BatchCasePredictor) (*FleetController, error) {
+	return fleet.NewWithSource(cfg, src, predict)
+}
+
+// NewTraceSource builds a deterministic replay source over readings.
+func NewTraceSource(readings []FleetReading, opts TraceOptions) (*TraceSource, error) {
+	return telemetry.NewTraceSource(readings, opts)
+}
+
+// NewScrapeSource builds a Prometheus-exposition scraper; zero-valued
+// metric/label names target vmtherm's own /metrics export.
+func NewScrapeSource(cfg ScrapeConfig) (*ScrapeSource, error) {
+	return telemetry.NewScrapeSource(cfg)
+}
+
+// ReadTrace parses a telemetry trace CSV written by WriteTrace.
+func ReadTrace(r io.Reader) ([]FleetReading, error) { return dataset.ReadTrace(r) }
+
+// WriteTrace serializes readings as a replayable trace CSV.
+func WriteTrace(w io.Writer, readings []FleetReading) error { return dataset.WriteTrace(w, readings) }

@@ -1,0 +1,93 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+
+	"vmtherm/internal/telemetry"
+)
+
+// Telemetry traces are the recorded-experiment counterpart of the Eq. (2)
+// training records: a time-ordered sequence of per-host readings captured
+// from a live run (simulated or real), replayable through
+// telemetry.NewTraceSource so the same closed loop that runs against the
+// simulator runs against recorded data.
+
+// traceHeader is the canonical trace CSV column order.
+var traceHeader = []string{"host_id", "at_s", "temp_c", "util", "mem_frac"}
+
+// WriteTrace serializes readings as CSV with a header row, in the order
+// given (record traces through telemetry.SortReadings first for the
+// canonical time/host order).
+func WriteTrace(w io.Writer, readings []telemetry.Reading) error {
+	if len(readings) == 0 {
+		return errors.New("dataset: no readings to write")
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write(traceHeader); err != nil {
+		return err
+	}
+	row := make([]string, len(traceHeader))
+	for _, r := range readings {
+		if r.HostID == "" {
+			return errors.New("dataset: trace reading missing host id")
+		}
+		row[0] = r.HostID
+		row[1] = strconv.FormatFloat(r.AtS, 'g', 17, 64)
+		row[2] = strconv.FormatFloat(r.TempC, 'g', 17, 64)
+		row[3] = strconv.FormatFloat(r.Util, 'g', 17, 64)
+		row[4] = strconv.FormatFloat(r.MemFrac, 'g', 17, 64)
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadTrace parses a trace written by WriteTrace, validating the header.
+func ReadTrace(r io.Reader) ([]telemetry.Reading, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading trace header: %w", err)
+	}
+	if len(header) != len(traceHeader) {
+		return nil, fmt.Errorf("dataset: trace header has %d columns, want %d", len(header), len(traceHeader))
+	}
+	for i := range traceHeader {
+		if header[i] != traceHeader[i] {
+			return nil, fmt.Errorf("dataset: trace header column %d is %q, want %q", i, header[i], traceHeader[i])
+		}
+	}
+	var readings []telemetry.Reading
+	for line := 2; ; line++ {
+		row, err := cr.Read()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: trace line %d: %w", line, err)
+		}
+		rd := telemetry.Reading{HostID: row[0]}
+		if rd.HostID == "" {
+			return nil, fmt.Errorf("dataset: trace line %d missing host id", line)
+		}
+		cols := []*float64{&rd.AtS, &rd.TempC, &rd.Util, &rd.MemFrac}
+		for i, dst := range cols {
+			v, err := strconv.ParseFloat(row[i+1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: trace line %d column %s: %w", line, traceHeader[i+1], err)
+			}
+			*dst = v
+		}
+		readings = append(readings, rd)
+	}
+	if len(readings) == 0 {
+		return nil, errors.New("dataset: trace contains no readings")
+	}
+	return readings, nil
+}

@@ -1,0 +1,54 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"vmtherm/internal/telemetry"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	in := []telemetry.Reading{
+		{HostID: "r0-h0", AtS: 0, TempC: 41.5, Util: 0.5, MemFrac: 0.25},
+		{HostID: "r0-h1", AtS: 0, TempC: 38.25, Util: 0, MemFrac: 0},
+		{HostID: "r0-h0", AtS: 5, TempC: 42.125, Util: 0.625, MemFrac: 0.25},
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("round-tripped %d readings, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if in[i] != out[i] {
+			t.Fatalf("reading %d: wrote %+v, read %+v", i, in[i], out[i])
+		}
+	}
+}
+
+func TestTraceRejectsBadInput(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, nil); err == nil {
+		t.Error("empty trace written")
+	}
+	if err := WriteTrace(&buf, []telemetry.Reading{{AtS: 1}}); err == nil {
+		t.Error("hostless reading written")
+	}
+	for _, bad := range []string{
+		"",
+		"wrong,header,entirely,x,y\n",
+		"host_id,at_s,temp_c,util,mem_frac\n", // header only, no readings
+		"host_id,at_s,temp_c,util,mem_frac\nh0,notanumber,1,0,0\n",
+		"host_id,at_s,temp_c,util,mem_frac\n,1,1,0,0\n",
+	} {
+		if _, err := ReadTrace(strings.NewReader(bad)); err == nil {
+			t.Errorf("malformed trace %q accepted", bad)
+		}
+	}
+}

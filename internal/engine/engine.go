@@ -1,0 +1,469 @@
+// Package engine is the unified per-host session engine behind both the
+// fleet control plane and the prediction service: one implementation of the
+// paper's online lifecycle — create a session anchored at (φ(0), ψ_stable),
+// observe φ(t), calibrate every Δ_update (Eqs. 4–6), re-anchor when the
+// batch ψ_stable prediction moves (deployment changed), answer Δ_gap-ahead
+// queries (Eq. 8), widen uncertainty as telemetry goes stale, and evict
+// sessions whose telemetry has been dark for too long.
+//
+// The engine is built for fleet-scale concurrency and round throughput:
+// sessions live in a sharded, striped-lock map (per-shard RWMutex over the
+// id→session map, per-session mutex over the DynamicPredictor), so hundreds
+// of monitoring agents observe and predict fully in parallel while the
+// control loop runs batch rounds over the same sessions. Round appends into
+// a caller-owned buffer and allocates nothing on the hot path; allocation
+// happens only when a session is created or re-anchored.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"vmtherm/internal/core"
+	"vmtherm/internal/telemetry"
+)
+
+// Config parameterizes the session lifecycle. Zero values take defaults via
+// withDefaults; see DefaultConfig for the reference shape (the paper's
+// running-example parameters).
+type Config struct {
+	// Lambda is the calibration learning rate λ (paper: 0.8).
+	Lambda float64
+	// UpdateEveryS is Δ_update, the calibration interval.
+	UpdateEveryS float64
+	// GapS is Δ_gap, the prediction horizon.
+	GapS float64
+	// TBreakS and CurveDeltaS shape the Eq. (3) pre-defined curve.
+	TBreakS, CurveDeltaS float64
+	// StaleAfterS is how old a host's telemetry may get before the host is
+	// degraded: its prediction is marked stale (callers exclude it from
+	// hotspot maps) and calibration stops until fresh telemetry arrives.
+	StaleAfterS float64
+	// EvictAfterS is how old a host's telemetry may get before its session
+	// is evicted entirely (and its last reading forgotten): a host dark this
+	// long is gone, not merely degraded. 0 disables eviction.
+	EvictAfterS float64
+	// ReanchorEpsC re-anchors a session when its predicted ψ_stable moves by
+	// more than this (the deployment changed underneath it).
+	ReanchorEpsC float64
+	// UncertaintyBaseC and UncertaintyPerSC shape per-prediction uncertainty:
+	// base + perS · staleness.
+	UncertaintyBaseC, UncertaintyPerSC float64
+	// Shards is the stripe count of the session map; it is rounded up to a
+	// power of two so the hash reduces with a mask (default 32).
+	Shards int
+}
+
+// DefaultConfig uses the paper's dynamic parameters (λ=0.8, Δ_update=15 s,
+// Δ_gap=60 s, t_break=600 s) with the fleet staleness policy.
+func DefaultConfig() Config {
+	return Config{
+		Lambda:           core.DefaultLambda,
+		UpdateEveryS:     15,
+		GapS:             60,
+		TBreakS:          600,
+		CurveDeltaS:      core.DefaultCurveDelta,
+		StaleAfterS:      45,
+		EvictAfterS:      900,
+		ReanchorEpsC:     1.0,
+		UncertaintyBaseC: 0.5,
+		UncertaintyPerSC: 0.05,
+		Shards:           32,
+	}
+}
+
+// withDefaults fills zero-valued fields from DefaultConfig.
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.Lambda == 0 {
+		c.Lambda = d.Lambda
+	}
+	if c.UpdateEveryS == 0 {
+		c.UpdateEveryS = d.UpdateEveryS
+	}
+	if c.GapS == 0 {
+		c.GapS = d.GapS
+	}
+	if c.TBreakS == 0 {
+		c.TBreakS = d.TBreakS
+	}
+	if c.CurveDeltaS == 0 {
+		c.CurveDeltaS = d.CurveDeltaS
+	}
+	if c.StaleAfterS == 0 {
+		c.StaleAfterS = 3 * c.UpdateEveryS
+	}
+	if c.EvictAfterS == 0 {
+		c.EvictAfterS = 20 * c.StaleAfterS
+	}
+	if c.ReanchorEpsC == 0 {
+		c.ReanchorEpsC = d.ReanchorEpsC
+	}
+	if c.UncertaintyBaseC == 0 {
+		c.UncertaintyBaseC = d.UncertaintyBaseC
+	}
+	if c.UncertaintyPerSC == 0 {
+		c.UncertaintyPerSC = d.UncertaintyPerSC
+	}
+	if c.Shards == 0 {
+		c.Shards = d.Shards
+	}
+	return c
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Lambda < 0 || c.Lambda > 1 {
+		return fmt.Errorf("engine: lambda %v outside [0,1]", c.Lambda)
+	}
+	if c.UpdateEveryS <= 0 || c.GapS <= 0 {
+		return fmt.Errorf("engine: intervals must be > 0 (update %v, gap %v)", c.UpdateEveryS, c.GapS)
+	}
+	if c.StaleAfterS <= 0 {
+		return fmt.Errorf("engine: stale-after must be > 0, got %v", c.StaleAfterS)
+	}
+	if c.EvictAfterS < 0 {
+		return fmt.Errorf("engine: evict-after must be >= 0, got %v", c.EvictAfterS)
+	}
+	if c.EvictAfterS > 0 && c.EvictAfterS <= c.StaleAfterS {
+		return fmt.Errorf("engine: evict-after %v must exceed stale-after %v", c.EvictAfterS, c.StaleAfterS)
+	}
+	if c.Shards < 1 {
+		return fmt.Errorf("engine: shards %d < 1", c.Shards)
+	}
+	return nil
+}
+
+// ErrNoSession is returned for operations on an unknown session id.
+var ErrNoSession = errors.New("engine: no such session")
+
+// session is one host's dynamic prediction state: an Eq. (3) curve anchored
+// at (anchorAt, φ(anchorAt)) with the ψ_stable the batch model last
+// predicted for the host's deployment, the online calibrator, and the mutex
+// that serializes access to the (not concurrency-safe) predictor.
+type session struct {
+	mu       sync.Mutex
+	pred     *core.DynamicPredictor
+	stable   float64
+	anchorAt float64
+}
+
+// localT converts engine time to session-local curve time.
+func (s *session) localT(t float64) float64 { return t - s.anchorAt }
+
+// observe feeds one measurement and returns the resulting γ.
+func (s *session) observe(t, tempC float64) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pred.Observe(s.localT(t), tempC)
+	return s.pred.Gamma()
+}
+
+// predict answers ψ(t + Δ_gap) and the γ it used.
+func (s *session) predict(t float64) (tempC, gamma float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pred.Predict(s.localT(t)), s.pred.Gamma()
+}
+
+type shard struct {
+	mu       sync.RWMutex
+	sessions map[string]*session
+}
+
+// Engine is the sharded session store plus the round executor. Create with
+// New; all methods are safe for concurrent use.
+type Engine struct {
+	cfg    Config
+	shards []shard
+	mask   uint64
+	count  atomic.Int64
+	nextID atomic.Uint64
+}
+
+// New builds an engine.
+func New(cfg Config) (*Engine, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := 1
+	for n < cfg.Shards {
+		n <<= 1
+	}
+	cfg.Shards = n
+	e := &Engine{cfg: cfg, shards: make([]shard, n), mask: uint64(n - 1)}
+	for i := range e.shards {
+		e.shards[i].sessions = make(map[string]*session)
+	}
+	return e, nil
+}
+
+// Config returns the resolved configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// shardFor hashes a session id onto its stripe (FNV-1a).
+func (e *Engine) shardFor(id string) *shard {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	var h uint64 = offset64
+	for i := 0; i < len(id); i++ {
+		h ^= uint64(id[i])
+		h *= prime64
+	}
+	return &e.shards[h&e.mask]
+}
+
+// get looks a session up by id.
+func (e *Engine) get(id string) (*session, bool) {
+	sh := e.shardFor(id)
+	sh.mu.RLock()
+	s, ok := sh.sessions[id]
+	sh.mu.RUnlock()
+	return s, ok
+}
+
+// NewID reserves a fresh session id ("s1", "s2", ...), the service-facing
+// naming scheme; fleet callers use host ids instead.
+func (e *Engine) NewID() string {
+	return "s" + strconv.FormatUint(e.nextID.Add(1), 10)
+}
+
+// SessionParams describe a session at creation. Zero-valued knobs take the
+// engine defaults.
+type SessionParams struct {
+	// Phi0 is φ(0), the temperature at the anchor instant.
+	Phi0 float64
+	// StableC is the ψ_stable anchor.
+	StableC float64
+	// AnchorAtS is the engine-time instant the curve is anchored at; times
+	// passed to Observe/Predict are translated to curve-local time against
+	// it (0 = session-local times are engine times).
+	AnchorAtS float64
+	// Lambda, UpdateEveryS, GapS, TBreakS, CurveDeltaS override the engine
+	// defaults for this session when non-zero.
+	Lambda, UpdateEveryS, GapS, TBreakS, CurveDeltaS float64
+}
+
+// Create registers a session under id. Creating over a live id is an error;
+// Delete first to rebuild.
+func (e *Engine) Create(id string, p SessionParams) error {
+	if id == "" {
+		return errors.New("engine: empty session id")
+	}
+	sess, err := e.build(p)
+	if err != nil {
+		return err
+	}
+	sh := e.shardFor(id)
+	sh.mu.Lock()
+	if _, dup := sh.sessions[id]; dup {
+		sh.mu.Unlock()
+		return fmt.Errorf("engine: session %q already exists", id)
+	}
+	sh.sessions[id] = sess
+	sh.mu.Unlock()
+	e.count.Add(1)
+	return nil
+}
+
+// build constructs session state from params, applying engine defaults.
+func (e *Engine) build(p SessionParams) (*session, error) {
+	cfg := core.DynamicConfig{Lambda: e.cfg.Lambda, UpdateEveryS: e.cfg.UpdateEveryS, GapS: e.cfg.GapS}
+	if p.Lambda != 0 {
+		cfg.Lambda = p.Lambda
+	}
+	if p.UpdateEveryS != 0 {
+		cfg.UpdateEveryS = p.UpdateEveryS
+	}
+	if p.GapS != 0 {
+		cfg.GapS = p.GapS
+	}
+	tBreak := p.TBreakS
+	if tBreak == 0 {
+		tBreak = e.cfg.TBreakS
+	}
+	delta := p.CurveDeltaS
+	if delta == 0 {
+		delta = e.cfg.CurveDeltaS
+	}
+	curve, err := core.NewCurve(p.Phi0, p.StableC, tBreak, delta)
+	if err != nil {
+		return nil, err
+	}
+	pred, err := core.NewDynamicPredictor(curve, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &session{pred: pred, stable: p.StableC, anchorAt: p.AnchorAtS}, nil
+}
+
+// Observe feeds one measurement φ(t) into a session and returns the current
+// calibration γ.
+func (e *Engine) Observe(id string, atS, tempC float64) (float64, error) {
+	s, ok := e.get(id)
+	if !ok {
+		return 0, ErrNoSession
+	}
+	return s.observe(atS, tempC), nil
+}
+
+// Predict answers ψ(t + Δ_gap) for a session, with the γ it used.
+func (e *Engine) Predict(id string, atS float64) (tempC, gamma float64, err error) {
+	s, ok := e.get(id)
+	if !ok {
+		return 0, 0, ErrNoSession
+	}
+	tempC, gamma = s.predict(atS)
+	return tempC, gamma, nil
+}
+
+// Stable returns the ψ_stable a session is currently anchored to.
+func (e *Engine) Stable(id string) (float64, error) {
+	s, ok := e.get(id)
+	if !ok {
+		return 0, ErrNoSession
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stable, nil
+}
+
+// Delete removes a session, reporting whether it existed. Fleet callers use
+// it to force a re-anchor after a deployment change (placement, migration).
+func (e *Engine) Delete(id string) bool {
+	sh := e.shardFor(id)
+	sh.mu.Lock()
+	_, ok := sh.sessions[id]
+	delete(sh.sessions, id)
+	sh.mu.Unlock()
+	if ok {
+		e.count.Add(-1)
+	}
+	return ok
+}
+
+// Len reports the number of live sessions.
+func (e *Engine) Len() int {
+	return int(e.count.Load())
+}
+
+// Prediction is one host's Δ_gap-ahead temperature estimate from a round.
+type Prediction struct {
+	HostID string
+	// TempC is the predicted temperature at now + Δ_gap.
+	TempC float64
+	// UncertaintyC widens with telemetry staleness.
+	UncertaintyC float64
+	// StalenessS is the age of the newest telemetry behind the prediction.
+	StalenessS float64
+	// Stale marks hosts degraded out of hotspot maps.
+	Stale bool
+}
+
+// RoundStats summarizes one Round call.
+type RoundStats struct {
+	// Live counts sessions that produced a prediction.
+	Live int
+	// AnchorFailures counts observed hosts left without a session because
+	// the model produced an unusable ψ_stable anchor (graceful blindness
+	// must be visible, never silent).
+	AnchorFailures int
+	// Reanchored counts sessions rebuilt this round (first sight or anchor
+	// drift beyond ReanchorEpsC).
+	Reanchored int
+	// Evicted counts sessions removed because their telemetry exceeded
+	// EvictAfterS.
+	Evicted int
+	// MaxStalenessS is the oldest telemetry age seen this round.
+	MaxStalenessS float64
+}
+
+// Round executes one control round over a host population: for every id in
+// order that has a reading in latest, (re-)anchor the session against the
+// batch-predicted ψ_stable in anchors, calibrate on fresh telemetry, and
+// append a Δ_gap-ahead prediction to dst. Hosts whose telemetry is older
+// than StaleAfterS are degraded (prediction marked stale, no calibration);
+// older than EvictAfterS, their session is evicted and their entry removed
+// from latest.
+//
+// dst is appended to and returned (pass dst[:0] to reuse a buffer); beyond
+// session (re)creation, Round does not allocate. Hosts absent from latest
+// are skipped — never observed means no session and no prediction.
+func (e *Engine) Round(dst []Prediction, nowS float64, order []string, latest map[string]telemetry.Reading, anchors map[string]float64) ([]Prediction, RoundStats) {
+	var st RoundStats
+	for _, id := range order {
+		r, seen := latest[id]
+		if !seen {
+			continue
+		}
+		if r.AtS > nowS {
+			// Clock-skewed producer: a future-stamped reading would drive
+			// staleness (and uncertainty) negative and jump the calibration
+			// schedule ahead; clamp it to the present instead.
+			r.AtS = nowS
+		}
+		staleness := nowS - r.AtS
+		if staleness > st.MaxStalenessS {
+			st.MaxStalenessS = staleness
+		}
+		if e.cfg.EvictAfterS > 0 && staleness > e.cfg.EvictAfterS {
+			// Dark beyond the eviction horizon: the host is gone, not merely
+			// degraded. Forget the session and the fossil reading so the
+			// population shrinks instead of accumulating ghosts.
+			if e.Delete(id) {
+				st.Evicted++
+			}
+			delete(latest, id)
+			continue
+		}
+		stale := staleness > e.cfg.StaleAfterS
+
+		sh := e.shardFor(id)
+		sh.mu.RLock()
+		sess := sh.sessions[id]
+		sh.mu.RUnlock()
+		anchor, anchored := anchors[id]
+		// (Re-)anchor on first sight or when the deployment's predicted
+		// ψ_stable moved: the old curve no longer describes this host.
+		if anchored && (sess == nil || math.Abs(anchor-sess.stable) > e.cfg.ReanchorEpsC) {
+			// On failure (e.g. a NaN anchor from a degenerate model output)
+			// keep the previous session if there is one; a host left with no
+			// session at all is counted so the blindness is observable.
+			if ns, err := e.build(SessionParams{Phi0: r.TempC, StableC: anchor, AnchorAtS: r.AtS}); err == nil {
+				sh.mu.Lock()
+				if _, had := sh.sessions[id]; !had {
+					e.count.Add(1)
+				}
+				sh.sessions[id] = ns
+				sh.mu.Unlock()
+				sess = ns
+				st.Reanchored++
+			}
+		}
+		if sess == nil {
+			st.AnchorFailures++
+			continue
+		}
+		if !stale {
+			// Calibration: Eqs. (4)–(6) on the session's Δ_update schedule.
+			sess.observe(r.AtS, r.TempC)
+		}
+		st.Live++
+		tempC, _ := sess.predict(nowS)
+		dst = append(dst, Prediction{
+			HostID:       id,
+			TempC:        tempC,
+			UncertaintyC: e.cfg.UncertaintyBaseC + e.cfg.UncertaintyPerSC*staleness,
+			StalenessS:   staleness,
+			Stale:        stale,
+		})
+	}
+	return dst, st
+}

@@ -1,17 +1,23 @@
 // Package fleet is the thermal control plane that closes the paper's
-// proactive-management loop at datacenter scale: a simulated fleet of
-// N racks × M hosts streams per-host temperature/load telemetry through a
-// bounded ingest pipeline into per-host dynamic prediction sessions
-// (calibrated every Δ_update as in Eqs. 3–8), fans ψ_stable anchor updates
-// through the SVM batch kernel, rolls the Δ_gap-ahead predicted temperatures
-// into a rack/DC hotspot map (cluster.DetectHotspots), and drives
-// thermal-aware placement and migration proposals for incoming VM requests —
+// proactive-management loop at datacenter scale: per-host telemetry streams
+// through a bounded ingest pipeline into the unified session engine
+// (internal/engine) — per-host dynamic prediction sessions calibrated every
+// Δ_update as in Eqs. 3–8, with batch ψ_stable anchors fanned through the
+// SVM batch kernel — and each round rolls the Δ_gap-ahead predicted
+// temperatures into a rack/DC hotspot map (cluster.DetectHotspots), driving
+// thermal-aware placement and migration proposals for incoming VM requests:
 // acting on where temperature is *going* rather than where it is.
+//
+// Telemetry is pluggable (telemetry.Source): the same closed loop runs
+// against the built-in fleet simulator, a deterministic trace replay of
+// recorded experiments, or a live Prometheus-exposition scraper — swap the
+// source, keep the engine.
 //
 // The controller degrades gracefully: hosts whose telemetry has gone stale
 // have their prediction uncertainty widened and are excluded from the
-// hotspot map instead of poisoning it, and every round reports latency,
-// staleness and drop metrics so the degradation is observable.
+// hotspot map instead of poisoning it (and are evicted entirely once dark
+// beyond the eviction horizon), and every round reports latency, staleness
+// and drop metrics so the degradation is observable.
 package fleet
 
 import (
@@ -19,12 +25,15 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
 	"vmtherm/internal/cluster"
 	"vmtherm/internal/core"
 	"vmtherm/internal/dataset"
+	"vmtherm/internal/engine"
+	"vmtherm/internal/telemetry"
 	"vmtherm/internal/thermal"
 	"vmtherm/internal/vmm"
 	"vmtherm/internal/workload"
@@ -56,7 +65,7 @@ func StableBatchPredictor(model *core.StablePredictor, horizonS float64) BatchCa
 // Config parameterizes the control plane. Zero values take defaults via
 // (Config).withDefaults; see DefaultConfig for the reference shape.
 type Config struct {
-	// Racks × HostsPerRack is the fleet size.
+	// Racks × HostsPerRack is the fleet size (simulated fleets only).
 	Racks, HostsPerRack int
 	// FanCount is the fan configuration assumed for every host (θ_fan).
 	FanCount int
@@ -91,6 +100,9 @@ type Config struct {
 	// StaleAfterS is how old telemetry may get before a host is degraded
 	// (uncertainty widened, excluded from the hotspot map).
 	StaleAfterS float64
+	// EvictAfterS is how old telemetry may get before a host's session is
+	// evicted entirely (default 20 × StaleAfterS).
+	EvictAfterS float64
 	// ReanchorEpsC re-anchors a session when its predicted ψ_stable moves by
 	// more than this (deployment changed underneath it).
 	ReanchorEpsC float64
@@ -102,6 +114,15 @@ type Config struct {
 	// MaxMigrationsPerRound bounds reconciliation work per round; 0 disables
 	// migration (proposals are still produced).
 	MaxMigrationsPerRound int
+	// SourceAmbientC is δ_env assumed when synthesizing ψ_stable anchor
+	// cases for source-driven fleets (trace replay, scraping), where no
+	// datacenter model supplies per-slot inlet temperatures.
+	SourceAmbientC float64
+	// MaxHosts bounds the host population a source-driven controller will
+	// track: hosts discovered beyond the bound are discarded (and counted)
+	// so a misbehaving exporter cannot grow memory without limit. Simulated
+	// fleets are bounded by their own shape.
+	MaxHosts int
 	// Seed drives all stochastic components.
 	Seed int64
 }
@@ -133,6 +154,8 @@ func DefaultConfig() Config {
 		UncertaintyPerSC:      0.05,
 		IngestBuffer:          4096,
 		MaxMigrationsPerRound: 1,
+		SourceAmbientC:        22,
+		MaxHosts:              4096,
 		Seed:                  1,
 	}
 }
@@ -185,6 +208,9 @@ func (c Config) withDefaults() Config {
 	if c.StaleAfterS == 0 {
 		c.StaleAfterS = 3 * c.UpdateEveryS
 	}
+	if c.EvictAfterS == 0 {
+		c.EvictAfterS = 20 * c.StaleAfterS
+	}
 	if c.ReanchorEpsC == 0 {
 		c.ReanchorEpsC = d.ReanchorEpsC
 	}
@@ -199,6 +225,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RackSpreadC == 0 {
 		c.RackSpreadC = d.RackSpreadC
+	}
+	if c.SourceAmbientC == 0 {
+		c.SourceAmbientC = d.SourceAmbientC
+	}
+	if c.MaxHosts == 0 {
+		c.MaxHosts = d.MaxHosts
 	}
 	return c
 }
@@ -227,33 +259,31 @@ func (c Config) Validate() error {
 	if c.MaxMigrationsPerRound < 0 {
 		return fmt.Errorf("fleet: negative migration bound %d", c.MaxMigrationsPerRound)
 	}
+	if c.MaxHosts < 1 {
+		return fmt.Errorf("fleet: max hosts %d < 1", c.MaxHosts)
+	}
 	return nil
 }
 
-// hostSession is one host's dynamic prediction state: an Eq. (3) curve
-// anchored at (anchorAtS, phi0) with the ψ_stable the batch model last
-// predicted for the host's deployment, plus the online calibrator.
-type hostSession struct {
-	pred     *core.DynamicPredictor
-	stable   float64
-	anchorAt float64
+// engineConfig maps the fleet configuration onto the session engine's.
+func (c Config) engineConfig() engine.Config {
+	return engine.Config{
+		Lambda:           c.Lambda,
+		UpdateEveryS:     c.UpdateEveryS,
+		GapS:             c.GapS,
+		TBreakS:          c.TBreakS,
+		CurveDeltaS:      c.CurveDeltaS,
+		StaleAfterS:      c.StaleAfterS,
+		EvictAfterS:      c.EvictAfterS,
+		ReanchorEpsC:     c.ReanchorEpsC,
+		UncertaintyBaseC: c.UncertaintyBaseC,
+		UncertaintyPerSC: c.UncertaintyPerSC,
+	}
 }
 
-// localT converts fleet time to session-local curve time.
-func (s *hostSession) localT(t float64) float64 { return t - s.anchorAt }
-
-// Prediction is one host's Δ_gap-ahead temperature estimate.
-type Prediction struct {
-	HostID string
-	// TempC is the predicted temperature at now + Δ_gap.
-	TempC float64
-	// UncertaintyC widens with telemetry staleness.
-	UncertaintyC float64
-	// StalenessS is the age of the newest telemetry behind the prediction.
-	StalenessS float64
-	// Stale marks hosts degraded out of the hotspot map.
-	Stale bool
-}
+// Prediction is one host's Δ_gap-ahead temperature estimate, as produced by
+// the session engine.
+type Prediction = engine.Prediction
 
 // Hotspot is one host whose *predicted* temperature exceeds the threshold.
 type Hotspot struct {
@@ -274,8 +304,10 @@ type Snapshot struct {
 	Hotspots []Hotspot
 	// Predicted maps host → Δ_gap-ahead temperature (stale hosts excluded).
 	Predicted map[string]float64
-	// Measured maps host → newest telemetry temperature.
-	Measured map[string]float64
+	// Uncertainty maps host → prediction uncertainty (stale hosts excluded).
+	Uncertainty map[string]float64
+	// Latest maps host → newest telemetry reading behind the round.
+	Latest map[string]Reading
 	// StaleHosts lists hosts degraded for stale telemetry, sorted.
 	StaleHosts []string
 }
@@ -302,42 +334,65 @@ type MigrationProposal struct {
 type RoundReport struct {
 	Round    int
 	SimTimeS float64
-	// Latency is the wall-clock cost of the round (simulation + control).
+	// Latency is the wall-clock cost of the round (source advance + control).
 	Latency time.Duration
 	// ControlLatency is the control-plane share (ingest drain → decisions),
-	// excluding the simulated-physics advance.
+	// excluding the source advance (simulated physics, replay, or scrape).
 	ControlLatency time.Duration
 	Hosts          int
 	SessionsLive   int
-	// TelemetryDrained counts readings consumed this round; DroppedTotal is
-	// the cumulative ingest drop counter.
+	// TelemetryDrained counts readings consumed this round; DroppedTotal and
+	// SupersededTotal are the cumulative ingest drop / supersede counters.
 	TelemetryDrained int
 	DroppedTotal     int64
+	SupersededTotal  int64
 	StaleHosts       int
 	MaxStalenessS    float64
 	// AnchorFailures counts observed hosts left without a session because
 	// the model produced an unusable ψ_stable anchor (graceful blindness
 	// must be visible, never silent).
 	AnchorFailures int
-	Hotspots       int
-	MaxPredictedC  float64
-	Placements     int
-	Rejections     int
-	ProposedMoves  int
-	AppliedMoves   int
+	// Reanchored and Evicted count engine session-lifecycle events.
+	Reanchored int
+	Evicted    int
+	// DiscardedHosts counts hosts dropped at the MaxHosts population bound
+	// (source-driven fleets only).
+	DiscardedHosts int
+	// SourceError records a non-fatal source failure this round (live
+	// sources fail transiently; the loop degrades instead of aborting).
+	SourceError   string
+	Hotspots      int
+	MaxPredictedC float64
+	Placements    int
+	Rejections    int
+	ProposedMoves int
+	AppliedMoves  int
 }
 
-// Controller runs the closed loop. Create with New; Submit/Ingest/Hotspots
-// are safe to call concurrently with RunRound.
+// Controller runs the closed loop. Create with New (simulated fleet) or
+// NewWithSource (trace replay, live scraping); Submit/Ingest/Hotspots are
+// safe to call concurrently with RunRound.
 type Controller struct {
 	cfg     Config
 	predict BatchCasePredictor
 
-	mu       sync.Mutex // guards sim, sessions, proposals during rounds
-	sim      *fleetSim
-	sessions map[string]*hostSession
+	mu  sync.Mutex // guards sim, src, eng rounds, latest, order, proposals
+	sim *fleetSim  // nil for source-driven controllers
+	src telemetry.Source
+	eng *engine.Engine
+	// latest holds the newest reading per host; order is the deterministic
+	// host iteration order (rack/slot for simulated fleets, sorted discovery
+	// order for source-driven ones).
 	latest   map[string]Reading
+	order    []string
 	pendingP []MigrationProposal // proposals awaiting reconciliation
+
+	// Reusable round buffers: the engine round appends into predBuf, the
+	// anchor pass into caseBuf/caseIDs/anchorBuf.
+	predBuf   []engine.Prediction
+	caseBuf   []workload.Case
+	caseIDs   []string
+	anchorBuf map[string]float64
 
 	pendMu  sync.Mutex
 	pending []workload.VMSpec
@@ -356,30 +411,71 @@ func New(cfg Config, predict BatchCasePredictor) (*Controller, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	if predict == nil {
-		return nil, errors.New("fleet: nil predictor")
-	}
 	fs, err := newFleetSim(cfg)
 	if err != nil {
 		return nil, err
 	}
+	c, err := newController(cfg, &simSource{fs: fs}, predict)
+	if err != nil {
+		return nil, err
+	}
+	c.sim = fs
+	c.order = fs.order
+	return c, nil
+}
+
+// NewWithSource builds a controller over an external telemetry source
+// (trace replay, Prometheus scraping): no simulated fleet exists, hosts are
+// discovered from the readings (bounded by MaxHosts), ψ_stable anchors are
+// synthesized from observed utilization through the same batch predictor,
+// and placement/migration — which need a substrate to act on — report
+// rejections instead of acting.
+func NewWithSource(cfg Config, src telemetry.Source, predict BatchCasePredictor) (*Controller, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if src == nil {
+		return nil, errors.New("fleet: nil telemetry source")
+	}
+	return newController(cfg, src, predict)
+}
+
+// newController wires the shared state; callers attach sim/order as needed.
+func newController(cfg Config, src telemetry.Source, predict BatchCasePredictor) (*Controller, error) {
+	if predict == nil {
+		return nil, errors.New("fleet: nil predictor")
+	}
+	eng, err := engine.New(cfg.engineConfig())
+	if err != nil {
+		return nil, err
+	}
 	return &Controller{
-		cfg:      cfg,
-		predict:  predict,
-		sim:      fs,
-		sessions: make(map[string]*hostSession),
-		latest:   make(map[string]Reading),
-		ingest:   newIngestPipeline(cfg.IngestBuffer),
+		cfg:       cfg,
+		predict:   predict,
+		src:       src,
+		eng:       eng,
+		latest:    make(map[string]Reading),
+		anchorBuf: make(map[string]float64),
+		ingest:    newIngestPipeline(cfg.IngestBuffer),
 	}, nil
 }
 
 // Config returns the resolved configuration.
 func (c *Controller) Config() Config { return c.cfg }
 
-// Hosts returns every host id in rack/slot order.
+// SourceName reports the telemetry source kind ("sim", "trace", "scrape").
+func (c *Controller) SourceName() string { return c.src.Name() }
+
+// Engine exposes the session engine (for observability surfaces).
+func (c *Controller) Engine() *engine.Engine { return c.eng }
+
+// Hosts returns every tracked host id in iteration order.
 func (c *Controller) Hosts() []string {
-	out := make([]string, len(c.sim.order))
-	copy(out, c.sim.order)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, len(c.order))
+	copy(out, c.order)
 	return out
 }
 
@@ -394,6 +490,11 @@ func (c *Controller) Submit(spec workload.VMSpec) {
 // (the path a real monitoring agent would use). It reports false when the
 // bounded buffer is full and the reading was dropped.
 func (c *Controller) Ingest(r Reading) bool { return c.ingest.push(r) }
+
+// IngestStats returns the cumulative ingest pipeline counters.
+func (c *Controller) IngestStats() (received, dropped, superseded int64) {
+	return c.ingest.stats()
+}
 
 // Hotspots returns the latest published snapshot.
 func (c *Controller) Hotspots() Snapshot {
@@ -410,9 +511,13 @@ func cloneSnapshot(s Snapshot) Snapshot {
 	for k, v := range s.Predicted {
 		out.Predicted[k] = v
 	}
-	out.Measured = make(map[string]float64, len(s.Measured))
-	for k, v := range s.Measured {
-		out.Measured[k] = v
+	out.Uncertainty = make(map[string]float64, len(s.Uncertainty))
+	for k, v := range s.Uncertainty {
+		out.Uncertainty[k] = v
+	}
+	out.Latest = make(map[string]Reading, len(s.Latest))
+	for k, v := range s.Latest {
+		out.Latest[k] = v
 	}
 	return out
 }
@@ -427,10 +532,13 @@ func (c *Controller) PlaceNow(spec workload.VMSpec) (PlacementDecision, error) {
 }
 
 // PlaceAt force-places a VM on a named host, bypassing the thermal policy —
-// the deterministic seeding path for tests and demos.
+// the deterministic seeding path for tests and demos. Simulated fleets only.
 func (c *Controller) PlaceAt(hostID string, spec workload.VMSpec) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.sim == nil {
+		return ErrNoSubstrate
+	}
 	return c.sim.place(hostID, spec)
 }
 
@@ -447,43 +555,59 @@ func (c *Controller) Run(n int) ([]RoundReport, error) {
 	return out, nil
 }
 
-// RunRound advances the fleet by Δ_update seconds and executes one control
-// round: drain telemetry → calibrate sessions → batch ψ_stable anchors →
-// Δ_gap-ahead predictions → hotspot map → reconcile migrations → place
-// queued VMs → publish snapshot.
+// RunRound advances the telemetry source by Δ_update seconds and executes
+// one control round: drain telemetry → batch ψ_stable anchors → engine
+// round (calibrate / re-anchor / predict / degrade / evict) → hotspot map →
+// reconcile migrations → place queued VMs → publish snapshot.
 func (c *Controller) RunRound() (RoundReport, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	roundStart := time.Now()
 
-	// 1. Physics: the fleet runs for one calibration interval, streaming
-	// telemetry into the bounded pipeline as it goes.
-	if err := c.sim.advance(c.cfg.UpdateEveryS, c.ingest); err != nil {
-		return RoundReport{}, err
+	// 1. Telemetry: the source runs for one calibration interval, streaming
+	// readings into the bounded pipeline as it goes. Simulator failures are
+	// bugs and abort; live sources (scrape) fail transiently, so the loop
+	// records the error and lets staleness degradation do its job.
+	var sourceErr string
+	if err := c.src.Advance(c.cfg.UpdateEveryS, c.ingest.push); err != nil {
+		if c.sim != nil {
+			return RoundReport{}, err
+		}
+		sourceErr = err.Error()
 	}
-	now := c.sim.engine.Now()
+	now := c.src.NowS()
 	ctrlStart := time.Now()
 
 	// 2. Ingest: drain the pipeline, newest reading per host wins. Readings
-	// for hosts this fleet does not own are discarded so a misbehaving
-	// producer cannot grow c.latest (or the published snapshot) without
-	// bound — the pipeline's memory bound must hold end to end.
+	// for hosts a simulated fleet does not own are discarded, and discovered
+	// populations are bounded by MaxHosts, so a misbehaving producer cannot
+	// grow c.latest (or the published snapshot) without bound — the
+	// pipeline's memory bound must hold end to end.
 	drained := c.ingest.drainInto(c.latest)
-	for id := range c.latest {
-		if _, ok := c.sim.hosts[id]; !ok {
-			delete(c.latest, id)
+	var discarded int
+	if c.sim != nil {
+		for id := range c.latest {
+			if _, ok := c.sim.hosts[id]; !ok {
+				delete(c.latest, id)
+			}
 		}
+	} else {
+		discarded = c.refreshDiscoveredHosts()
 	}
 
-	// 3. Anchors: one batch prediction over every occupied host's current
-	// deployment (the SVM batch-kernel fan-out).
-	stable, err := c.stableAnchors()
+	// 3. Anchors: one batch prediction over every host's current deployment
+	// (simulated fleets) or its observed utilization (source-driven fleets)
+	// — the SVM batch-kernel fan-out either way.
+	anchors, err := c.anchors()
 	if err != nil {
 		return RoundReport{}, err
 	}
 
-	// 4. Sessions + predictions.
-	preds, maxStale, live, anchorFailures := c.updateSessions(now, stable)
+	// 4. Engine round: sessions calibrate, re-anchor, predict, degrade and
+	// evict in one pass over the reusable prediction buffer.
+	var st engine.RoundStats
+	c.predBuf, st = c.eng.Round(c.predBuf[:0], now, c.order, c.latest, anchors)
+	preds := c.predBuf
 
 	// 5. Hotspot map from *predicted* temperatures.
 	predicted := make(map[string]float64, len(preds))
@@ -511,27 +635,33 @@ func (c *Controller) RunRound() (RoundReport, error) {
 
 	// 6. Reconciliation: apply last round's still-valid proposals, bounded
 	// per round, then derive fresh proposals from this round's map.
-	applied := c.reconcile(predicted)
-	proposals := c.propose(hotspots, predicted)
-	c.pendingP = proposals
+	// Source-driven fleets have no substrate to act on; both passes no-op.
+	var applied int
+	var proposals []MigrationProposal
+	if c.sim != nil {
+		applied = c.reconcile(predicted)
+		proposals = c.propose(hotspots, predicted)
+		c.pendingP = proposals
+	}
 
 	// 7. Publish the snapshot BEFORE placing queued VMs: placement avoids
 	// predicted hotspots by consulting the published map, which must be this
 	// round's, not last round's.
 	c.round++
-	measured := make(map[string]float64, len(c.latest))
+	latest := make(map[string]Reading, len(c.latest))
 	for id, r := range c.latest {
-		measured[id] = r.TempC
+		latest[id] = r
 	}
 	snap := Snapshot{
-		Round:      c.round,
-		SimTimeS:   now,
-		GapS:       c.cfg.GapS,
-		ThresholdC: c.cfg.ThresholdC,
-		Hotspots:   hotspots,
-		Predicted:  predicted,
-		Measured:   measured,
-		StaleHosts: staleHosts,
+		Round:       c.round,
+		SimTimeS:    now,
+		GapS:        c.cfg.GapS,
+		ThresholdC:  c.cfg.ThresholdC,
+		Hotspots:    hotspots,
+		Predicted:   predicted,
+		Uncertainty: uncertainty,
+		Latest:      latest,
+		StaleHosts:  staleHosts,
 	}
 	c.snapMu.Lock()
 	c.snap = snap
@@ -555,7 +685,7 @@ func (c *Controller) RunRound() (RoundReport, error) {
 		}
 	}
 
-	_, droppedTotal := c.ingest.stats()
+	_, droppedTotal, supersededTotal := c.ingest.stats()
 	maxPred := math.Inf(-1)
 	for _, v := range predicted {
 		if v > maxPred {
@@ -570,13 +700,18 @@ func (c *Controller) RunRound() (RoundReport, error) {
 		SimTimeS:         now,
 		Latency:          time.Since(roundStart),
 		ControlLatency:   time.Since(ctrlStart),
-		Hosts:            len(c.sim.order),
-		SessionsLive:     live,
+		Hosts:            len(c.order),
+		SessionsLive:     st.Live,
 		TelemetryDrained: drained,
 		DroppedTotal:     droppedTotal,
+		SupersededTotal:  supersededTotal,
 		StaleHosts:       len(staleHosts),
-		MaxStalenessS:    maxStale,
-		AnchorFailures:   anchorFailures,
+		MaxStalenessS:    st.MaxStalenessS,
+		AnchorFailures:   st.AnchorFailures,
+		Reanchored:       st.Reanchored,
+		Evicted:          st.Evicted,
+		DiscardedHosts:   discarded,
+		SourceError:      sourceErr,
 		Hotspots:         len(hotspots),
 		MaxPredictedC:    maxPred,
 		Placements:       placements,
@@ -586,102 +721,145 @@ func (c *Controller) RunRound() (RoundReport, error) {
 	}, nil
 }
 
-// stableAnchors batch-predicts ψ_stable for every occupied host's current
-// deployment; idle hosts anchor at their inlet temperature (an idle machine
-// settles at ambient).
-func (c *Controller) stableAnchors() (map[string]float64, error) {
-	var cases []workload.Case
-	var caseIDs []string
-	out := make(map[string]float64, len(c.sim.order))
-	for _, id := range c.sim.order {
+// refreshDiscoveredHosts rebuilds the deterministic host order from the
+// observed population, enforcing the MaxHosts bound: lexicographically
+// excess hosts are forgotten (reading and session) and counted.
+func (c *Controller) refreshDiscoveredHosts() (discarded int) {
+	if len(c.latest) == len(c.order) {
+		// Fast path: population unchanged (the overwhelmingly common round).
+		same := true
+		for _, id := range c.order {
+			if _, ok := c.latest[id]; !ok {
+				same = false
+				break
+			}
+		}
+		if same {
+			return 0
+		}
+	}
+	c.order = c.order[:0]
+	for id := range c.latest {
+		c.order = append(c.order, id)
+	}
+	sort.Strings(c.order)
+	if len(c.order) > c.cfg.MaxHosts {
+		for _, id := range c.order[c.cfg.MaxHosts:] {
+			delete(c.latest, id)
+			c.eng.Delete(id)
+			discarded++
+		}
+		c.order = c.order[:c.cfg.MaxHosts]
+	}
+	return discarded
+}
+
+// anchors batch-predicts ψ_stable for every tracked host into the reusable
+// anchor map.
+func (c *Controller) anchors() (map[string]float64, error) {
+	clear(c.anchorBuf)
+	c.caseBuf = c.caseBuf[:0]
+	c.caseIDs = c.caseIDs[:0]
+	if c.sim != nil {
+		if err := c.simAnchorCases(); err != nil {
+			return nil, err
+		}
+	} else {
+		c.sourceAnchorCases()
+	}
+	if len(c.caseBuf) > 0 {
+		vals, err := c.predict(c.caseBuf)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: stable anchors: %w", err)
+		}
+		if len(vals) != len(c.caseBuf) {
+			return nil, fmt.Errorf("fleet: %d anchors for %d cases", len(vals), len(c.caseBuf))
+		}
+		for i, id := range c.caseIDs {
+			c.anchorBuf[id] = vals[i]
+		}
+	}
+	return c.anchorBuf, nil
+}
+
+// simAnchorCases stages every occupied host's current deployment as an
+// anchor case; idle hosts anchor at their inlet temperature (an idle
+// machine settles at ambient).
+func (c *Controller) simAnchorCases() error {
+	for _, id := range c.order {
 		cse, ok, err := c.sim.hostCase(id, nil)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if !ok {
 			inlet, err := c.sim.inlet(id)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			out[id] = inlet
+			c.anchorBuf[id] = inlet
 			continue
 		}
-		cases = append(cases, cse)
-		caseIDs = append(caseIDs, id)
+		c.caseBuf = append(c.caseBuf, cse)
+		c.caseIDs = append(c.caseIDs, id)
 	}
-	if len(cases) > 0 {
-		vals, err := c.predict(cases)
-		if err != nil {
-			return nil, fmt.Errorf("fleet: stable anchors: %w", err)
-		}
-		if len(vals) != len(cases) {
-			return nil, fmt.Errorf("fleet: %d anchors for %d cases", len(vals), len(cases))
-		}
-		for i, id := range caseIDs {
-			out[id] = vals[i]
-		}
-	}
-	return out, nil
+	return nil
 }
 
-// updateSessions feeds fresh telemetry into each host's session (creating
-// or re-anchoring as needed) and issues Δ_gap-ahead predictions.
-func (c *Controller) updateSessions(now float64, stable map[string]float64) (preds []Prediction, maxStale float64, live, anchorFailures int) {
-	cfg := core.DynamicConfig{
-		Lambda:       c.cfg.Lambda,
-		UpdateEveryS: c.cfg.UpdateEveryS,
-		GapS:         c.cfg.GapS,
-	}
-	for _, id := range c.sim.order {
-		r, seen := c.latest[id]
-		if !seen {
-			continue // never observed: no session, no prediction
-		}
-		if r.AtS > now {
-			// Clock-skewed producer: a future-stamped reading would drive
-			// staleness (and uncertainty) negative and jump the calibration
-			// schedule ahead; clamp it to the present instead.
-			r.AtS = now
-		}
-		staleness := now - r.AtS
-		if staleness > maxStale {
-			maxStale = staleness
-		}
-		stale := staleness > c.cfg.StaleAfterS
-
-		sess := c.sessions[id]
-		// (Re-)anchor on first sight or when the deployment's predicted
-		// ψ_stable moved: the old curve no longer describes this host.
-		if sess == nil || math.Abs(stable[id]-sess.stable) > c.cfg.ReanchorEpsC {
-			// On failure (e.g. a NaN anchor from a degenerate model output)
-			// keep the previous session if there is one; a host left with no
-			// session at all is counted so the blindness is observable.
-			curve, err := core.NewCurve(r.TempC, stable[id], c.cfg.TBreakS, c.cfg.CurveDeltaS)
-			if err == nil {
-				if pred, err := core.NewDynamicPredictor(curve, cfg); err == nil {
-					sess = &hostSession{pred: pred, stable: stable[id], anchorAt: r.AtS}
-					c.sessions[id] = sess
-				}
-			}
-		}
-		if sess == nil {
-			anchorFailures++
+// sourceAnchorCases synthesizes an anchor case per observed host from its
+// latest reading: the observed utilization and memory activity become an
+// equivalent single-VM deployment on the configured host shape, so real
+// (replayed or scraped) telemetry flows through the same trained model as
+// simulated fleets — the deployment loop Ilager et al. run against
+// monitored hosts.
+func (c *Controller) sourceAnchorCases() {
+	for _, id := range c.order {
+		r, ok := c.latest[id]
+		if !ok {
 			continue
 		}
-		if !stale {
-			// Calibration: Eqs. (4)–(6) on the session's Δ_update schedule.
-			sess.pred.Observe(sess.localT(r.AtS), r.TempC)
-		}
-		live++
-		preds = append(preds, Prediction{
-			HostID:       id,
-			TempC:        sess.pred.PredictAt(sess.localT(now) + c.cfg.GapS),
-			UncertaintyC: c.cfg.UncertaintyBaseC + c.cfg.UncertaintyPerSC*staleness,
-			StalenessS:   staleness,
-			Stale:        stale,
-		})
+		c.caseBuf = append(c.caseBuf, utilizationCase(c.cfg, r.Util, r.MemFrac))
+		c.caseIDs = append(c.caseIDs, id)
 	}
-	return preds, maxStale, live, anchorFailures
+}
+
+// utilizationCase encodes an observed (util, memFrac) load as a workload
+// case on the configured host shape: util·cores of CPU demand spread over
+// one task per busy core, memFrac of installed memory active.
+func utilizationCase(cfg Config, util, memFrac float64) workload.Case {
+	util = telemetry.Clamp01(util)
+	memFrac = telemetry.Clamp01(memFrac)
+	demand := util * float64(cfg.HostShape.Cores)
+	vcpus := int(math.Round(demand))
+	if vcpus < 1 {
+		vcpus = 1
+	}
+	frac := demand / float64(vcpus)
+	if frac > 1 {
+		frac = 1
+	}
+	memGB := memFrac * cfg.HostShape.MemoryGB
+	if memGB < 1 {
+		memGB = 1
+	}
+	vm := workload.VMSpec{
+		ID:     "observed",
+		Config: vmm.VMConfig{VCPUs: vcpus, MemoryGB: memGB},
+	}
+	for i := 0; i < vcpus; i++ {
+		vm.Tasks = append(vm.Tasks, workload.TaskSpec{Task: vmm.Task{
+			ID:          "observed-t" + strconv.Itoa(i),
+			Class:       vmm.CPUBound,
+			CPUFraction: frac,
+			MemGB:       memGB / float64(vcpus) / 2,
+		}})
+	}
+	return workload.Case{
+		Name:     "observed",
+		Host:     cfg.HostShape,
+		FanCount: cfg.FanCount,
+		AmbientC: cfg.SourceAmbientC,
+		VMs:      []workload.VMSpec{vm},
+	}
 }
 
 // reconcile applies pending migration proposals that are still valid — the
@@ -698,8 +876,8 @@ func (c *Controller) reconcile(predicted map[string]float64) (applied int) {
 			continue // VM gone or target filled up: drop the proposal
 		}
 		// Force a re-anchor next round: both hosts' deployments changed.
-		delete(c.sessions, p.FromHostID)
-		delete(c.sessions, p.ToHostID)
+		c.eng.Delete(p.FromHostID)
+		c.eng.Delete(p.ToHostID)
 		applied++
 	}
 	return applied
@@ -721,7 +899,7 @@ func (c *Controller) propose(hotspots []Hotspot, predicted map[string]float64) [
 		}
 		target := ""
 		best := math.Inf(1)
-		for _, id := range c.sim.order {
+		for _, id := range c.order {
 			if id == h.HostID || hot[id] {
 				continue
 			}
@@ -763,11 +941,19 @@ func canAdmitVM(h *vmm.Host, cfg vmm.VMConfig) bool {
 // can admit a VM.
 var ErrNoCapacity = errors.New("fleet: no host with capacity")
 
+// ErrNoSubstrate is returned for placement/migration operations on a
+// source-driven controller: real telemetry can be observed and predicted,
+// but there is no simulated fleet to mutate.
+var ErrNoSubstrate = errors.New("fleet: source-driven controller has no placement substrate")
+
 // placeLocked runs the thermal-aware placement policy for one VM: among
 // admitting hosts, choose the lowest predicted *post-placement* ψ_stable
 // (one batch prediction across all candidates), preferring hosts that are
 // not already predicted hotspots.
 func (c *Controller) placeLocked(spec workload.VMSpec) (PlacementDecision, error) {
+	if c.sim == nil {
+		return PlacementDecision{VMID: spec.ID, Rejected: ErrNoSubstrate.Error()}, nil
+	}
 	snap := c.Hotspots()
 	hot := make(map[string]bool, len(snap.Hotspots))
 	for _, h := range snap.Hotspots {
@@ -776,7 +962,7 @@ func (c *Controller) placeLocked(spec workload.VMSpec) (PlacementDecision, error
 
 	var cases []workload.Case
 	var candidates []string
-	for _, id := range c.sim.order {
+	for _, id := range c.order {
 		sh := c.sim.hosts[id]
 		if !canAdmitVM(sh.host, spec.Config) {
 			continue
@@ -816,16 +1002,19 @@ func (c *Controller) placeLocked(spec workload.VMSpec) (PlacementDecision, error
 		return PlacementDecision{VMID: spec.ID, Rejected: err.Error()}, nil
 	}
 	// The deployment changed: the host's session re-anchors next round.
-	delete(c.sessions, bestID)
+	c.eng.Delete(bestID)
 	return PlacementDecision{VMID: spec.ID, HostID: bestID, PredictedStableC: bestTemp}, nil
 }
 
 // SetTelemetryMuted simulates a monitoring-agent outage on one host: while
 // muted the host keeps running (and heating) but emits no telemetry, so the
-// control plane must degrade it to stale.
+// control plane must degrade it to stale. Simulated fleets only.
 func (c *Controller) SetTelemetryMuted(hostID string, muted bool) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.sim == nil {
+		return ErrNoSubstrate
+	}
 	sh, ok := c.sim.hosts[hostID]
 	if !ok {
 		return fmt.Errorf("fleet: unknown host %q", hostID)
@@ -836,10 +1025,13 @@ func (c *Controller) SetTelemetryMuted(hostID string, muted bool) error {
 
 // MeasuredDieTemp reads a host's true (noise-free) die temperature — for
 // tests and evaluation only; the control loop itself only ever sees
-// telemetry.
+// telemetry. Simulated fleets only.
 func (c *Controller) MeasuredDieTemp(hostID string) (float64, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.sim == nil {
+		return 0, ErrNoSubstrate
+	}
 	sh, ok := c.sim.hosts[hostID]
 	if !ok {
 		return 0, fmt.Errorf("fleet: unknown host %q", hostID)

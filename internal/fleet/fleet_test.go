@@ -291,9 +291,16 @@ func TestConcurrentIngestDuringRounds(t *testing.T) {
 	}
 	close(stop)
 	wg.Wait()
-	rec, dropped := c.ingest.stats()
+	rec, dropped, superseded := c.ingest.stats()
 	if rec == 0 {
 		t.Fatal("pipeline recorded no receipts")
 	}
-	t.Logf("ingested %d readings, dropped %d", rec, dropped)
+	// The simulator samples every host 3× per round (SampleS=5, Δ_update=15)
+	// on top of the external producers, so most drained readings never
+	// become a host's latest: the superseded counter must make that ingest
+	// pressure visible instead of silently discarding it.
+	if superseded == 0 {
+		t.Fatal("no superseded readings counted despite producers outpacing the loop")
+	}
+	t.Logf("ingested %d readings, dropped %d, superseded %d", rec, dropped, superseded)
 }

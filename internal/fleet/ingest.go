@@ -1,37 +1,41 @@
 package fleet
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+
+	"vmtherm/internal/telemetry"
+)
 
 // Reading is one telemetry observation of one host, as emitted by a
-// monitoring agent: the sensed CPU temperature plus the load the VMM
-// reports.
-type Reading struct {
-	// HostID names the observed host.
-	HostID string
-	// AtS is the observation time in fleet (simulation) seconds.
-	AtS float64
-	// TempC is the sensed CPU temperature.
-	TempC float64
-	// Util is host CPU utilization in [0, 1].
-	Util float64
-	// MemFrac is host memory activity in [0, 1].
-	MemFrac float64
-}
+// monitoring agent. It is the unified telemetry.Reading record — the same
+// shape every Source (simulator, trace replay, Prometheus scrape) streams
+// into the session engine.
+type Reading = telemetry.Reading
 
 // ingestPipeline is the bounded buffer between telemetry producers and the
 // control loop. Producers push without blocking — when the buffer is full
 // the reading is dropped and counted, never stalling an agent — and the
 // controller drains everything buffered at the start of each round. The
 // bound is what keeps a misbehaving producer from growing memory without
-// limit; the drop counter is what makes that degradation visible.
+// limit; the drop and supersede counters are what make that degradation
+// visible.
 type ingestPipeline struct {
-	ch       chan Reading
-	received atomic.Int64
-	dropped  atomic.Int64
+	ch         chan Reading
+	received   atomic.Int64
+	dropped    atomic.Int64
+	superseded atomic.Int64
+	// drainSeen marks hosts whose latest entry was written during the
+	// current drain, so supersessions within one round are counted. Owned by
+	// the draining goroutine (drains are serialized by the round lock) and
+	// reused across rounds — clearing a map allocates nothing.
+	drainSeen map[string]bool
 }
 
 func newIngestPipeline(capacity int) *ingestPipeline {
-	return &ingestPipeline{ch: make(chan Reading, capacity)}
+	return &ingestPipeline{
+		ch:        make(chan Reading, capacity),
+		drainSeen: make(map[string]bool),
+	}
 }
 
 // push offers a reading; it reports false (and counts a drop) when the
@@ -49,22 +53,34 @@ func (p *ingestPipeline) push(r Reading) bool {
 
 // drainInto moves every buffered reading into latest, keeping only the
 // newest reading per host, and returns how many readings were consumed.
+// Consumed readings that never become a host's latest — because a newer
+// reading already drained, or an even newer one arrives later in the same
+// drain — are counted as superseded: the ingest-pressure signal that says
+// producers are sampling faster than the control loop consumes.
 func (p *ingestPipeline) drainInto(latest map[string]Reading) int {
+	clear(p.drainSeen)
 	n := 0
 	for {
 		select {
 		case r := <-p.ch:
-			if cur, ok := latest[r.HostID]; !ok || r.AtS >= cur.AtS {
-				latest[r.HostID] = r
-			}
 			n++
+			if cur, ok := latest[r.HostID]; ok && r.AtS < cur.AtS {
+				p.superseded.Add(1)
+				continue
+			}
+			if p.drainSeen[r.HostID] {
+				// The entry written earlier this drain never left the round.
+				p.superseded.Add(1)
+			}
+			p.drainSeen[r.HostID] = true
+			latest[r.HostID] = r
 		default:
 			return n
 		}
 	}
 }
 
-// stats returns cumulative received/dropped counts.
-func (p *ingestPipeline) stats() (received, dropped int64) {
-	return p.received.Load(), p.dropped.Load()
+// stats returns cumulative received/dropped/superseded counts.
+func (p *ingestPipeline) stats() (received, dropped, superseded int64) {
+	return p.received.Load(), p.dropped.Load(), p.superseded.Load()
 }

@@ -7,10 +7,30 @@ import (
 	"vmtherm/internal/cluster"
 	"vmtherm/internal/mathx"
 	"vmtherm/internal/sim"
+	"vmtherm/internal/telemetry"
 	"vmtherm/internal/thermal"
 	"vmtherm/internal/vmm"
 	"vmtherm/internal/workload"
 )
+
+// simSource adapts the simulated fleet to the telemetry.Source interface:
+// advancing the source runs the physics for that window and the sensor
+// sweep emits readings, so the controller consumes the simulator through
+// exactly the same seam as trace replay and live scraping.
+type simSource struct {
+	fs *fleetSim
+}
+
+// Name identifies the source kind.
+func (s *simSource) Name() string { return "sim" }
+
+// NowS reports the simulation clock.
+func (s *simSource) NowS() float64 { return s.fs.engine.Now() }
+
+// Advance runs dtS seconds of simulated physics, emitting sensor samples.
+func (s *simSource) Advance(dtS float64, emit func(telemetry.Reading) bool) error {
+	return s.fs.advance(dtS, emit)
+}
 
 // simHost is one simulated machine of the fleet: capacity accounting
 // (vmm.Host), heat (thermal.Server), a noisy sensor, and the load profiles
@@ -211,9 +231,9 @@ func (fs *fleetSim) tick(dt float64) error {
 	return nil
 }
 
-// sample reads every host's sensor once and pushes the readings through the
-// ingest pipeline, exactly as a fleet of monitoring agents would.
-func (fs *fleetSim) sample(ingest *ingestPipeline) {
+// sample reads every host's sensor once and emits the readings, exactly as
+// a fleet of monitoring agents would.
+func (fs *fleetSim) sample(emit func(telemetry.Reading) bool) {
 	t := fs.engine.Now()
 	for _, id := range fs.order {
 		sh := fs.hosts[id]
@@ -224,7 +244,7 @@ func (fs *fleetSim) sample(ingest *ingestPipeline) {
 		if err != nil {
 			continue // transient sensor failure: the sample is simply lost
 		}
-		ingest.push(Reading{
+		emit(Reading{
 			HostID:  id,
 			AtS:     t,
 			TempC:   v,
@@ -239,7 +259,7 @@ func (fs *fleetSim) sample(ingest *ingestPipeline) {
 // scheduled explicitly (not via Every, whose immediate first fire would
 // double-tick at round boundaries); ticks are scheduled before samples so a
 // coincident sample observes the post-advance temperature.
-func (fs *fleetSim) advance(dur float64, ingest *ingestPipeline) error {
+func (fs *fleetSim) advance(dur float64, emit func(telemetry.Reading) bool) error {
 	start := fs.engine.Now()
 	horizon := start + dur
 	var tickErr error
@@ -265,7 +285,7 @@ func (fs *fleetSim) advance(dur float64, ingest *ingestPipeline) error {
 			break
 		}
 		if err := fs.engine.Schedule(at, "fleet-sample", func(*sim.Engine) {
-			fs.sample(ingest)
+			fs.sample(emit)
 		}); err != nil {
 			return err
 		}

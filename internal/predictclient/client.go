@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"vmtherm/internal/predictserver"
+	"vmtherm/internal/telemetry"
 )
 
 // Client talks to one predictd instance.
@@ -154,6 +155,42 @@ func (c *Client) FleetPlace(ctx context.Context, req predictserver.FleetPlaceReq
 		return nil, err
 	}
 	return &out, nil
+}
+
+// FleetIngest pushes a batch of telemetry readings into the control plane's
+// bounded ingest pipeline — the call a real monitoring agent makes each
+// sampling interval. The response reports how many readings the buffer
+// accepted versus dropped (back-pressure, not an error).
+func (c *Client) FleetIngest(ctx context.Context, readings []predictserver.FleetReading) (*predictserver.FleetIngestResponse, error) {
+	var out predictserver.FleetIngestResponse
+	err := c.postJSON(ctx, "/v1/fleet/ingest",
+		predictserver.FleetIngestRequest{Readings: readings}, &out)
+	if err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Metrics fetches and parses the service's Prometheus exposition endpoint —
+// the typed view of GET /metrics for Go consumers (dashboards and tests);
+// scrapers consume the endpoint directly via telemetry.ScrapeSource.
+func (c *Client) Metrics(ctx context.Context) ([]telemetry.MetricPoint, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		_ = resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		return nil, &APIError{StatusCode: resp.StatusCode, Message: resp.Status}
+	}
+	return telemetry.ParseExposition(resp.Body)
 }
 
 // Session is a server-side dynamic prediction session.

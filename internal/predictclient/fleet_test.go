@@ -111,3 +111,45 @@ func TestFleetEndpointsWithoutFleet(t *testing.T) {
 		t.Fatalf("hotspots without fleet: got %v, want 503 APIError", err)
 	}
 }
+
+// TestFleetIngestAndMetrics: the agent-facing push path plus the typed
+// metrics view — readings pushed through the client surface in the served
+// exposition.
+func TestFleetIngestAndMetrics(t *testing.T) {
+	client := fleetTestServer(t)
+	ctx := context.Background()
+
+	resp, err := client.FleetIngest(ctx, []predictserver.FleetReading{
+		{HostID: "r0-h0", AtS: 1, TempC: 44, Util: 0.5},
+		{HostID: "r0-h3", AtS: 1, TempC: 39},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Accepted != 2 || resp.Dropped != 0 {
+		t.Fatalf("ingest response = %+v", resp)
+	}
+
+	points, err := client.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]float64{}
+	for _, p := range points {
+		if len(p.Labels) == 0 {
+			byName[p.Name] = p.Value
+		}
+		if p.Name == "vmtherm_items_total" && p.Label("kind") == "ingest" {
+			byName["ingest_items"] = p.Value
+		}
+	}
+	if byName["ingest_items"] != 2 {
+		t.Fatalf("ingest items = %v, want 2", byName["ingest_items"])
+	}
+	if _, ok := byName["vmtherm_ingest_received_total"]; !ok {
+		t.Fatal("fleet-attached server missing ingest counters")
+	}
+	if _, ok := byName["vmtherm_fleet_round"]; !ok {
+		t.Fatal("metrics missing fleet round gauge")
+	}
+}

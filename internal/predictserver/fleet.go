@@ -3,6 +3,7 @@ package predictserver
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
 	"strconv"
 
@@ -49,6 +50,29 @@ type FleetPlaceResponse struct {
 	VMID             string  `json:"vm_id"`
 	HostID           string  `json:"host_id"`
 	PredictedStableC float64 `json:"predicted_stable_c"`
+}
+
+// FleetReading is one telemetry reading pushed by an external monitoring
+// agent.
+type FleetReading struct {
+	HostID  string  `json:"host_id"`
+	AtS     float64 `json:"at_s"`
+	TempC   float64 `json:"temp_c"`
+	Util    float64 `json:"util,omitempty"`
+	MemFrac float64 `json:"mem_frac,omitempty"`
+}
+
+// FleetIngestRequest carries one batch of readings into the fleet pipeline.
+type FleetIngestRequest struct {
+	Readings []FleetReading `json:"readings"`
+}
+
+// FleetIngestResponse reports per-batch ingest accounting: Dropped counts
+// readings refused at the full bounded buffer (back-pressure the agent
+// should see, not a silent loss).
+type FleetIngestResponse struct {
+	Accepted int `json:"accepted"`
+	Dropped  int `json:"dropped"`
 }
 
 // WithFleet attaches a fleet control plane, enabling the /v1/fleet
@@ -111,6 +135,50 @@ func (s *Server) handleFleetPlace(w http.ResponseWriter, r *http.Request) {
 		HostID:           dec.HostID,
 		PredictedStableC: dec.PredictedStableC,
 	})
+}
+
+// handleFleetIngest is the push path for real monitoring agents: readings
+// enter the same bounded pipeline the simulator and scrape sources feed,
+// and the next control round consumes them.
+func (s *Server) handleFleetIngest(w http.ResponseWriter, r *http.Request) {
+	if s.fleet == nil {
+		writeError(w, http.StatusServiceUnavailable, errors.New("no fleet control plane attached"))
+		return
+	}
+	var req FleetIngestRequest
+	if !decodeBatch(w, r, &req) {
+		return
+	}
+	if len(req.Readings) > MaxBatchItems {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("batch of %d readings exceeds limit %d", len(req.Readings), MaxBatchItems))
+		return
+	}
+	// Validate the whole batch before ingesting anything: a mid-batch
+	// rejection after partial ingest would make the agent retry readings
+	// the loop already consumed.
+	for _, rd := range req.Readings {
+		if rd.HostID == "" {
+			writeError(w, http.StatusUnprocessableEntity, errors.New("reading missing host_id"))
+			return
+		}
+	}
+	var resp FleetIngestResponse
+	for _, rd := range req.Readings {
+		if s.fleet.Ingest(fleet.Reading{
+			HostID:  rd.HostID,
+			AtS:     rd.AtS,
+			TempC:   rd.TempC,
+			Util:    rd.Util,
+			MemFrac: rd.MemFrac,
+		}) {
+			resp.Accepted++
+		} else {
+			resp.Dropped++
+		}
+	}
+	s.metrics.ingestItems.Add(int64(resp.Accepted))
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // toSpec converts the wire request to a workload spec. A request with no

@@ -1,0 +1,106 @@
+package predictserver
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// GET /metrics serves the service's own state in Prometheus text exposition
+// format, making vmtherm scrape-able by anything that speaks the format —
+// including vmtherm itself: telemetry.ScrapeSource's defaults target exactly
+// the per-host gauges exported here, so one controller's published view can
+// feed another's ingest (the round-trip the tests pin).
+//
+// Families:
+//
+//	vmtherm_sessions                        live dynamic sessions (gauge)
+//	vmtherm_items_total{kind=...}           served work items (counter):
+//	                                        stable | observe | predict | ingest
+//	vmtherm_ingest_received_total           fleet pipeline counters (counter;
+//	vmtherm_ingest_dropped_total            fleet-attached servers only)
+//	vmtherm_ingest_superseded_total
+//	vmtherm_fleet_round                     last published control round (gauge)
+//	vmtherm_host_temp_celsius{host=...}     newest telemetry per host (gauge)
+//	vmtherm_host_util_ratio{host=...}
+//	vmtherm_host_mem_ratio{host=...}
+//	vmtherm_host_predicted_temp_celsius{host=...}  Δ_gap-ahead prediction
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	var sb strings.Builder
+
+	writeMetric(&sb, "vmtherm_sessions", "gauge", "Live dynamic prediction sessions.", "", float64(s.eng.Len()))
+	sb.WriteString("# HELP vmtherm_items_total Work items served, by kind.\n# TYPE vmtherm_items_total counter\n")
+	writeSample(&sb, "vmtherm_items_total", `kind="stable"`, float64(s.metrics.stableItems.Load()))
+	writeSample(&sb, "vmtherm_items_total", `kind="observe"`, float64(s.metrics.observeItems.Load()))
+	writeSample(&sb, "vmtherm_items_total", `kind="predict"`, float64(s.metrics.predictItems.Load()))
+	writeSample(&sb, "vmtherm_items_total", `kind="ingest"`, float64(s.metrics.ingestItems.Load()))
+
+	if s.fleet != nil {
+		received, dropped, superseded := s.fleet.IngestStats()
+		writeMetric(&sb, "vmtherm_ingest_received_total", "counter",
+			"Telemetry readings accepted by the fleet ingest pipeline.", "", float64(received))
+		writeMetric(&sb, "vmtherm_ingest_dropped_total", "counter",
+			"Telemetry readings dropped at the full ingest buffer.", "", float64(dropped))
+		writeMetric(&sb, "vmtherm_ingest_superseded_total", "counter",
+			"Drained readings superseded by newer ones before use.", "", float64(superseded))
+
+		snap := s.fleet.Hotspots()
+		writeMetric(&sb, "vmtherm_fleet_round", "gauge", "Last published control round.", "", float64(snap.Round))
+		hosts := make([]string, 0, len(snap.Latest))
+		for id := range snap.Latest {
+			hosts = append(hosts, id)
+		}
+		sort.Strings(hosts)
+		sb.WriteString("# HELP vmtherm_host_temp_celsius Newest sensed CPU temperature per host.\n# TYPE vmtherm_host_temp_celsius gauge\n")
+		for _, id := range hosts {
+			writeSample(&sb, "vmtherm_host_temp_celsius", hostLabel(id), snap.Latest[id].TempC)
+		}
+		sb.WriteString("# HELP vmtherm_host_util_ratio Newest CPU utilization per host.\n# TYPE vmtherm_host_util_ratio gauge\n")
+		for _, id := range hosts {
+			writeSample(&sb, "vmtherm_host_util_ratio", hostLabel(id), snap.Latest[id].Util)
+		}
+		sb.WriteString("# HELP vmtherm_host_mem_ratio Newest memory activity per host.\n# TYPE vmtherm_host_mem_ratio gauge\n")
+		for _, id := range hosts {
+			writeSample(&sb, "vmtherm_host_mem_ratio", hostLabel(id), snap.Latest[id].MemFrac)
+		}
+		sb.WriteString("# HELP vmtherm_host_predicted_temp_celsius Predicted temperature gap seconds ahead (stale hosts omitted).\n# TYPE vmtherm_host_predicted_temp_celsius gauge\n")
+		for _, id := range hosts {
+			if v, ok := snap.Predicted[id]; ok {
+				writeSample(&sb, "vmtherm_host_predicted_temp_celsius", hostLabel(id), v)
+			}
+		}
+	}
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write([]byte(sb.String()))
+}
+
+// writeMetric emits HELP/TYPE plus one sample.
+func writeMetric(sb *strings.Builder, name, typ, help, labels string, v float64) {
+	fmt.Fprintf(sb, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+	writeSample(sb, name, labels, v)
+}
+
+// writeSample emits one `name{labels} value` line.
+func writeSample(sb *strings.Builder, name, labels string, v float64) {
+	sb.WriteString(name)
+	if labels != "" {
+		sb.WriteByte('{')
+		sb.WriteString(labels)
+		sb.WriteByte('}')
+	}
+	sb.WriteByte(' ')
+	sb.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+	sb.WriteByte('\n')
+}
+
+// labelEscaper applies exposition-format label-value escaping.
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+// hostLabel renders the host label pair with exposition-format escaping.
+func hostLabel(id string) string {
+	return `host="` + labelEscaper.Replace(id) + `"`
+}

@@ -7,9 +7,10 @@
 //
 // The service is built for fleet-scale batch traffic: thermal-aware
 // schedulers consume predictions for hundreds of hosts per round, so
-// alongside the single-item endpoints it serves batch variants backed by a
-// sharded striped-lock session store and a worker pool, with the stable
-// path funnelled through the SVM batch kernel.
+// alongside the single-item endpoints it serves batch variants backed by
+// the unified session engine (internal/engine — the same sharded
+// striped-lock lifecycle the fleet control plane drives) and a worker pool,
+// with the stable path funnelled through the SVM batch kernel.
 package predictserver
 
 import (
@@ -20,8 +21,10 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"vmtherm/internal/core"
+	"vmtherm/internal/engine"
 	"vmtherm/internal/fleet"
 )
 
@@ -57,11 +60,24 @@ func decodeBatch(w http.ResponseWriter, r *http.Request, v any) bool {
 // done to release the worker pool.
 type Server struct {
 	model *core.StablePredictor
-	store *sessionStore
-	pool  *workerPool
+	// eng is the unified session engine: the same lifecycle implementation
+	// the fleet control plane drives, here keyed by service-issued ids.
+	eng  *engine.Engine
+	pool *workerPool
 	// fleet, when attached via WithFleet, serves the /v1/fleet endpoints:
-	// the Δ_gap-ahead hotspot map and thermal-aware placement.
+	// the Δ_gap-ahead hotspot map, thermal-aware placement, and telemetry
+	// ingest.
 	fleet *fleet.Controller
+	// metrics are the /metrics exposition counters.
+	metrics serverMetrics
+}
+
+// serverMetrics counts served work for the /metrics exposition.
+type serverMetrics struct {
+	stableItems  atomic.Int64 // ψ_stable predictions served (single + batch)
+	observeItems atomic.Int64 // session observations served (single + batch)
+	predictItems atomic.Int64 // session predictions served (single + batch)
+	ingestItems  atomic.Int64 // readings accepted via POST /v1/fleet/ingest
 }
 
 // Option customizes a Server.
@@ -82,9 +98,13 @@ func New(model *core.StablePredictor, opts ...Option) (*Server, error) {
 	if model == nil {
 		return nil, errors.New("predictserver: nil model")
 	}
+	eng, err := engine.New(engine.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
 	s := &Server{
 		model: model,
-		store: newSessionStore(),
+		eng:   eng,
 	}
 	for _, o := range opts {
 		o(s)
@@ -117,6 +137,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/session/{id}", s.handleDeleteSession)
 	mux.HandleFunc("GET /v1/fleet/hotspots", s.handleFleetHotspots)
 	mux.HandleFunc("POST /v1/fleet/place", s.handleFleetPlace)
+	mux.HandleFunc("POST /v1/fleet/ingest", s.handleFleetIngest)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
 }
 
@@ -141,6 +163,7 @@ func (s *Server) handleStable(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusUnprocessableEntity, err)
 		return
 	}
+	s.metrics.stableItems.Add(1)
 	writeJSON(w, http.StatusOK, StableResponse{StableTempC: v})
 }
 
@@ -189,6 +212,7 @@ func (s *Server) handleStableBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusUnprocessableEntity, firstErr)
 		return
 	}
+	s.metrics.stableItems.Add(int64(len(req.Rows)))
 	writeJSON(w, http.StatusOK, StableBatchResponse{StableTempsC: out})
 }
 
@@ -234,36 +258,20 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	cfg := core.DefaultDynamicConfig()
-	if req.Lambda != 0 {
-		cfg.Lambda = req.Lambda
-	}
-	if req.UpdateEveryS != 0 {
-		cfg.UpdateEveryS = req.UpdateEveryS
-	}
-	if req.GapS != 0 {
-		cfg.GapS = req.GapS
-	}
-	tBreak := req.TBreakS
-	if tBreak == 0 {
-		tBreak = 600
-	}
-	delta := req.CurveDeltaS
-	if delta == 0 {
-		delta = core.DefaultCurveDelta
-	}
-	curve, err := core.NewCurve(req.Phi0, stable, tBreak, delta)
+	id := s.eng.NewID()
+	err := s.eng.Create(id, engine.SessionParams{
+		Phi0:         req.Phi0,
+		StableC:      stable,
+		Lambda:       req.Lambda,
+		UpdateEveryS: req.UpdateEveryS,
+		GapS:         req.GapS,
+		TBreakS:      req.TBreakS,
+		CurveDeltaS:  req.CurveDeltaS,
+	})
 	if err != nil {
 		writeError(w, http.StatusUnprocessableEntity, err)
 		return
 	}
-	pred, err := core.NewDynamicPredictor(curve, cfg)
-	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, err)
-		return
-	}
-
-	id := s.store.put(pred)
 	writeJSON(w, http.StatusCreated, SessionResponse{ID: id, StableTempC: stable})
 }
 
@@ -279,17 +287,18 @@ type ObserveResponse struct {
 }
 
 func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
-	sess, ok := s.store.get(r.PathValue("id"))
-	if !ok {
-		writeError(w, http.StatusNotFound, errors.New("unknown session"))
-		return
-	}
 	var req ObserveRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, ObserveResponse{Gamma: sess.observe(req.T, req.TempC)})
+	gamma, err := s.eng.Observe(r.PathValue("id"), req.T, req.TempC)
+	if err != nil {
+		writeError(w, http.StatusNotFound, errors.New("unknown session"))
+		return
+	}
+	s.metrics.observeItems.Add(1)
+	writeJSON(w, http.StatusOK, ObserveResponse{Gamma: gamma})
 }
 
 // PredictResponse answers a dynamic prediction query.
@@ -299,17 +308,17 @@ type PredictResponse struct {
 }
 
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
-	sess, ok := s.store.get(r.PathValue("id"))
-	if !ok {
-		writeError(w, http.StatusNotFound, errors.New("unknown session"))
-		return
-	}
 	t, err := strconv.ParseFloat(r.URL.Query().Get("t"), 64)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad t: %w", err))
 		return
 	}
-	tempC, gamma := sess.predict(t)
+	tempC, gamma, err := s.eng.Predict(r.PathValue("id"), t)
+	if err != nil {
+		writeError(w, http.StatusNotFound, errors.New("unknown session"))
+		return
+	}
+	s.metrics.predictItems.Add(1)
 	writeJSON(w, http.StatusOK, PredictResponse{TempC: tempC, Gamma: gamma})
 }
 
@@ -351,14 +360,15 @@ func (s *Server) handleObserveBatch(w http.ResponseWriter, r *http.Request) {
 	s.pool.dispatch(len(req.Items), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			item := req.Items[i]
-			sess, ok := s.store.get(item.ID)
-			if !ok {
+			gamma, err := s.eng.Observe(item.ID, item.T, item.TempC)
+			if err != nil {
 				results[i].Error = "unknown session"
 				continue
 			}
-			results[i].Gamma = sess.observe(item.T, item.TempC)
+			results[i].Gamma = gamma
 		}
 	})
+	s.metrics.observeItems.Add(int64(len(req.Items)))
 	writeJSON(w, http.StatusOK, ObserveBatchResponse{Results: results})
 }
 
@@ -400,19 +410,20 @@ func (s *Server) handlePredictBatch(w http.ResponseWriter, r *http.Request) {
 	s.pool.dispatch(len(req.Items), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			item := req.Items[i]
-			sess, ok := s.store.get(item.ID)
-			if !ok {
+			tempC, gamma, err := s.eng.Predict(item.ID, item.T)
+			if err != nil {
 				results[i].Error = "unknown session"
 				continue
 			}
-			results[i].TempC, results[i].Gamma = sess.predict(item.T)
+			results[i].TempC, results[i].Gamma = tempC, gamma
 		}
 	})
+	s.metrics.predictItems.Add(int64(len(req.Items)))
 	writeJSON(w, http.StatusOK, PredictBatchResponse{Results: results})
 }
 
 func (s *Server) handleDeleteSession(w http.ResponseWriter, r *http.Request) {
-	if !s.store.delete(r.PathValue("id")) {
+	if !s.eng.Delete(r.PathValue("id")) {
 		writeError(w, http.StatusNotFound, errors.New("unknown session"))
 		return
 	}
@@ -421,7 +432,7 @@ func (s *Server) handleDeleteSession(w http.ResponseWriter, r *http.Request) {
 
 // SessionCount reports active dynamic sessions (for observability).
 func (s *Server) SessionCount() int {
-	return s.store.len()
+	return s.eng.Len()
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -419,75 +419,6 @@ func TestBatchTooLarge(t *testing.T) {
 	}
 }
 
-// TestStoreConcurrentLifecycle hammers the sharded session store directly:
-// goroutines concurrently create, observe, predict and delete sessions.
-// Run under -race (CI does) this is the striped-locking correctness test.
-func TestStoreConcurrentLifecycle(t *testing.T) {
-	st := newSessionStore()
-	// Only t.Error may be used below: workers run on non-test goroutines.
-	newPred := func() (*core.DynamicPredictor, error) {
-		curve, err := core.NewCurve(20, 60, 600, core.DefaultCurveDelta)
-		if err != nil {
-			return nil, err
-		}
-		return core.NewDynamicPredictor(curve, core.DefaultDynamicConfig())
-	}
-
-	const workers = 16
-	const perWorker = 50
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			ids := make([]string, 0, perWorker)
-			for i := 0; i < perWorker; i++ {
-				pred, err := newPred()
-				if err != nil {
-					t.Error(err)
-					return
-				}
-				id := st.put(pred)
-				ids = append(ids, id)
-				sess, ok := st.get(id)
-				if !ok {
-					t.Errorf("worker %d: fresh session %s missing", w, id)
-					return
-				}
-				sess.observe(float64(i), 25+float64(i%10))
-				sess.predict(float64(i))
-				// Interleave deletes of every other session.
-				if i%2 == 1 {
-					prev := ids[len(ids)-2]
-					if !st.delete(prev) {
-						t.Errorf("worker %d: delete %s failed", w, prev)
-						return
-					}
-					if _, ok := st.get(prev); ok {
-						t.Errorf("worker %d: deleted %s still present", w, prev)
-						return
-					}
-				}
-			}
-		}(w)
-	}
-	wg.Wait()
-
-	want := workers * perWorker / 2
-	if got := st.len(); got != want {
-		t.Errorf("store len = %d, want %d", got, want)
-	}
-	// Double-delete reports false.
-	pred, err := newPred()
-	if err != nil {
-		t.Fatal(err)
-	}
-	id := st.put(pred)
-	if !st.delete(id) || st.delete(id) {
-		t.Error("delete/double-delete semantics broken")
-	}
-}
-
 // TestConcurrentBatchEndpoints drives the batch HTTP surface from many
 // goroutines at once to exercise the worker pool and striped locks together.
 func TestConcurrentBatchEndpoints(t *testing.T) {

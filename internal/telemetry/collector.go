@@ -31,14 +31,18 @@ type Sample struct {
 type Stats struct {
 	Polls  int64
 	Errors int64
+	// Timeouts counts polls abandoned because a ReadFunc blocked past the
+	// per-poll timeout; each also counts as an Error.
+	Timeouts int64
 }
 
 // Collector polls registered sources on a fixed interval. Register sources
 // before Start; samples are retained per source in a bounded ring.
 type Collector struct {
-	interval  time.Duration
-	retention int
-	clock     func() time.Time
+	interval    time.Duration
+	retention   int
+	pollTimeout time.Duration
+	clock       func() time.Time
 
 	mu      sync.RWMutex
 	sources map[string]ReadFunc
@@ -63,6 +67,16 @@ func WithRetention(n int) Option {
 	return func(c *Collector) { c.retention = n }
 }
 
+// WithPollTimeout bounds each source poll: a ReadFunc that blocks past d no
+// longer stalls the whole collection pass (and the polling interval behind
+// it) — its sample is abandoned and counted in Stats.Timeouts. The read
+// still runs to completion in its own goroutine; its eventual result is
+// discarded, so a permanently wedged ReadFunc leaks exactly one goroutine
+// per timed-out poll. 0 (the default) disables the bound.
+func WithPollTimeout(d time.Duration) Option {
+	return func(c *Collector) { c.pollTimeout = d }
+}
+
 // NewCollector creates a collector polling every interval.
 func NewCollector(interval time.Duration, opts ...Option) (*Collector, error) {
 	if interval <= 0 {
@@ -80,6 +94,9 @@ func NewCollector(interval time.Duration, opts ...Option) (*Collector, error) {
 	}
 	if c.retention < 1 {
 		return nil, fmt.Errorf("telemetry: retention must be >= 1, got %d", c.retention)
+	}
+	if c.pollTimeout < 0 {
+		return nil, fmt.Errorf("telemetry: poll timeout must be >= 0, got %v", c.pollTimeout)
 	}
 	return c, nil
 }
@@ -132,9 +149,12 @@ func (c *Collector) CollectOnce() {
 	sort.Strings(names)
 	for _, name := range names {
 		c.stats.Polls++
-		v, err := c.sources[name]()
+		v, err := c.poll(c.sources[name])
 		if err != nil {
 			c.stats.Errors++
+			if errors.Is(err, errPollTimeout) {
+				c.stats.Timeouts++
+			}
 			continue
 		}
 		h := append(c.history[name], Sample{Source: name, At: now, Value: v})
@@ -142,6 +162,35 @@ func (c *Collector) CollectOnce() {
 			h = h[len(h)-c.retention:]
 		}
 		c.history[name] = h
+	}
+}
+
+// errPollTimeout marks a poll abandoned at the per-poll deadline.
+var errPollTimeout = errors.New("telemetry: poll timed out")
+
+// poll runs one ReadFunc, bounded by the per-poll timeout when one is set.
+// On timeout the read keeps running in its own goroutine and its eventual
+// result is discarded (the result channel is buffered so it never blocks).
+func (c *Collector) poll(read ReadFunc) (float64, error) {
+	if c.pollTimeout <= 0 {
+		return read()
+	}
+	type result struct {
+		v   float64
+		err error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		v, err := read()
+		ch <- result{v, err}
+	}()
+	timer := time.NewTimer(c.pollTimeout)
+	defer timer.Stop()
+	select {
+	case res := <-ch:
+		return res.v, res.err
+	case <-timer.C:
+		return 0, errPollTimeout
 	}
 }
 

@@ -275,3 +275,65 @@ func TestSeriesBridgeEmptyHistory(t *testing.T) {
 		t.Error("no samples should fail")
 	}
 }
+
+// TestPollTimeoutUnblocksCollection: a ReadFunc that blocks must not stall
+// the collection pass past the per-poll timeout — its sample is abandoned,
+// counted in Stats.Timeouts, and the remaining sources still collect.
+func TestPollTimeoutUnblocksCollection(t *testing.T) {
+	fc := &fakeClock{now: time.Unix(1000, 0)}
+	c, err := NewCollector(time.Millisecond,
+		WithClock(fc.Now), WithPollTimeout(20*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	release := make(chan struct{})
+	if err := c.Register("wedged", func() (float64, error) {
+		<-release // a stuck exporter: blocks until the test ends
+		return 0, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Register("healthy", func() (float64, error) { return 7, nil }); err != nil {
+		t.Fatal(err)
+	}
+	defer close(release)
+
+	done := make(chan struct{})
+	go func() {
+		c.CollectOnce()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("CollectOnce never returned: poll timeout did not fire")
+	}
+
+	st := c.Stats()
+	if st.Polls != 2 {
+		t.Fatalf("polls = %d, want 2", st.Polls)
+	}
+	if st.Timeouts != 1 {
+		t.Fatalf("timeouts = %d, want 1", st.Timeouts)
+	}
+	if st.Errors != 1 {
+		t.Fatalf("errors = %d, want 1 (timeout counts as error)", st.Errors)
+	}
+	if _, err := c.Latest("wedged"); err == nil {
+		t.Fatal("wedged source has a sample")
+	}
+	s, err := c.Latest("healthy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Value != 7 {
+		t.Fatalf("healthy sample = %v", s.Value)
+	}
+}
+
+// TestPollTimeoutValidation: a negative timeout is rejected.
+func TestPollTimeoutValidation(t *testing.T) {
+	if _, err := NewCollector(time.Second, WithPollTimeout(-time.Second)); err == nil {
+		t.Fatal("negative poll timeout accepted")
+	}
+}

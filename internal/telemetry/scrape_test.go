@@ -1,0 +1,149 @@
+package telemetry
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseExposition(t *testing.T) {
+	const text = `# HELP vmtherm_host_temp_celsius Newest sensed CPU temperature per host.
+# TYPE vmtherm_host_temp_celsius gauge
+vmtherm_host_temp_celsius{host="r0-h0"} 55.25
+vmtherm_host_temp_celsius{host="r0-h1"} 48 1712000000000
+
+vmtherm_sessions 42
+weird_metric{a="x,y",b="q\"uote\\n"} 1e3
+`
+	points, err := ParseExposition(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 4 {
+		t.Fatalf("parsed %d points, want 4", len(points))
+	}
+	if points[0].Name != "vmtherm_host_temp_celsius" || points[0].Label("host") != "r0-h0" || points[0].Value != 55.25 {
+		t.Fatalf("point 0 = %+v", points[0])
+	}
+	if points[1].TimestampMS != 1712000000000 {
+		t.Fatalf("point 1 timestamp = %d", points[1].TimestampMS)
+	}
+	if points[2].Name != "vmtherm_sessions" || points[2].Value != 42 || len(points[2].Labels) != 0 {
+		t.Fatalf("bare point = %+v", points[2])
+	}
+	if got := points[3].Label("a"); got != "x,y" {
+		t.Fatalf("comma-in-value label = %q", got)
+	}
+	if got := points[3].Label("b"); got != "q\"uote\\n" {
+		t.Fatalf("escaped label = %q", got)
+	}
+	if points[3].Value != 1000 {
+		t.Fatalf("scientific value = %v", points[3].Value)
+	}
+}
+
+func TestParseExpositionRejectsMalformed(t *testing.T) {
+	for _, bad := range []string{
+		"metric_without_value",
+		`m{unterminated="v" 1`,
+		`m{k=unquoted} 1`,
+		"m not_a_number",
+		"m 1 2 3",
+	} {
+		if _, err := ParseExposition(strings.NewReader(bad)); err == nil {
+			t.Errorf("malformed line %q accepted", bad)
+		}
+	}
+}
+
+// TestScrapeSourceEndToEnd scrapes a fake exporter and checks the folded
+// per-host readings, including Kepler-style custom metric names.
+func TestScrapeSourceEndToEnd(t *testing.T) {
+	const exposition = `# TYPE kepler_node_cpu_temp_celsius gauge
+kepler_node_cpu_temp_celsius{node="n0"} 61.5
+kepler_node_cpu_temp_celsius{node="n1"} 44
+kepler_node_cpu_usage_ratio{node="n0"} 0.9
+kepler_node_cpu_usage_ratio{node="n1"} 1.7
+kepler_node_mem_usage_ratio{node="n0"} 0.25
+kepler_node_cpu_usage_ratio{node="orphan-no-temp"} 0.5
+unrelated_metric 7
+`
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		_, _ = w.Write([]byte(exposition))
+	}))
+	defer ts.Close()
+
+	now := time.Unix(1000, 0)
+	src, err := NewScrapeSource(ScrapeConfig{
+		URL:        ts.URL,
+		TempMetric: "kepler_node_cpu_temp_celsius",
+		UtilMetric: "kepler_node_cpu_usage_ratio",
+		MemMetric:  "kepler_node_mem_usage_ratio",
+		HostLabel:  "node",
+		Clock:      func() time.Time { return now },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src.Name() != "scrape" {
+		t.Fatalf("name = %q", src.Name())
+	}
+
+	now = now.Add(30 * time.Second)
+	var got []Reading
+	if err := src.Advance(15, func(r Reading) bool { got = append(got, r); return true }); err != nil {
+		t.Fatal(err)
+	}
+	if src.NowS() != 30 {
+		t.Fatalf("scrape clock = %v, want 30", src.NowS())
+	}
+	sort.Slice(got, func(i, j int) bool { return got[i].HostID < got[j].HostID })
+	if len(got) != 2 {
+		t.Fatalf("scraped %d readings, want 2 (orphan without temp excluded): %+v", len(got), got)
+	}
+	n0, n1 := got[0], got[1]
+	if n0.HostID != "n0" || n0.TempC != 61.5 || n0.Util != 0.9 || n0.MemFrac != 0.25 || n0.AtS != 30 {
+		t.Fatalf("n0 = %+v", n0)
+	}
+	if n1.HostID != "n1" || n1.TempC != 44 || n1.Util != 1 { // 1.7 clamped
+		t.Fatalf("n1 = %+v", n1)
+	}
+}
+
+// TestScrapeSourceFailureAdvancesClock: a dead exporter is an error, emits
+// nothing, and still moves the clock so staleness accrues downstream.
+func TestScrapeSourceFailureAdvancesClock(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+
+	now := time.Unix(0, 0)
+	src, err := NewScrapeSource(ScrapeConfig{URL: ts.URL, Clock: func() time.Time { return now }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	now = now.Add(45 * time.Second)
+	emitted := 0
+	if err := src.Advance(15, func(Reading) bool { emitted++; return true }); err == nil {
+		t.Fatal("500 scrape did not error")
+	}
+	if emitted != 0 {
+		t.Fatalf("failed scrape emitted %d readings", emitted)
+	}
+	if src.NowS() != 45 {
+		t.Fatalf("clock after failed scrape = %v, want 45", src.NowS())
+	}
+}
+
+func TestScrapeSourceValidation(t *testing.T) {
+	if _, err := NewScrapeSource(ScrapeConfig{URL: "ftp://nope"}); err == nil {
+		t.Error("ftp scheme accepted")
+	}
+	if _, err := NewScrapeSource(ScrapeConfig{URL: "://bad"}); err == nil {
+		t.Error("unparsable url accepted")
+	}
+}
