@@ -358,14 +358,11 @@ func BenchmarkServerBatchThroughput(b *testing.B) {
 	reportPredsPerSec(b, batch)
 }
 
-// BenchmarkFleetRound measures one control round of the fleet thermal
-// control plane at 256 hosts: Δ_update seconds of simulated physics and
-// telemetry, bounded-pipeline drain, per-host session calibration, one
-// batch ψ_stable fan-out through the SVM batch kernel, hotspot detection
-// over predicted temperatures, and reconciliation — the recurring cost a
-// deployment pays per calibration interval. Faster-than-real-time operation
-// means ns/op must stay far below Δ_update (15 s).
-func BenchmarkFleetRound(b *testing.B) {
+// benchFleetController assembles the 256-host benchmark fleet: a trained
+// fast model, 8 racks, half the machines populated so the anchor pass has
+// real work.
+func benchFleetController(b *testing.B) (*vmtherm.FleetController, vmtherm.FleetConfig) {
+	b.Helper()
 	ctx := context.Background()
 	cases, err := vmtherm.GenerateCases(vmtherm.DefaultGenOptions(), benchSeed, "fr", 32)
 	if err != nil {
@@ -403,6 +400,20 @@ func BenchmarkFleetRound(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+	return ctl, cfg
+}
+
+// BenchmarkFleetRound measures one control round of the fleet thermal
+// control plane at 256 hosts: Δ_update seconds of simulated physics and
+// telemetry, bounded-pipeline drain, per-host session calibration, the
+// anchor-cache pass (warm rounds serve ψ_stable anchors from the quantized
+// cache; misses fan through the SVM batch kernel), hotspot detection over
+// predicted temperatures, and reconciliation — the recurring cost a
+// deployment pays per calibration interval. Faster-than-real-time operation
+// means ns/op must stay far below Δ_update (15 s).
+func BenchmarkFleetRound(b *testing.B) {
+	ctl, cfg := benchFleetController(b)
+	const hosts = 256
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := ctl.RunRound(); err != nil {
@@ -412,6 +423,84 @@ func BenchmarkFleetRound(b *testing.B) {
 	if d := b.Elapsed().Seconds(); d > 0 {
 		b.ReportMetric(float64(hosts*b.N)/d, "hosts/s")
 		b.ReportMetric(cfg.UpdateEveryS*float64(b.N)/d, "x-realtime")
+	}
+}
+
+// BenchmarkFleetRoundCold measures the same control round with the anchor
+// cache invalidated before every round — the mass re-anchor worst case
+// (first sight of a fleet, model hot-swap, migration wave) where every
+// occupied host's ψ_stable must go through the batch predictor. This is the
+// path the worker-sharded miss fan-out exists for.
+func BenchmarkFleetRoundCold(b *testing.B) {
+	ctl, cfg := benchFleetController(b)
+	const hosts = 256
+	if _, err := ctl.RunRound(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctl.InvalidateAnchorCache()
+		if _, err := ctl.RunRound(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if d := b.Elapsed().Seconds(); d > 0 {
+		b.ReportMetric(float64(hosts*b.N)/d, "hosts/s")
+		b.ReportMetric(cfg.UpdateEveryS*float64(b.N)/d, "x-realtime")
+	}
+}
+
+// BenchmarkAnchorCache measures the warm anchor path at 1024 hosts: a
+// source-driven controller replaying one sample per host per round, every
+// host hitting the quantized anchor cache — key derivation, lookup, and
+// anchor-map fill, with zero batch-predictor work (hit-% must stay 100).
+// The warm anchors() pass itself is allocation-free (pinned by the fleet
+// unit tests); the B/op column reflects the full round, dominated by
+// snapshot publication.
+func BenchmarkAnchorCache(b *testing.B) {
+	const hosts = 1024
+	cfg := vmtherm.DefaultFleetConfig()
+	cfg.MaxHosts = hosts
+	readings := make([]vmtherm.FleetReading, hosts)
+	for i := range readings {
+		readings[i] = vmtherm.FleetReading{
+			HostID: fmt.Sprintf("a%02d-h%03d", i/64, i%64),
+			// Spread over one Δ_update so a looped replay emits one sample
+			// per host per 15 s round.
+			AtS:     float64(i) * 15.0 / hosts,
+			TempC:   30 + float64(i%40),
+			Util:    float64(i%101) / 100,
+			MemFrac: float64(i%53) / 52,
+		}
+	}
+	src, err := vmtherm.NewTraceSource(readings, vmtherm.TraceOptions{Loop: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctl, err := vmtherm.NewFleetWithSource(cfg, src, vmtherm.FleetSyntheticPredictor(75))
+	if err != nil {
+		b.Fatal(err)
+	}
+	// One round discovers the population and fills the cache.
+	if _, err := ctl.RunRound(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var hits, misses int
+	for i := 0; i < b.N; i++ {
+		rep, err := ctl.RunRound()
+		if err != nil {
+			b.Fatal(err)
+		}
+		hits += rep.AnchorHits
+		misses += rep.AnchorMisses
+	}
+	if d := b.Elapsed().Seconds(); d > 0 {
+		b.ReportMetric(float64(hosts*b.N)/d, "hosts/s")
+	}
+	if total := hits + misses; total > 0 {
+		b.ReportMetric(100*float64(hits)/float64(total), "hit-%")
 	}
 }
 

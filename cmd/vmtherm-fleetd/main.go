@@ -24,8 +24,10 @@
 //	vmtherm-fleetd -model model.svm -rounds 40            # use a pretrained model
 //	vmtherm-fleetd -synthetic -rounds 40                  # no SVM, physics stand-in
 //	vmtherm-fleetd -addr :8080 -rounds 0                  # serve /v1/fleet/* forever
+//	vmtherm-fleetd -record run.csv -rounds 40             # capture the run as a trace
 //	vmtherm-fleetd -source trace -trace run.csv -synthetic
 //	vmtherm-fleetd -source scrape -scrape-url http://kepler:9102/metrics -synthetic
+//	vmtherm-fleetd -anchor-cache=false                    # A/B the anchor cache off
 package main
 
 import (
@@ -37,6 +39,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sync"
 	"syscall"
 	"time"
 
@@ -54,31 +57,34 @@ func main() {
 
 func run() error {
 	var (
-		source     = flag.String("source", "sim", "telemetry source: sim | trace | scrape")
-		racks      = flag.Int("racks", 8, "number of racks (sim source)")
-		hosts      = flag.Int("hosts", 32, "hosts per rack (sim source)")
-		rounds     = flag.Int("rounds", 40, "control rounds to run (0 = until interrupted or trace end)")
-		seed       = flag.Int64("seed", 2016, "simulation seed")
-		threshold  = flag.Float64("threshold", 65, "hotspot threshold, °C")
-		update     = flag.Float64("update", 15, "Δ_update calibration interval, s")
-		gap        = flag.Float64("gap", 60, "Δ_gap prediction horizon, s")
-		arrivals   = flag.Int("arrivals", 2, "VM requests submitted per round (sim source)")
-		migrations = flag.Int("migrations", 1, "max migrations applied per round")
-		hotseed    = flag.Int("hotseed", 0, "force-place this many heavy VMs on r0-h0 to provoke a hotspot (sim source)")
-		trainCases = flag.Int("train-cases", 24, "simulated experiments to train the fast model on")
-		modelPath  = flag.String("model", "", "load a pretrained stable model instead of training")
-		synthetic  = flag.Bool("synthetic", false, "skip the SVM; use a physics stand-in predictor")
-		addr       = flag.String("addr", "", "optional listen address for /v1/fleet endpoints and /metrics")
-		pace       = flag.Bool("pace", false, "pace rounds to wall-clock Δ_update (default when serving forever or scraping)")
-		tracePath  = flag.String("trace", "", "trace CSV to replay (trace source)")
-		speed      = flag.Float64("speed", 0, "trace replay pacing multiplier (0 = as fast as possible)")
-		loop       = flag.Bool("loop", false, "loop the trace when it runs out")
-		scrapeURL  = flag.String("scrape-url", "", "Prometheus exposition endpoint (scrape source)")
-		scrapeTemp = flag.String("scrape-temp", "", "temperature metric name (default vmtherm_host_temp_celsius)")
-		scrapeUtil = flag.String("scrape-util", "", "utilization metric name (default vmtherm_host_util_ratio)")
-		scrapeMem  = flag.String("scrape-mem", "", "memory metric name (default vmtherm_host_mem_ratio)")
-		scrapeHost = flag.String("scrape-host-label", "", "host label name (default host)")
-		ambient    = flag.Float64("ambient", 22, "δ_env assumed for ψ_stable anchors (trace/scrape sources)")
+		source      = flag.String("source", "sim", "telemetry source: sim | trace | scrape")
+		racks       = flag.Int("racks", 8, "number of racks (sim source)")
+		hosts       = flag.Int("hosts", 32, "hosts per rack (sim source)")
+		rounds      = flag.Int("rounds", 40, "control rounds to run (0 = until interrupted or trace end)")
+		seed        = flag.Int64("seed", 2016, "simulation seed")
+		threshold   = flag.Float64("threshold", 65, "hotspot threshold, °C")
+		update      = flag.Float64("update", 15, "Δ_update calibration interval, s")
+		gap         = flag.Float64("gap", 60, "Δ_gap prediction horizon, s")
+		arrivals    = flag.Int("arrivals", 2, "VM requests submitted per round (sim source)")
+		migrations  = flag.Int("migrations", 1, "max migrations applied per round")
+		hotseed     = flag.Int("hotseed", 0, "force-place this many heavy VMs on r0-h0 to provoke a hotspot (sim source)")
+		trainCases  = flag.Int("train-cases", 24, "simulated experiments to train the fast model on")
+		modelPath   = flag.String("model", "", "load a pretrained stable model instead of training")
+		synthetic   = flag.Bool("synthetic", false, "skip the SVM; use a physics stand-in predictor")
+		addr        = flag.String("addr", "", "optional listen address for /v1/fleet endpoints and /metrics")
+		pace        = flag.Bool("pace", false, "pace rounds to wall-clock Δ_update (default when serving forever or scraping)")
+		tracePath   = flag.String("trace", "", "trace CSV to replay (trace source)")
+		speed       = flag.Float64("speed", 0, "trace replay pacing multiplier (0 = as fast as possible)")
+		loop        = flag.Bool("loop", false, "loop the trace when it runs out")
+		scrapeURL   = flag.String("scrape-url", "", "Prometheus exposition endpoint (scrape source)")
+		scrapeTemp  = flag.String("scrape-temp", "", "temperature metric name (default vmtherm_host_temp_celsius)")
+		scrapeUtil  = flag.String("scrape-util", "", "utilization metric name (default vmtherm_host_util_ratio)")
+		scrapeMem   = flag.String("scrape-mem", "", "memory metric name (default vmtherm_host_mem_ratio)")
+		scrapeHost  = flag.String("scrape-host-label", "", "host label name (default host)")
+		ambient     = flag.Float64("ambient", 22, "δ_env assumed for ψ_stable anchors (trace/scrape sources)")
+		anchorCache = flag.Bool("anchor-cache", true, "memoize ψ_stable anchors per quantized (util, mem, ambient) bucket")
+		anchorQuant = flag.Float64("anchor-quant", 0, "anchor cache utilization bucket width (0 = default 0.01; mem buckets are 2×; bounded by ReanchorEpsC so cache error cannot trigger re-anchors)")
+		record      = flag.String("record", "", "tee the live telemetry stream to a trace CSV replayable with -source trace")
 	)
 	flag.Parse()
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -130,6 +136,11 @@ func run() error {
 	cfg.GapS = *gap
 	cfg.MaxMigrationsPerRound = *migrations
 	cfg.SourceAmbientC = *ambient
+	cfg.AnchorCacheDisabled = !*anchorCache
+	if *anchorQuant > 0 {
+		cfg.AnchorQuantUtil = *anchorQuant
+		cfg.AnchorQuantMem = 2 * *anchorQuant
+	}
 	cfg.Seed = *seed
 
 	var ctl *vmtherm.FleetController
@@ -193,6 +204,56 @@ func run() error {
 		return fmt.Errorf("unknown -source %q (want sim, trace or scrape)", *source)
 	}
 
+	// -record: tee every reading the source emits into a recorder, and write
+	// the capture as a replayable trace CSV when the loop ends — closing the
+	// capture→replay loop (-source trace) for operators.
+	var recorder *vmtherm.TelemetryRecorder
+	var recMu sync.Mutex
+	if *record != "" {
+		recorder = &vmtherm.TelemetryRecorder{}
+		// The tee sees both the round loop's source emissions and concurrent
+		// HTTP ingest pushes (-addr); Recorder itself is not synchronized.
+		// The capture is in-memory until exit, so it is bounded: past the
+		// cap the recording stops (what was captured still gets written)
+		// rather than growing a daemon's RAM without limit.
+		const maxRecorded = 2 << 20
+		warned := false
+		ctl.TeeTelemetry(func(r vmtherm.FleetReading) bool {
+			recMu.Lock()
+			defer recMu.Unlock()
+			if len(recorder.Readings) >= maxRecorded {
+				if !warned {
+					warned = true
+					log.Printf("recording capped at %d readings; later telemetry is not captured", maxRecorded)
+				}
+				return true
+			}
+			return recorder.Emit(r)
+		})
+		log.Printf("recording telemetry to %s (cap %d readings)", *record, maxRecorded)
+	}
+	finish := func(runErr error) error {
+		if recorder == nil {
+			return runErr
+		}
+		// Detach the tee, then save under the same mutex the tee appends
+		// with: an ingest push that outlived the HTTP shutdown timeout must
+		// not race the sort/write.
+		ctl.TeeTelemetry(nil)
+		recMu.Lock()
+		defer recMu.Unlock()
+		if err := saveRecording(*record, recorder); err != nil {
+			log.Printf("recording: %v", err)
+			if runErr == nil {
+				runErr = err
+			}
+		} else {
+			log.Printf("recorded %d readings to %s (replay with -source trace -trace %s)",
+				len(recorder.Readings), *record, *record)
+		}
+		return runErr
+	}
+
 	if *source == "sim" {
 		// An optional adversarial seed: pile heavy VMs onto one machine so
 		// the proactive loop (flag from prediction → propose → migrate) is
@@ -215,14 +276,14 @@ func run() error {
 			ctl.Submit(arrivalStream[next])
 			next++
 		}
-		return runLoop(ctx, ctl, loopOptions{
+		return finish(runLoop(ctx, ctl, loopOptions{
 			rounds:   *rounds,
 			pace:     *pace || (*rounds == 0 && *addr != ""),
 			updateS:  cfg.UpdateEveryS,
 			addr:     *addr,
 			model:    model,
 			arrivals: func(round int) { submitArrivals(ctl, arrivalStream, &next, *arrivals) },
-		})
+		}))
 	}
 	paceInterval := 0.0
 	if *source == "scrape" || *pace {
@@ -231,7 +292,7 @@ func run() error {
 	if trace != nil && trace.Speed() > 0 {
 		paceInterval = cfg.UpdateEveryS / trace.Speed()
 	}
-	return runLoop(ctx, ctl, loopOptions{
+	return finish(runLoop(ctx, ctl, loopOptions{
 		rounds:    *rounds,
 		pace:      paceInterval > 0,
 		updateS:   cfg.UpdateEveryS,
@@ -239,7 +300,22 @@ func run() error {
 		addr:      *addr,
 		model:     model,
 		traceDone: func() bool { return trace != nil && trace.Done() },
-	})
+	}))
+}
+
+// saveRecording writes a telemetry capture as a replayable trace CSV in
+// canonical (time, host) order.
+func saveRecording(path string, rec *vmtherm.TelemetryRecorder) error {
+	vmtherm.SortReadings(rec.Readings)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = vmtherm.WriteTrace(f, rec.Readings)
+	if cerr := f.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // loopOptions parameterize the round loop shared by every source.
@@ -324,9 +400,10 @@ loop:
 		totalMoves += rep.AppliedMoves
 		totalPlaced += rep.Placements
 		speedup := opts.updateS / rep.Latency.Seconds()
-		line := fmt.Sprintf("round %3d t=%5.0fs | sessions %3d/%3d | telemetry %4d (drops %d, superseded %d) | stale %2d | hotspots %2d (max %.1f°C) | placed %d rejected %d | moves %d/%d | %6.1fms (ctl %.1fms) | %6.0f× realtime",
+		line := fmt.Sprintf("round %3d t=%5.0fs | sessions %3d/%3d | telemetry %4d (drops %d, superseded %d) | stale %2d | anchors %3dh/%dm fan %d | hotspots %2d (max %.1f°C) | placed %d rejected %d | moves %d/%d | %6.1fms (ctl %.1fms) | %6.0f× realtime",
 			rep.Round, rep.SimTimeS, rep.SessionsLive, rep.Hosts,
 			rep.TelemetryDrained, rep.DroppedTotal, rep.SupersededTotal, rep.StaleHosts,
+			rep.AnchorHits, rep.AnchorMisses, rep.AnchorFanout,
 			rep.Hotspots, rep.MaxPredictedC, rep.Placements, rep.Rejections,
 			rep.AppliedMoves, rep.ProposedMoves,
 			float64(rep.Latency.Microseconds())/1000,

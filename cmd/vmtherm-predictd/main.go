@@ -53,24 +53,26 @@ func main() {
 
 func run() error {
 	var (
-		addr       = flag.String("addr", ":8080", "listen address")
-		modelPath  = flag.String("model", "model.svm", "trained stable model path")
-		source     = flag.String("source", "", "optional fleet telemetry source: sim | trace | scrape")
-		racks      = flag.Int("racks", 4, "number of racks (sim source)")
-		hosts      = flag.Int("hosts", 16, "hosts per rack (sim source)")
-		seed       = flag.Int64("seed", 2016, "simulation seed (sim source)")
-		threshold  = flag.Float64("threshold", 65, "hotspot threshold, °C")
-		update     = flag.Float64("update", 15, "Δ_update calibration interval, s")
-		gap        = flag.Float64("gap", 60, "Δ_gap prediction horizon, s")
-		tracePath  = flag.String("trace", "", "trace CSV to replay (trace source)")
-		speed      = flag.Float64("speed", 1, "trace replay pacing multiplier")
-		loop       = flag.Bool("loop", true, "loop the trace when it runs out")
-		scrapeURL  = flag.String("scrape-url", "", "Prometheus exposition endpoint (scrape source)")
-		scrapeTemp = flag.String("scrape-temp", "", "temperature metric name (default vmtherm_host_temp_celsius)")
-		scrapeUtil = flag.String("scrape-util", "", "utilization metric name (default vmtherm_host_util_ratio)")
-		scrapeMem  = flag.String("scrape-mem", "", "memory metric name (default vmtherm_host_mem_ratio)")
-		scrapeHost = flag.String("scrape-host-label", "", "host label name (default host)")
-		ambient    = flag.Float64("ambient", 22, "δ_env assumed for ψ_stable anchors (trace/scrape sources)")
+		addr        = flag.String("addr", ":8080", "listen address")
+		modelPath   = flag.String("model", "model.svm", "trained stable model path")
+		source      = flag.String("source", "", "optional fleet telemetry source: sim | trace | scrape")
+		racks       = flag.Int("racks", 4, "number of racks (sim source)")
+		hosts       = flag.Int("hosts", 16, "hosts per rack (sim source)")
+		seed        = flag.Int64("seed", 2016, "simulation seed (sim source)")
+		threshold   = flag.Float64("threshold", 65, "hotspot threshold, °C")
+		update      = flag.Float64("update", 15, "Δ_update calibration interval, s")
+		gap         = flag.Float64("gap", 60, "Δ_gap prediction horizon, s")
+		tracePath   = flag.String("trace", "", "trace CSV to replay (trace source)")
+		speed       = flag.Float64("speed", 1, "trace replay pacing multiplier")
+		loop        = flag.Bool("loop", true, "loop the trace when it runs out")
+		scrapeURL   = flag.String("scrape-url", "", "Prometheus exposition endpoint (scrape source)")
+		scrapeTemp  = flag.String("scrape-temp", "", "temperature metric name (default vmtherm_host_temp_celsius)")
+		scrapeUtil  = flag.String("scrape-util", "", "utilization metric name (default vmtherm_host_util_ratio)")
+		scrapeMem   = flag.String("scrape-mem", "", "memory metric name (default vmtherm_host_mem_ratio)")
+		scrapeHost  = flag.String("scrape-host-label", "", "host label name (default host)")
+		ambient     = flag.Float64("ambient", 22, "δ_env assumed for ψ_stable anchors (trace/scrape sources)")
+		anchorCache = flag.Bool("anchor-cache", true, "memoize ψ_stable anchors per quantized (util, mem, ambient) bucket")
+		anchorQuant = flag.Float64("anchor-quant", 0, "anchor cache utilization bucket width (0 = default 0.01; mem buckets are 2×; bounded by ReanchorEpsC so cache error cannot trigger re-anchors)")
 	)
 	flag.Parse()
 
@@ -100,6 +102,11 @@ func run() error {
 		cfg.UpdateEveryS = *update
 		cfg.GapS = *gap
 		cfg.SourceAmbientC = *ambient
+		cfg.AnchorCacheDisabled = !*anchorCache
+		if *anchorQuant > 0 {
+			cfg.AnchorQuantUtil = *anchorQuant
+			cfg.AnchorQuantMem = 2 * *anchorQuant
+		}
 		cfg.Seed = *seed
 		predict := vmtherm.FleetStablePredictor(model, 1800)
 

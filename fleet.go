@@ -3,6 +3,7 @@ package vmtherm
 import (
 	"io"
 
+	"vmtherm/internal/anchorcache"
 	"vmtherm/internal/dataset"
 	"vmtherm/internal/fleet"
 	"vmtherm/internal/telemetry"
@@ -58,12 +59,19 @@ func FleetHeavyVMSpec(id string, vcpus int, memGB float64) VMSpec {
 	return fleet.HeavyVMSpec(id, vcpus, memGB)
 }
 
+// AnchorCacheStats are the quantized ψ_stable anchor cache's cumulative
+// counters (hits, misses, evictions, invalidations).
+type AnchorCacheStats = anchorcache.Stats
+
 // Telemetry-source re-exports: the pluggable data path that lets the same
 // closed loop run against synthetic fleets, recorded experiments, or live
 // Prometheus exporters.
 type (
 	// TelemetrySource streams host readings into the control plane.
 	TelemetrySource = telemetry.Source
+	// TelemetryRecorder retains every reading it is offered — the tee that
+	// captures a live run as a replayable trace (fleetd -record).
+	TelemetryRecorder = telemetry.Recorder
 	// TraceSource replays a recorded trace deterministically.
 	TraceSource = telemetry.TraceSource
 	// TraceOptions tune trace replay (speed, looping).
@@ -73,6 +81,10 @@ type (
 	// ScrapeConfig parameterizes a scraper (metric/label names, URL).
 	ScrapeConfig = telemetry.ScrapeConfig
 )
+
+// SortReadings orders readings by time then host id — the canonical trace
+// order recordings are written in.
+func SortReadings(rs []FleetReading) { telemetry.SortReadings(rs) }
 
 // NewFleetWithSource builds a control plane over an external telemetry
 // source (trace replay, live scraping) instead of a simulated fleet.

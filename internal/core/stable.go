@@ -122,31 +122,61 @@ func (p *StablePredictor) PredictFeatures(features []float64) (float64, error) {
 	return p.model.Predict(scaled)
 }
 
+// PredictScratch holds the reusable working memory of PredictBatchInto: the
+// contiguous scaled-feature matrix and the SVM kernel's distance buffer. The
+// zero value is ready to use; buffers grow on first use and are reused, so a
+// long-lived scratch makes repeated batch predictions allocation-free. A
+// scratch must not be shared between concurrent calls.
+type PredictScratch struct {
+	scaled []float64
+	svm    svm.BatchScratch
+}
+
+// PredictBatchInto predicts ψ_stable for len(out) raw feature rows, writing
+// one prediction per row into out. It is the allocation-free spine under
+// PredictBatch: rows are scaled into the scratch's contiguous flat matrix
+// and evaluated through the SVM batch kernel in one pass. Safe for
+// concurrent use as long as each call has its own scratch.
+func (p *StablePredictor) PredictBatchInto(features [][]float64, out []float64, s *PredictScratch) error {
+	if len(features) != len(out) {
+		return fmt.Errorf("core: %d feature rows for %d outputs", len(features), len(out))
+	}
+	if len(features) == 0 {
+		return nil
+	}
+	dim := p.scaler.Dim()
+	need := len(features) * dim
+	if cap(s.scaled) < need {
+		s.scaled = make([]float64, need)
+	}
+	s.scaled = s.scaled[:need]
+	for i, row := range features {
+		if err := p.scaler.TransformInto(row, s.scaled[i*dim:(i+1)*dim]); err != nil {
+			return fmt.Errorf("core: batch row %d: %w", i, err)
+		}
+	}
+	if err := p.model.PredictBatchInto(s.scaled, out, &s.svm); err != nil {
+		return fmt.Errorf("core: batch predict: %w", err)
+	}
+	return nil
+}
+
 // PredictBatch predicts ψ_stable for many raw feature vectors at once,
 // returning one prediction per row. It is the path a fleet-scale serving
 // layer should use: rows are scaled through one reused scratch buffer and
 // evaluated through the SVM batch kernel (flattened support vectors, blocked
 // distance pass, fast exponential), which is substantially faster than
-// looping PredictFeatures. Results match PredictFeatures to ~1e-12.
+// looping PredictFeatures. Results match PredictFeatures to ~1e-12. Loops
+// that predict every round should hold a PredictScratch and call
+// PredictBatchInto instead.
 func (p *StablePredictor) PredictBatch(features [][]float64) ([]float64, error) {
 	if len(features) == 0 {
 		return nil, nil
 	}
-	dim := p.scaler.Dim()
-	// One contiguous backing array for every scaled row keeps the batch
-	// evaluation cache-friendly and the allocation count flat.
-	backing := make([]float64, len(features)*dim)
-	scaled := make([][]float64, len(features))
-	for i, row := range features {
-		dst := backing[i*dim : (i+1)*dim : (i+1)*dim]
-		if err := p.scaler.TransformInto(row, dst); err != nil {
-			return nil, fmt.Errorf("core: batch row %d: %w", i, err)
-		}
-		scaled[i] = dst
-	}
-	out, err := p.model.PredictBatch(scaled)
-	if err != nil {
-		return nil, fmt.Errorf("core: batch predict: %w", err)
+	out := make([]float64, len(features))
+	var s PredictScratch
+	if err := p.PredictBatchInto(features, out, &s); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

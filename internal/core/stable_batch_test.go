@@ -82,3 +82,56 @@ func TestPredictBatchBadRow(t *testing.T) {
 		t.Error("wrong-dimension row accepted")
 	}
 }
+
+func TestPredictBatchIntoMatchesBatch(t *testing.T) {
+	p, recs := testBatchModel(t)
+	rows := make([][]float64, len(recs))
+	for i, r := range recs {
+		rows[i] = r.Features
+	}
+	want, err := p.PredictBatch(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s PredictScratch
+	out := make([]float64, len(rows))
+	// Two passes through one scratch: results must be identical and stable.
+	for pass := 0; pass < 2; pass++ {
+		if err := p.PredictBatchInto(rows, out, &s); err != nil {
+			t.Fatal(err)
+		}
+		for i := range out {
+			if out[i] != want[i] {
+				t.Fatalf("pass %d row %d: into %v vs batch %v", pass, i, out[i], want[i])
+			}
+		}
+	}
+	// Length mismatch must be rejected.
+	if err := p.PredictBatchInto(rows, out[:1], &s); err == nil {
+		t.Error("row/output length mismatch accepted")
+	}
+}
+
+// TestPredictBatchIntoZeroAlloc pins the allocation-free contract of the
+// prediction spine: with a warm scratch, scaling + SVM batch evaluation of a
+// full round must not allocate at all.
+func TestPredictBatchIntoZeroAlloc(t *testing.T) {
+	p, recs := testBatchModel(t)
+	rows := make([][]float64, len(recs))
+	for i, r := range recs {
+		rows[i] = r.Features
+	}
+	out := make([]float64, len(rows))
+	var s PredictScratch
+	if err := p.PredictBatchInto(rows, out, &s); err != nil { // warm the scratch
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := p.PredictBatchInto(rows, out, &s); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm PredictBatchInto allocates %.1f/op, want 0", allocs)
+	}
+}

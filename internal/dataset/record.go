@@ -60,17 +60,33 @@ func NumFeatures() int { return len(featureNames) }
 // demand is averaged over [0, horizonS] so dynamic profiles contribute their
 // mean load, matching what ψ_stable responds to.
 func Encode(c workload.Case, horizonS float64) ([]float64, error) {
+	dst := make([]float64, NumFeatures())
+	if err := EncodeInto(c, horizonS, dst); err != nil {
+		return nil, err
+	}
+	return dst, nil
+}
+
+// EncodeInto encodes a case into dst (len(dst) must be NumFeatures())
+// without allocating — the building block for serving loops that encode
+// thousands of anchor cases per round into one reused flat feature matrix.
+func EncodeInto(c workload.Case, horizonS float64, dst []float64) error {
+	if len(dst) != len(featureNames) {
+		return fmt.Errorf("dataset: encode dst length %d, want %d", len(dst), len(featureNames))
+	}
 	if len(c.VMs) == 0 {
-		return nil, errors.New("dataset: case has no VMs")
+		return errors.New("dataset: case has no VMs")
 	}
 	if horizonS <= 0 {
-		return nil, fmt.Errorf("dataset: horizon must be > 0, got %v", horizonS)
+		return fmt.Errorf("dataset: horizon must be > 0, got %v", horizonS)
 	}
 
 	var vcpus, memAlloc, demand, memActive float64
 	var taskCount int
 	var cpuSum, cpuMax float64
-	classCounts := map[vmm.TaskClass]float64{}
+	// Class frequencies indexed by TaskClass (1-based contiguous constants);
+	// a fixed array instead of a map keeps the encoder allocation-free.
+	var classCounts [5]float64
 
 	for _, spec := range c.VMs {
 		vcpus += float64(spec.Config.VCPUs)
@@ -81,7 +97,7 @@ func Encode(c workload.Case, horizonS float64) ([]float64, error) {
 			if ts.Profile != nil {
 				m, err := workload.MeanOver(ts.Profile, 0, horizonS, horizonS/200)
 				if err != nil {
-					return nil, fmt.Errorf("dataset: task %s: %w", ts.Task.ID, err)
+					return fmt.Errorf("dataset: task %s: %w", ts.Task.ID, err)
 				}
 				mean = m
 			}
@@ -91,35 +107,36 @@ func Encode(c workload.Case, horizonS float64) ([]float64, error) {
 			if mean > cpuMax {
 				cpuMax = mean
 			}
-			classCounts[ts.Task.Class]++
+			if cl := ts.Task.Class; cl >= vmm.CPUBound && cl <= vmm.Bursty {
+				classCounts[cl]++
+			}
 			taskCount++
 		}
 		demand += math.Min(vmDemand, float64(spec.Config.VCPUs))
 		memActive += math.Min(vmMem, spec.Config.MemoryGB)
 	}
 	if taskCount == 0 {
-		return nil, errors.New("dataset: case has no tasks")
+		return errors.New("dataset: case has no tasks")
 	}
 
 	tc := float64(taskCount)
-	return []float64{
-		c.Host.CPUCapacityGHz(),
-		c.Host.MemoryGB,
-		float64(c.FanCount),
-		c.AmbientC,
-		float64(len(c.VMs)),
-		vcpus,
-		memAlloc,
-		demand,
-		memActive,
-		tc,
-		cpuSum / tc,
-		cpuMax,
-		classCounts[vmm.CPUBound] / tc,
-		classCounts[vmm.MemBound] / tc,
-		classCounts[vmm.IOBound] / tc,
-		classCounts[vmm.Bursty] / tc,
-	}, nil
+	dst[0] = c.Host.CPUCapacityGHz()
+	dst[1] = c.Host.MemoryGB
+	dst[2] = float64(c.FanCount)
+	dst[3] = c.AmbientC
+	dst[4] = float64(len(c.VMs))
+	dst[5] = vcpus
+	dst[6] = memAlloc
+	dst[7] = demand
+	dst[8] = memActive
+	dst[9] = tc
+	dst[10] = cpuSum / tc
+	dst[11] = cpuMax
+	dst[12] = classCounts[vmm.CPUBound] / tc
+	dst[13] = classCounts[vmm.MemBound] / tc
+	dst[14] = classCounts[vmm.IOBound] / tc
+	dst[15] = classCounts[vmm.Bursty] / tc
+	return nil
 }
 
 // Split partitions records into train and test sets with the given test

@@ -24,11 +24,14 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sort"
+	"runtime"
+	"slices"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"vmtherm/internal/anchorcache"
 	"vmtherm/internal/cluster"
 	"vmtherm/internal/core"
 	"vmtherm/internal/dataset"
@@ -41,24 +44,55 @@ import (
 
 // BatchCasePredictor predicts ψ_stable for many workload cases in one call.
 // The production implementation is StableBatchPredictor (feature encoding +
-// StablePredictor.PredictBatch through the SVM batch kernel); tests inject
-// synthetic physics instead.
+// StablePredictor.PredictBatchInto through the SVM batch kernel); tests
+// inject synthetic physics instead. Implementations must be safe for
+// concurrent calls: the controller shards cold-round anchor fan-outs across
+// a worker pool.
 type BatchCasePredictor func(cases []workload.Case) ([]float64, error)
+
+// stableScratch is the per-call working memory StableBatchPredictor pools:
+// one flat feature matrix, its row headers, and the model scratch.
+type stableScratch struct {
+	feat []float64
+	rows [][]float64
+	ps   core.PredictScratch
+}
 
 // StableBatchPredictor adapts a trained stable model into the batch shape
 // the controller fans prediction rounds through. horizonS is the averaging
 // horizon for dynamic profiles (use the experiment duration, e.g. 1800).
+// Cases are encoded into a pooled flat feature matrix and evaluated through
+// the zero-alloc batch spine, so concurrent shards share nothing but the
+// (read-only) model.
 func StableBatchPredictor(model *core.StablePredictor, horizonS float64) BatchCasePredictor {
+	var pool sync.Pool
+	nf := dataset.NumFeatures()
 	return func(cases []workload.Case) ([]float64, error) {
-		rows := make([][]float64, len(cases))
+		s, _ := pool.Get().(*stableScratch)
+		if s == nil {
+			s = new(stableScratch)
+		}
+		defer pool.Put(s)
+		if cap(s.feat) < len(cases)*nf {
+			s.feat = make([]float64, len(cases)*nf)
+		}
+		s.feat = s.feat[:len(cases)*nf]
+		if cap(s.rows) < len(cases) {
+			s.rows = make([][]float64, len(cases))
+		}
+		s.rows = s.rows[:len(cases)]
 		for i, c := range cases {
-			f, err := dataset.Encode(c, horizonS)
-			if err != nil {
+			row := s.feat[i*nf : (i+1)*nf : (i+1)*nf]
+			if err := dataset.EncodeInto(c, horizonS, row); err != nil {
 				return nil, fmt.Errorf("fleet: encoding %s: %w", c.Name, err)
 			}
-			rows[i] = f
+			s.rows[i] = row
 		}
-		return model.PredictBatch(rows)
+		out := make([]float64, len(cases))
+		if err := model.PredictBatchInto(s.rows, out, &s.ps); err != nil {
+			return nil, err
+		}
+		return out, nil
 	}
 }
 
@@ -123,6 +157,22 @@ type Config struct {
 	// so a misbehaving exporter cannot grow memory without limit. Simulated
 	// fleets are bounded by their own shape.
 	MaxHosts int
+	// AnchorCacheDisabled turns off ψ_stable anchor memoization: every round
+	// fans every tracked host through the batch predictor (the pre-cache
+	// behaviour). Leave enabled except for A/B measurement.
+	AnchorCacheDisabled bool
+	// AnchorCacheEntries bounds the anchor cache (default 65536 entries).
+	AnchorCacheEntries int
+	// AnchorQuantUtil, AnchorQuantMem and AnchorQuantAmbientC are the anchor
+	// cache's quantization bucket widths (defaults 0.01, 0.02, 0.25 °C).
+	// Cached-vs-exact anchor divergence is bounded by the model's input
+	// sensitivity times half a bucket; the defaults keep that bound under
+	// ReanchorEpsC/2 so cache error can never trigger a spurious re-anchor.
+	AnchorQuantUtil, AnchorQuantMem, AnchorQuantAmbientC float64
+	// AnchorWorkers bounds the worker pool that shards cache-miss anchor
+	// fan-outs (cold rounds, mass re-anchors) across cores (default
+	// min(GOMAXPROCS, 8); 1 forces sequential fan-out).
+	AnchorWorkers int
 	// Seed drives all stochastic components.
 	Seed int64
 }
@@ -232,6 +282,22 @@ func (c Config) withDefaults() Config {
 	if c.MaxHosts == 0 {
 		c.MaxHosts = d.MaxHosts
 	}
+	if c.AnchorCacheEntries == 0 {
+		c.AnchorCacheEntries = 65536
+	}
+	q := anchorcache.DefaultQuantizer()
+	if c.AnchorQuantUtil == 0 {
+		c.AnchorQuantUtil = q.UtilQuant
+	}
+	if c.AnchorQuantMem == 0 {
+		c.AnchorQuantMem = q.MemQuant
+	}
+	if c.AnchorQuantAmbientC == 0 {
+		c.AnchorQuantAmbientC = q.AmbientQuantC
+	}
+	if c.AnchorWorkers == 0 {
+		c.AnchorWorkers = min(runtime.GOMAXPROCS(0), 8)
+	}
 	return c
 }
 
@@ -262,8 +328,52 @@ func (c Config) Validate() error {
 	if c.MaxHosts < 1 {
 		return fmt.Errorf("fleet: max hosts %d < 1", c.MaxHosts)
 	}
+	if c.AnchorCacheEntries < 2 {
+		return fmt.Errorf("fleet: anchor cache entries %d < 2", c.AnchorCacheEntries)
+	}
+	if c.AnchorQuantUtil < 0 || c.AnchorQuantMem < 0 || c.AnchorQuantAmbientC < 0 {
+		return fmt.Errorf("fleet: negative anchor quantization (%v, %v, %v)",
+			c.AnchorQuantUtil, c.AnchorQuantMem, c.AnchorQuantAmbientC)
+	}
+	if !c.AnchorCacheDisabled {
+		// The cache's correctness invariant is that quantization error can
+		// never push a session across the re-anchor threshold on its own: a
+		// cached value within ε of exact can differ from a stored one by at
+		// most 2ε, so ε must stay ≤ ReanchorEpsC/2 on BOTH cache paths.
+		// Source path: misses predict at the (util, mem) bucket center, so
+		// ε = sensitivity × half a configured bucket (the bound the property
+		// test pins across the grid). Sim path: misses predict the actual
+		// deployment snapshot under quarter-width load buckets (full-bucket
+		// first-member error = half the source ε) plus half an ambient
+		// bucket. Reject loud rather than oscillate silently: widening
+		// buckets requires widening ReanchorEpsC to match.
+		srcEps := c.AnchorQuantUtil/2*anchorUtilSensC + c.AnchorQuantMem/2*anchorMemSensC
+		simEps := srcEps/2 + c.AnchorQuantAmbientC/2*anchorAmbientSens
+		eps := max(srcEps, simEps)
+		if lim := c.ReanchorEpsC / 2; eps > lim+1e-9 {
+			return fmt.Errorf("fleet: anchor quantization epsilon %.3f°C (source %.3f, sim %.3f) exceeds "+
+				"ReanchorEpsC/2 = %.3f°C (buckets util %v, mem %v, ambient %v°C at nominal sensitivities "+
+				"%v/%v °C per unit, %v °C/°C); narrow the buckets or raise ReanchorEpsC",
+				eps, srcEps, simEps, lim, c.AnchorQuantUtil, c.AnchorQuantMem, c.AnchorQuantAmbientC,
+				anchorUtilSensC, anchorMemSensC, anchorAmbientSens)
+		}
+	}
+	if c.AnchorWorkers < 1 {
+		return fmt.Errorf("fleet: anchor workers %d < 1", c.AnchorWorkers)
+	}
 	return nil
 }
+
+// Nominal worst-case ψ_stable sensitivities used to bound anchor-cache
+// quantization error in Validate: a full CPU-load swing is worth ~75 °C of
+// die temperature on the reference server (the synthetic predictor's
+// constant and the simulated substrate's full-load rise), memory activity a
+// few degrees, and ambient tracks roughly 1:1.
+const (
+	anchorUtilSensC   = 75.0
+	anchorMemSensC    = 12.0
+	anchorAmbientSens = 1.0
+)
 
 // engineConfig maps the fleet configuration onto the session engine's.
 func (c Config) engineConfig() engine.Config {
@@ -352,6 +462,14 @@ type RoundReport struct {
 	// the model produced an unusable ψ_stable anchor (graceful blindness
 	// must be visible, never silent).
 	AnchorFailures int
+	// AnchorHits and AnchorMisses count this round's anchor-cache outcomes;
+	// AnchorFanout is the (key-deduplicated) miss batch actually fanned
+	// through the batch predictor — the number that used to equal the whole
+	// tracked population every round. With the cache disabled every anchored
+	// host counts as a miss.
+	AnchorHits, AnchorMisses, AnchorFanout int
+	// AnchorEvictedTotal is the cumulative anchor-cache eviction counter.
+	AnchorEvictedTotal int64
 	// Reanchored and Evicted count engine session-lifecycle events.
 	Reanchored int
 	Evicted    int
@@ -382,22 +500,41 @@ type Controller struct {
 	eng *engine.Engine
 	// latest holds the newest reading per host; order is the deterministic
 	// host iteration order (rack/slot for simulated fleets, sorted discovery
-	// order for source-driven ones).
-	latest   map[string]Reading
-	order    []string
-	pendingP []MigrationProposal // proposals awaiting reconciliation
+	// order for source-driven ones). orderDirty marks membership changes
+	// (new host discovered, session evicted, host discarded) so stable
+	// rounds skip rebuilding and re-sorting order entirely.
+	latest     map[string]Reading
+	order      []string
+	orderDirty bool
+	pendingP   []MigrationProposal // proposals awaiting reconciliation
+
+	// cache memoizes ψ_stable per quantized anchor key (nil when disabled);
+	// lastFanout is the previous round's miss-batch size, readable without
+	// the round lock for the /metrics exposition.
+	cache      *anchorcache.Cache
+	lastFanout atomic.Int64
 
 	// Reusable round buffers: the engine round appends into predBuf, the
-	// anchor pass into caseBuf/caseIDs/anchorBuf.
-	predBuf   []engine.Prediction
-	caseBuf   []workload.Case
-	caseIDs   []string
-	anchorBuf map[string]float64
+	// anchor pass stages cache misses into caseBuf (one entry per distinct
+	// key), the host→case fan-in into anchorRefs, and the batch results land
+	// in anchorVals before filling anchorBuf and the cache.
+	predBuf    []engine.Prediction
+	caseBuf    []workload.Case
+	caseKeys   []anchorcache.Key
+	anchorRefs []anchorRef
+	anchorVals []float64
+	missByKey  map[anchorcache.Key]int
+	anchorBuf  map[string]float64
 
 	pendMu  sync.Mutex
 	pending []workload.VMSpec
 
 	ingest *ingestPipeline
+	// emit is the sink every reading goes through — ingest.push, optionally
+	// wrapped by a TeeTelemetry observer. It is an atomic pointer because
+	// Ingest (the HTTP push path) runs concurrently with rounds and with
+	// TeeTelemetry swaps.
+	emit atomic.Pointer[func(Reading) bool]
 
 	snapMu sync.RWMutex
 	snap   Snapshot
@@ -441,6 +578,12 @@ func NewWithSource(cfg Config, src telemetry.Source, predict BatchCasePredictor)
 	return newController(cfg, src, predict)
 }
 
+// anchorRef binds one host to the miss-batch case its anchor comes from.
+type anchorRef struct {
+	id      string
+	caseIdx int
+}
+
 // newController wires the shared state; callers attach sim/order as needed.
 func newController(cfg Config, src telemetry.Source, predict BatchCasePredictor) (*Controller, error) {
 	if predict == nil {
@@ -450,15 +593,33 @@ func newController(cfg Config, src telemetry.Source, predict BatchCasePredictor)
 	if err != nil {
 		return nil, err
 	}
-	return &Controller{
+	c := &Controller{
 		cfg:       cfg,
 		predict:   predict,
 		src:       src,
 		eng:       eng,
 		latest:    make(map[string]Reading),
+		missByKey: make(map[anchorcache.Key]int),
 		anchorBuf: make(map[string]float64),
 		ingest:    newIngestPipeline(cfg.IngestBuffer),
-	}, nil
+	}
+	push := c.ingest.push
+	c.emit.Store(&push)
+	if !cfg.AnchorCacheDisabled {
+		cache, err := anchorcache.New(anchorcache.Config{
+			MaxEntries: cfg.AnchorCacheEntries,
+			Quant: anchorcache.Quantizer{
+				UtilQuant:     cfg.AnchorQuantUtil,
+				MemQuant:      cfg.AnchorQuantMem,
+				AmbientQuantC: cfg.AnchorQuantAmbientC,
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		c.cache = cache
+	}
+	return c, nil
 }
 
 // Config returns the resolved configuration.
@@ -488,12 +649,58 @@ func (c *Controller) Submit(spec workload.VMSpec) {
 
 // Ingest offers an externally produced telemetry reading to the pipeline
 // (the path a real monitoring agent would use). It reports false when the
-// bounded buffer is full and the reading was dropped.
-func (c *Controller) Ingest(r Reading) bool { return c.ingest.push(r) }
+// bounded buffer is full and the reading was dropped. Pushed readings go
+// through the same emit sink as source-driven ones, so a TeeTelemetry
+// capture (fleetd -record) includes them.
+func (c *Controller) Ingest(r Reading) bool { return (*c.emit.Load())(r) }
 
 // IngestStats returns the cumulative ingest pipeline counters.
 func (c *Controller) IngestStats() (received, dropped, superseded int64) {
 	return c.ingest.stats()
+}
+
+// TeeTelemetry attaches an observer that sees every reading offered to the
+// ingest pipeline — source emissions and HTTP pushes alike. It is the
+// capture path behind `vmtherm-fleetd -record`, feeding a
+// telemetry.Recorder whose output replays through `-source trace`. The tee
+// sees readings before the bounded buffer, so a capture is complete even
+// when the pipeline drops. Pass nil to detach. The swap itself is safe at
+// any time; the tee must be safe for the caller's concurrency (a plain
+// Recorder wants the tee attached before rounds start and detached after
+// they stop).
+func (c *Controller) TeeTelemetry(tee func(Reading) bool) {
+	var emit func(Reading) bool
+	if tee == nil {
+		emit = c.ingest.push
+	} else {
+		emit = func(r Reading) bool {
+			tee(r)
+			return c.ingest.push(r)
+		}
+	}
+	c.emit.Store(&emit)
+}
+
+// AnchorCacheStats reports the anchor cache's cumulative counters, the last
+// round's miss-batch fan-out size, and whether the cache is enabled. Safe
+// to call concurrently with RunRound (the /metrics exposition does).
+func (c *Controller) AnchorCacheStats() (st anchorcache.Stats, lastFanout int, enabled bool) {
+	if c.cache == nil {
+		return anchorcache.Stats{}, int(c.lastFanout.Load()), false
+	}
+	return c.cache.Stats(), int(c.lastFanout.Load()), true
+}
+
+// InvalidateAnchorCache drops every memoized anchor and bumps the cache
+// epoch. Call it whenever the prediction model or the feature configuration
+// changes underneath the cached values (e.g. a model hot-swap): the next
+// round re-predicts every anchor.
+func (c *Controller) InvalidateAnchorCache() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.cache != nil {
+		c.cache.Invalidate()
+	}
 }
 
 // Hotspots returns the latest published snapshot.
@@ -569,7 +776,7 @@ func (c *Controller) RunRound() (RoundReport, error) {
 	// bugs and abort; live sources (scrape) fail transiently, so the loop
 	// records the error and lets staleness degradation do its job.
 	var sourceErr string
-	if err := c.src.Advance(c.cfg.UpdateEveryS, c.ingest.push); err != nil {
+	if err := c.src.Advance(c.cfg.UpdateEveryS, *c.emit.Load()); err != nil {
 		if c.sim != nil {
 			return RoundReport{}, err
 		}
@@ -582,32 +789,46 @@ func (c *Controller) RunRound() (RoundReport, error) {
 	// for hosts a simulated fleet does not own are discarded, and discovered
 	// populations are bounded by MaxHosts, so a misbehaving producer cannot
 	// grow c.latest (or the published snapshot) without bound — the
-	// pipeline's memory bound must hold end to end.
-	drained := c.ingest.drainInto(c.latest)
+	// pipeline's memory bound must hold end to end. Membership work (the
+	// foreign-host sweep, the order rebuild + sort) runs only on rounds
+	// where a previously unseen host actually appeared or one was dropped.
+	drained, newHosts := c.ingest.drainInto(c.latest)
+	if newHosts {
+		c.orderDirty = true
+	}
 	var discarded int
 	if c.sim != nil {
-		for id := range c.latest {
-			if _, ok := c.sim.hosts[id]; !ok {
-				delete(c.latest, id)
+		if newHosts {
+			for id := range c.latest {
+				if _, ok := c.sim.hosts[id]; !ok {
+					delete(c.latest, id)
+				}
 			}
 		}
 	} else {
 		discarded = c.refreshDiscoveredHosts()
 	}
 
-	// 3. Anchors: one batch prediction over every host's current deployment
-	// (simulated fleets) or its observed utilization (source-driven fleets)
-	// — the SVM batch-kernel fan-out either way.
-	anchors, err := c.anchors()
+	// 3. Anchors: resolve ψ_stable per tracked host — quantized-cache hits
+	// directly, misses through one (deduplicated, worker-sharded) batch
+	// prediction over current deployments (simulated fleets) or observed
+	// utilization (source-driven fleets).
+	anchors, anchorHits, anchorMisses, err := c.anchors()
 	if err != nil {
 		return RoundReport{}, err
 	}
+	fanout := len(c.caseBuf)
+	c.lastFanout.Store(int64(fanout))
 
 	// 4. Engine round: sessions calibrate, re-anchor, predict, degrade and
 	// evict in one pass over the reusable prediction buffer.
 	var st engine.RoundStats
 	c.predBuf, st = c.eng.Round(c.predBuf[:0], now, c.order, c.latest, anchors)
 	preds := c.predBuf
+	if st.Evicted > 0 {
+		// Evicted sessions left c.latest too: membership changed.
+		c.orderDirty = true
+	}
 
 	// 5. Hotspot map from *predicted* temperatures.
 	predicted := make(map[string]float64, len(preds))
@@ -621,7 +842,7 @@ func (c *Controller) RunRound() (RoundReport, error) {
 		predicted[p.HostID] = p.TempC
 		uncertainty[p.HostID] = p.UncertaintyC
 	}
-	sort.Strings(staleHosts)
+	slices.Sort(staleHosts)
 	spots := cluster.DetectHotspots(predicted, c.cfg.ThresholdC)
 	hotspots := make([]Hotspot, len(spots))
 	for i, s := range spots {
@@ -686,6 +907,10 @@ func (c *Controller) RunRound() (RoundReport, error) {
 	}
 
 	_, droppedTotal, supersededTotal := c.ingest.stats()
+	var anchorEvicted int64
+	if c.cache != nil {
+		anchorEvicted = c.cache.Stats().Evicted
+	}
 	maxPred := math.Inf(-1)
 	for _, v := range predicted {
 		if v > maxPred {
@@ -696,53 +921,50 @@ func (c *Controller) RunRound() (RoundReport, error) {
 		maxPred = 0
 	}
 	return RoundReport{
-		Round:            c.round,
-		SimTimeS:         now,
-		Latency:          time.Since(roundStart),
-		ControlLatency:   time.Since(ctrlStart),
-		Hosts:            len(c.order),
-		SessionsLive:     st.Live,
-		TelemetryDrained: drained,
-		DroppedTotal:     droppedTotal,
-		SupersededTotal:  supersededTotal,
-		StaleHosts:       len(staleHosts),
-		MaxStalenessS:    st.MaxStalenessS,
-		AnchorFailures:   st.AnchorFailures,
-		Reanchored:       st.Reanchored,
-		Evicted:          st.Evicted,
-		DiscardedHosts:   discarded,
-		SourceError:      sourceErr,
-		Hotspots:         len(hotspots),
-		MaxPredictedC:    maxPred,
-		Placements:       placements,
-		Rejections:       rejections,
-		ProposedMoves:    len(proposals),
-		AppliedMoves:     applied,
+		Round:              c.round,
+		SimTimeS:           now,
+		Latency:            time.Since(roundStart),
+		ControlLatency:     time.Since(ctrlStart),
+		Hosts:              len(c.order),
+		SessionsLive:       st.Live,
+		TelemetryDrained:   drained,
+		DroppedTotal:       droppedTotal,
+		SupersededTotal:    supersededTotal,
+		StaleHosts:         len(staleHosts),
+		MaxStalenessS:      st.MaxStalenessS,
+		AnchorFailures:     st.AnchorFailures,
+		AnchorHits:         anchorHits,
+		AnchorMisses:       anchorMisses,
+		AnchorFanout:       fanout,
+		AnchorEvictedTotal: anchorEvicted,
+		Reanchored:         st.Reanchored,
+		Evicted:            st.Evicted,
+		DiscardedHosts:     discarded,
+		SourceError:        sourceErr,
+		Hotspots:           len(hotspots),
+		MaxPredictedC:      maxPred,
+		Placements:         placements,
+		Rejections:         rejections,
+		ProposedMoves:      len(proposals),
+		AppliedMoves:       applied,
 	}, nil
 }
 
 // refreshDiscoveredHosts rebuilds the deterministic host order from the
 // observed population, enforcing the MaxHosts bound: lexicographically
-// excess hosts are forgotten (reading and session) and counted.
+// excess hosts are forgotten (reading and session) and counted. On stable
+// rounds — no new host drained, no session evicted, population size
+// unchanged — the membership-dirty flag is clear and the O(n log n)
+// rebuild + sort is skipped entirely.
 func (c *Controller) refreshDiscoveredHosts() (discarded int) {
-	if len(c.latest) == len(c.order) {
-		// Fast path: population unchanged (the overwhelmingly common round).
-		same := true
-		for _, id := range c.order {
-			if _, ok := c.latest[id]; !ok {
-				same = false
-				break
-			}
-		}
-		if same {
-			return 0
-		}
+	if !c.orderDirty && len(c.latest) == len(c.order) {
+		return 0
 	}
 	c.order = c.order[:0]
 	for id := range c.latest {
 		c.order = append(c.order, id)
 	}
-	sort.Strings(c.order)
+	slices.Sort(c.order)
 	if len(c.order) > c.cfg.MaxHosts {
 		for _, id := range c.order[c.cfg.MaxHosts:] {
 			delete(c.latest, id)
@@ -751,56 +973,203 @@ func (c *Controller) refreshDiscoveredHosts() (discarded int) {
 		}
 		c.order = c.order[:c.cfg.MaxHosts]
 	}
+	c.orderDirty = false
 	return discarded
 }
 
 // anchors batch-predicts ψ_stable for every tracked host into the reusable
-// anchor map.
-func (c *Controller) anchors() (map[string]float64, error) {
+// anchor map. With the cache enabled, only quantized-key misses are staged
+// (deduplicated per key) and fanned through the batch predictor; a fully
+// warm round touches the predictor not at all and allocates nothing. It
+// returns the round's cache hit and miss counts (with the cache disabled,
+// every anchored host counts as a miss).
+func (c *Controller) anchors() (anchors map[string]float64, hits, misses int, err error) {
 	clear(c.anchorBuf)
 	c.caseBuf = c.caseBuf[:0]
-	c.caseIDs = c.caseIDs[:0]
+	c.caseKeys = c.caseKeys[:0]
+	c.anchorRefs = c.anchorRefs[:0]
+	clear(c.missByKey)
 	if c.sim != nil {
-		if err := c.simAnchorCases(); err != nil {
-			return nil, err
+		if err := c.simAnchorCases(&hits); err != nil {
+			return nil, 0, 0, err
 		}
 	} else {
-		c.sourceAnchorCases()
+		c.sourceAnchorCases(&hits)
 	}
+	misses = len(c.anchorRefs)
 	if len(c.caseBuf) > 0 {
-		vals, err := c.predict(c.caseBuf)
-		if err != nil {
-			return nil, fmt.Errorf("fleet: stable anchors: %w", err)
+		if cap(c.anchorVals) < len(c.caseBuf) {
+			c.anchorVals = make([]float64, len(c.caseBuf))
 		}
-		if len(vals) != len(c.caseBuf) {
-			return nil, fmt.Errorf("fleet: %d anchors for %d cases", len(vals), len(c.caseBuf))
+		vals := c.anchorVals[:len(c.caseBuf)]
+		if err := c.predictMissBatch(c.caseBuf, vals); err != nil {
+			return nil, 0, 0, fmt.Errorf("fleet: stable anchors: %w", err)
 		}
-		for i, id := range c.caseIDs {
-			c.anchorBuf[id] = vals[i]
+		if c.cache != nil {
+			for i, k := range c.caseKeys {
+				// Never memoize a degenerate prediction: a NaN anchor must
+				// stay a per-round failure, not a cached one.
+				if !math.IsNaN(vals[i]) {
+					c.cache.Put(k, vals[i])
+				}
+			}
+		}
+		for _, ref := range c.anchorRefs {
+			c.anchorBuf[ref.id] = vals[ref.caseIdx]
 		}
 	}
-	return c.anchorBuf, nil
+	return c.anchorBuf, hits, misses, nil
 }
 
-// simAnchorCases stages every occupied host's current deployment as an
-// anchor case; idle hosts anchor at their inlet temperature (an idle
-// machine settles at ambient).
-func (c *Controller) simAnchorCases() error {
-	for _, id := range c.order {
-		cse, ok, err := c.sim.hostCase(id, nil)
+// stageMiss registers a host whose anchor must be predicted this round,
+// staging its case into the miss batch. Key-based deduplication lives in
+// sourceAnchorCases (the only path where two hosts can share a key —
+// simulated fingerprints embed fleet-unique VM ids).
+func (c *Controller) stageMiss(id string, key anchorcache.Key, cse workload.Case) {
+	idx := len(c.caseBuf)
+	c.caseBuf = append(c.caseBuf, cse)
+	c.caseKeys = append(c.caseKeys, key)
+	c.anchorRefs = append(c.anchorRefs, anchorRef{id: id, caseIdx: idx})
+}
+
+// predictMissBatch evaluates the staged miss cases into out, sharding the
+// batch across the configured worker bound when it is large enough to
+// amortize the goroutines — cold rounds (first sight of a fleet, mass
+// re-anchor after migration waves) scale with cores instead of serializing
+// behind one kernel pass.
+func (c *Controller) predictMissBatch(cases []workload.Case, out []float64) error {
+	// Below this batch size per worker the goroutine overhead outweighs the
+	// kernel work.
+	const minShard = 16
+	workers := c.cfg.AnchorWorkers
+	if maxW := (len(cases) + minShard - 1) / minShard; workers > maxW {
+		workers = maxW
+	}
+	if workers <= 1 {
+		vals, err := c.predict(cases)
 		if err != nil {
 			return err
 		}
-		if !ok {
-			inlet, err := c.sim.inlet(id)
+		if len(vals) != len(cases) {
+			return fmt.Errorf("fleet: %d anchors for %d cases", len(vals), len(cases))
+		}
+		copy(out, vals)
+		return nil
+	}
+	var (
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+	)
+	chunk := (len(cases) + workers - 1) / workers
+	for lo := 0; lo < len(cases); lo += chunk {
+		hi := min(lo+chunk, len(cases))
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			vals, err := c.predict(cases[lo:hi])
+			if err == nil && len(vals) != hi-lo {
+				err = fmt.Errorf("fleet: %d anchors for %d cases", len(vals), hi-lo)
+			}
+			if err != nil {
+				errMu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				errMu.Unlock()
+				return
+			}
+			copy(out[lo:hi], vals)
+		}(lo, hi)
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// simAnchorCases resolves every occupied host's anchor — from the cache
+// when its deployment fingerprint (VM set + lifecycle states + quantized
+// util/mem/inlet) is already memoized, else by staging its current
+// deployment as a miss case. Idle hosts anchor at their inlet temperature
+// (an idle machine settles at ambient) without touching cache or model.
+func (c *Controller) simAnchorCases(hits *int) error {
+	var q anchorcache.Quantizer
+	if c.cache != nil {
+		// The sim path predicts a miss at the host's actual deployment
+		// snapshot (task fractions cannot be re-centered), so the cached
+		// value can diverge from another bucket member by up to a FULL
+		// bucket — unlike the source path, which predicts at the bucket
+		// center and is off by at most half. Quartering the load bucket
+		// widths caps the sim load error at half the source epsilon, which
+		// leaves room for the half-ambient-bucket share so the composed sim
+		// error stays within the ReanchorEpsC/2 bound Config.Validate
+		// enforces.
+		q = c.cache.Quant()
+		q.UtilQuant /= 4
+		q.MemQuant /= 4
+	}
+	for i, id := range c.order {
+		sh := c.sim.byPos[i]
+		if sh.host.NumVMs() == 0 {
+			inlet, err := c.sim.inletAt(sh)
 			if err != nil {
 				return err
 			}
 			c.anchorBuf[id] = inlet
 			continue
 		}
-		c.caseBuf = append(c.caseBuf, cse)
-		c.caseIDs = append(c.caseIDs, id)
+		if c.cache == nil {
+			cse, ok, err := c.sim.hostCase(id, nil)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				inlet, err := c.sim.inletAt(sh)
+				if err != nil {
+					return err
+				}
+				c.anchorBuf[id] = inlet
+				continue
+			}
+			c.stageMiss(id, 0, cse)
+			continue
+		}
+		inlet, err := c.sim.inletAt(sh)
+		if err != nil {
+			return err
+		}
+		ambBucket, ambCenter := q.Ambient(inlet)
+		bu, bm := q.UtilMemBuckets(sh.host.Utilization(), sh.host.MemActiveFrac())
+		h := anchorcache.NewHash()
+		for vi := 0; vi < sh.host.NumVMs(); vi++ {
+			vm := sh.host.VMAt(vi)
+			// The fingerprint must cover everything the feature encoder can
+			// see in the deployment snapshot: identity and lifecycle state,
+			// plus the per-VM load *distribution* (raw task-fraction sum and
+			// max, quantized) — dynamic profiles can redistribute load
+			// between tasks without moving total host utilization, and
+			// features like task_cpu_max follow the distribution.
+			cpuSum, cpuMax := vm.TaskCPUStats()
+			h = h.String(vm.ID()).Uint64(uint64(vm.State())).
+				Uint64(q.UtilBucket(cpuSum)).Uint64(q.UtilBucket(cpuMax))
+		}
+		key := h.Uint64(ambBucket).Uint64(bu).Uint64(bm).Key()
+		if v, ok := c.cache.Get(key); ok {
+			c.anchorBuf[id] = v
+			*hits++
+			continue
+		}
+		cse, ok, err := c.sim.hostCase(id, nil)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			c.anchorBuf[id] = inlet
+			continue
+		}
+		// Predict at the inlet bucket's center so the cached value serves
+		// the whole bucket with at most half a bucket of ambient error.
+		cse.AmbientC = ambCenter
+		c.stageMiss(id, key, cse)
 	}
 	return nil
 }
@@ -810,47 +1179,69 @@ func (c *Controller) simAnchorCases() error {
 // equivalent single-VM deployment on the configured host shape, so real
 // (replayed or scraped) telemetry flows through the same trained model as
 // simulated fleets — the deployment loop Ilager et al. run against
-// monitored hosts.
-func (c *Controller) sourceAnchorCases() {
+// monitored hosts. With the cache enabled, observations are quantized into
+// (util, memFrac) buckets first: bucket hits skip the predictor entirely
+// and bucket misses are predicted once at the bucket center.
+func (c *Controller) sourceAnchorCases(hits *int) {
+	var q anchorcache.Quantizer
+	if c.cache != nil {
+		q = c.cache.Quant()
+	}
 	for _, id := range c.order {
 		r, ok := c.latest[id]
 		if !ok {
 			continue
 		}
-		c.caseBuf = append(c.caseBuf, utilizationCase(c.cfg, r.Util, r.MemFrac))
-		c.caseIDs = append(c.caseIDs, id)
+		util := telemetry.Clamp01(r.Util)
+		mem := telemetry.Clamp01(r.MemFrac)
+		if c.cache == nil {
+			c.stageMiss(id, 0, utilizationCase(c.cfg, util, mem))
+			continue
+		}
+		key, qUtil, qMem := q.UtilMem(util, mem)
+		if v, ok := c.cache.Get(key); ok {
+			c.anchorBuf[id] = v
+			*hits++
+			continue
+		}
+		if prev, ok := c.missByKey[key]; ok {
+			// Another host already staged this bucket this round; share its
+			// prediction without rebuilding the case.
+			c.anchorRefs = append(c.anchorRefs, anchorRef{id: id, caseIdx: prev})
+			continue
+		}
+		c.missByKey[key] = len(c.caseBuf)
+		c.stageMiss(id, key, utilizationCase(c.cfg, qUtil, qMem))
 	}
 }
 
 // utilizationCase encodes an observed (util, memFrac) load as a workload
-// case on the configured host shape: util·cores of CPU demand spread over
-// one task per busy core, memFrac of installed memory active.
+// case on the configured host shape: one task per physical core, each at
+// the observed utilization fraction, with memFrac of installed memory
+// active. The deployment structure (VM count, vCPUs, task count) is fixed —
+// only the continuous load values vary — so every encoded feature is
+// continuous (Lipschitz) in the observation. That continuity is what lets
+// the anchor cache bound cached-vs-exact divergence by the quantization
+// bucket width: a structure that jumped at integer demand boundaries would
+// put a bucket's center and its members on different sides of a step.
 func utilizationCase(cfg Config, util, memFrac float64) workload.Case {
 	util = telemetry.Clamp01(util)
 	memFrac = telemetry.Clamp01(memFrac)
-	demand := util * float64(cfg.HostShape.Cores)
-	vcpus := int(math.Round(demand))
-	if vcpus < 1 {
-		vcpus = 1
-	}
-	frac := demand / float64(vcpus)
-	if frac > 1 {
-		frac = 1
-	}
+	cores := cfg.HostShape.Cores
 	memGB := memFrac * cfg.HostShape.MemoryGB
 	if memGB < 1 {
 		memGB = 1
 	}
 	vm := workload.VMSpec{
 		ID:     "observed",
-		Config: vmm.VMConfig{VCPUs: vcpus, MemoryGB: memGB},
+		Config: vmm.VMConfig{VCPUs: cores, MemoryGB: memGB},
 	}
-	for i := 0; i < vcpus; i++ {
+	for i := 0; i < cores; i++ {
 		vm.Tasks = append(vm.Tasks, workload.TaskSpec{Task: vmm.Task{
 			ID:          "observed-t" + strconv.Itoa(i),
 			Class:       vmm.CPUBound,
-			CPUFraction: frac,
-			MemGB:       memGB / float64(vcpus) / 2,
+			CPUFraction: util,
+			MemGB:       memGB / float64(cores) / 2,
 		}})
 	}
 	return workload.Case{

@@ -52,21 +52,27 @@ func (p *ingestPipeline) push(r Reading) bool {
 }
 
 // drainInto moves every buffered reading into latest, keeping only the
-// newest reading per host, and returns how many readings were consumed.
-// Consumed readings that never become a host's latest — because a newer
-// reading already drained, or an even newer one arrives later in the same
-// drain — are counted as superseded: the ingest-pressure signal that says
-// producers are sampling faster than the control loop consumes.
-func (p *ingestPipeline) drainInto(latest map[string]Reading) int {
+// newest reading per host, and returns how many readings were consumed plus
+// whether any reading introduced a previously untracked host (the
+// membership-dirty signal that tells the controller its sorted host order
+// must be rebuilt). Consumed readings that never become a host's latest —
+// because a newer reading already drained, or an even newer one arrives
+// later in the same drain — are counted as superseded: the ingest-pressure
+// signal that says producers are sampling faster than the control loop
+// consumes.
+func (p *ingestPipeline) drainInto(latest map[string]Reading) (n int, newHosts bool) {
 	clear(p.drainSeen)
-	n := 0
 	for {
 		select {
 		case r := <-p.ch:
 			n++
-			if cur, ok := latest[r.HostID]; ok && r.AtS < cur.AtS {
+			cur, known := latest[r.HostID]
+			if known && r.AtS < cur.AtS {
 				p.superseded.Add(1)
 				continue
+			}
+			if !known {
+				newHosts = true
 			}
 			if p.drainSeen[r.HostID] {
 				// The entry written earlier this drain never left the round.
@@ -75,7 +81,7 @@ func (p *ingestPipeline) drainInto(latest map[string]Reading) int {
 			p.drainSeen[r.HostID] = true
 			latest[r.HostID] = r
 		default:
-			return n
+			return n, newHosts
 		}
 	}
 }

@@ -32,15 +32,25 @@ func (s *simSource) Advance(dtS float64, emit func(telemetry.Reading) bool) erro
 	return s.fs.advance(dtS, emit)
 }
 
+// drivenTask binds one task of a placed VM to the load profile that drives
+// it — a flat, contiguous record the tick loop scans instead of walking
+// nested vm→task profile maps.
+type drivenTask struct {
+	vm     *vmm.VM
+	taskID string
+	prof   workload.Profile
+}
+
 // simHost is one simulated machine of the fleet: capacity accounting
 // (vmm.Host), heat (thermal.Server), a noisy sensor, and the load profiles
 // driving its VMs' tasks over time.
 type simHost struct {
-	host     *vmm.Host
-	server   *thermal.Server
-	sensor   *thermal.Sensor
-	pos      cluster.HostPosition
-	profiles map[string]map[string]workload.Profile // vm id → task id → profile
+	host    *vmm.Host
+	server  *thermal.Server
+	sensor  *thermal.Sensor
+	pos     cluster.HostPosition
+	rackIdx int // index into fleetSim.racks / rackInlets
+	driven  []drivenTask
 	// muted simulates a dead monitoring agent: the host keeps running and
 	// heating, but emits no telemetry.
 	muted bool
@@ -55,7 +65,13 @@ type fleetSim struct {
 	engine *sim.Engine
 	dc     *cluster.Datacenter
 	hosts  map[string]*simHost
-	order  []string // host ids in rack/slot order (deterministic iteration)
+	order  []string   // host ids in rack/slot order (deterministic iteration)
+	byPos  []*simHost // hosts in order, for map-free tick/sample sweeps
+	racks  []*cluster.Rack
+	// rackInlets caches each rack's per-slot inlet temperatures for the
+	// current tick: rack mean utilization is O(hosts) to derive, so
+	// recomputing it per host per tick would make ticks O(hosts²).
+	rackInlets [][]float64
 	// vmHost maps every placed VM id to its current host: vmm only enforces
 	// per-host uniqueness, but migration addresses VMs by id fleet-wide, so
 	// duplicates (e.g. a retried placement request) must be rejected here.
@@ -97,7 +113,13 @@ func newFleetSim(cfg Config) (*fleetSim, error) {
 		return nil, err
 	}
 	fs.dc = dc
+	fs.racks = racks
+	fs.rackInlets = make([][]float64, len(racks))
 
+	rackIdx := make(map[*cluster.Rack]int, len(racks))
+	for i, r := range racks {
+		rackIdx[r] = i
+	}
 	for _, pos := range dc.AllHosts() {
 		h := pos.Rack.Hosts()[pos.Slot]
 		inlet, err := dc.InletTemp(pos.Rack, pos.Slot)
@@ -116,14 +138,16 @@ func newFleetSim(cfg Config) (*fleetSim, error) {
 		if err != nil {
 			return nil, fmt.Errorf("fleet: sensor %s: %w", h.ID(), err)
 		}
-		fs.hosts[h.ID()] = &simHost{
-			host:     h,
-			server:   srv,
-			sensor:   sensor,
-			pos:      pos,
-			profiles: make(map[string]map[string]workload.Profile),
+		sh := &simHost{
+			host:    h,
+			server:  srv,
+			sensor:  sensor,
+			pos:     pos,
+			rackIdx: rackIdx[pos.Rack],
 		}
+		fs.hosts[h.ID()] = sh
 		fs.order = append(fs.order, h.ID())
+		fs.byPos = append(fs.byPos, sh)
 	}
 	return fs, nil
 }
@@ -154,13 +178,11 @@ func (fs *fleetSim) place(hostID string, spec workload.VMSpec) error {
 		_ = sh.host.Remove(vm.ID())
 		return err
 	}
-	profs := make(map[string]workload.Profile, len(spec.Tasks))
 	for _, ts := range spec.Tasks {
 		if ts.Profile != nil {
-			profs[ts.Task.ID] = ts.Profile
+			sh.driven = append(sh.driven, drivenTask{vm: vm, taskID: ts.Task.ID, prof: ts.Profile})
 		}
 	}
-	sh.profiles[spec.ID] = profs
 	fs.vmHost[spec.ID] = hostID
 	return nil
 }
@@ -187,8 +209,16 @@ func (fs *fleetSim) migrate(vmID, fromID, toID string) error {
 		_ = dst.host.Remove(vmID)
 		return err
 	}
-	dst.profiles[vmID] = src.profiles[vmID]
-	delete(src.profiles, vmID)
+	// Move the VM's driven-task records to the destination host.
+	kept := src.driven[:0]
+	for _, d := range src.driven {
+		if d.vm.ID() == vmID {
+			dst.driven = append(dst.driven, d)
+		} else {
+			kept = append(kept, d)
+		}
+	}
+	src.driven = kept
 	fs.vmHost[vmID] = toID
 	return nil
 }
@@ -198,31 +228,30 @@ func (fs *fleetSim) migrate(vmID, fromID, toID string) error {
 // thermal integration.
 func (fs *fleetSim) tick(dt float64) error {
 	t := fs.engine.Now()
-	for _, id := range fs.order {
-		sh := fs.hosts[id]
-		for vmID, profs := range sh.profiles {
-			vm, err := sh.host.VM(vmID)
-			if err != nil {
-				return err
-			}
-			if st := vm.State(); st != vmm.VMRunning && st != vmm.VMMigrating {
+	for _, sh := range fs.byPos {
+		for i := range sh.driven {
+			d := &sh.driven[i]
+			if st := d.vm.State(); st != vmm.VMRunning && st != vmm.VMMigrating {
 				continue
 			}
-			for taskID, p := range profs {
-				if err := vm.SetTaskCPU(taskID, p.At(t)); err != nil {
-					return err
-				}
+			if err := d.vm.SetTaskCPU(d.taskID, d.prof.At(t)); err != nil {
+				return err
 			}
 		}
 	}
 	// Loads first, then inlets: recirculation sees this tick's utilization.
-	for _, id := range fs.order {
-		sh := fs.hosts[id]
-		inlet, err := fs.dc.InletTemp(sh.pos.Rack, sh.pos.Slot)
+	// Each rack's per-slot inlets are derived once — rack mean utilization
+	// is constant within a tick, so one sweep replaces the former per-host
+	// recomputation without changing a single value.
+	for ri, rack := range fs.racks {
+		inlets, err := fs.dc.RackInletTemps(rack, fs.rackInlets[ri][:0])
 		if err != nil {
 			return err
 		}
-		sh.server.SetAmbient(inlet)
+		fs.rackInlets[ri] = inlets
+	}
+	for _, sh := range fs.byPos {
+		sh.server.SetAmbient(fs.rackInlets[sh.rackIdx][sh.pos.Slot])
 		sh.server.SetLoad(sh.host.Utilization(), sh.host.MemActiveFrac())
 		if err := sh.server.Advance(dt); err != nil {
 			return err
@@ -235,8 +264,8 @@ func (fs *fleetSim) tick(dt float64) error {
 // a fleet of monitoring agents would.
 func (fs *fleetSim) sample(emit func(telemetry.Reading) bool) {
 	t := fs.engine.Now()
-	for _, id := range fs.order {
-		sh := fs.hosts[id]
+	for i, sh := range fs.byPos {
+		id := fs.order[i]
 		if sh.muted {
 			continue // dead agent: host runs on, telemetry goes dark
 		}
@@ -327,6 +356,18 @@ func (fs *fleetSim) inlet(id string) (float64, error) {
 	sh, ok := fs.hosts[id]
 	if !ok {
 		return 0, fmt.Errorf("fleet: unknown host %q", id)
+	}
+	return fs.dc.InletTemp(sh.pos.Rack, sh.pos.Slot)
+}
+
+// inletAt returns a host's inlet temperature from the per-tick rack cache
+// when populated — utilization cannot change between the last tick and the
+// controller's anchor pass, so the cached value is identical to a fresh
+// InletTemp and skips the O(rack) mean-utilization sweep per host. Before
+// any tick has run it computes directly.
+func (fs *fleetSim) inletAt(sh *simHost) (float64, error) {
+	if inlets := fs.rackInlets[sh.rackIdx]; sh.pos.Slot < len(inlets) {
+		return inlets[sh.pos.Slot], nil
 	}
 	return fs.dc.InletTemp(sh.pos.Rack, sh.pos.Slot)
 }

@@ -22,6 +22,13 @@ import (
 //	vmtherm_ingest_received_total           fleet pipeline counters (counter;
 //	vmtherm_ingest_dropped_total            fleet-attached servers only)
 //	vmtherm_ingest_superseded_total
+//	vmtherm_anchor_cache_hits_total         ψ_stable anchor cache counters
+//	vmtherm_anchor_cache_misses_total       (counter; fleet-attached servers
+//	vmtherm_anchor_cache_evictions_total    with the cache enabled)
+//	vmtherm_anchor_cache_invalidations_total
+//	vmtherm_anchor_fanout                   last round's anchor miss-batch
+//	                                        size fanned through the batch
+//	                                        predictor (gauge)
 //	vmtherm_fleet_round                     last published control round (gauge)
 //	vmtherm_host_temp_celsius{host=...}     newest telemetry per host (gauge)
 //	vmtherm_host_util_ratio{host=...}
@@ -45,6 +52,19 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 			"Telemetry readings dropped at the full ingest buffer.", "", float64(dropped))
 		writeMetric(&sb, "vmtherm_ingest_superseded_total", "counter",
 			"Drained readings superseded by newer ones before use.", "", float64(superseded))
+
+		if cacheStats, fanout, enabled := s.fleet.AnchorCacheStats(); enabled {
+			writeMetric(&sb, "vmtherm_anchor_cache_hits_total", "counter",
+				"Anchor-cache hits: hosts whose stable anchor was served from the quantized cache.", "", float64(cacheStats.Hits))
+			writeMetric(&sb, "vmtherm_anchor_cache_misses_total", "counter",
+				"Anchor-cache misses: hosts whose stable anchor went through the batch predictor.", "", float64(cacheStats.Misses))
+			writeMetric(&sb, "vmtherm_anchor_cache_evictions_total", "counter",
+				"Anchor-cache entries dropped at the size bound.", "", float64(cacheStats.Evicted))
+			writeMetric(&sb, "vmtherm_anchor_cache_invalidations_total", "counter",
+				"Anchor-cache epoch bumps (model/config change).", "", float64(cacheStats.Invalidations))
+			writeMetric(&sb, "vmtherm_anchor_fanout", "gauge",
+				"Anchor miss-batch size fanned through the batch predictor last round.", "", float64(fanout))
+		}
 
 		snap := s.fleet.Hotspots()
 		writeMetric(&sb, "vmtherm_fleet_round", "gauge", "Last published control round.", "", float64(snap.Round))

@@ -70,6 +70,10 @@ type Server struct {
 	fleet *fleet.Controller
 	// metrics are the /metrics exposition counters.
 	metrics serverMetrics
+	// scratch pools PredictScratch instances across batch requests so the
+	// stable-batch hot path reuses scaled-feature and kernel buffers instead
+	// of allocating them per chunk.
+	scratch sync.Pool
 }
 
 // serverMetrics counts served work for the /metrics exposition.
@@ -194,7 +198,12 @@ func (s *Server) handleStableBatch(w http.ResponseWriter, r *http.Request) {
 		firstErr error
 	)
 	s.pool.dispatch(len(req.Rows), func(lo, hi int) {
-		chunk, err := s.model.PredictBatch(req.Rows[lo:hi])
+		scratch, _ := s.scratch.Get().(*core.PredictScratch)
+		if scratch == nil {
+			scratch = new(core.PredictScratch)
+		}
+		err := s.model.PredictBatchInto(req.Rows[lo:hi], out[lo:hi], scratch)
+		s.scratch.Put(scratch)
 		if err != nil {
 			// A row error rejects the whole batch: rows are validated
 			// before evaluation, so any error means malformed input,
@@ -204,9 +213,7 @@ func (s *Server) handleStableBatch(w http.ResponseWriter, r *http.Request) {
 				firstErr = err
 			}
 			errMu.Unlock()
-			return
 		}
-		copy(out[lo:hi], chunk)
 	})
 	if firstErr != nil {
 		writeError(w, http.StatusUnprocessableEntity, firstErr)

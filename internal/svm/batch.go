@@ -8,13 +8,17 @@ import (
 // Batch prediction. A fleet-scale prediction service evaluates hundreds of
 // rows per request, so the per-row path matters: Model.Predict walks a
 // [][]float64 of support vectors (a pointer chase per SV), re-dispatches on
-// the kernel type per SV, and pays math.Exp per kernel value. PredictBatch
-// amortizes all of that across the batch: the support vectors are flattened
-// once into a contiguous row-major matrix, squared distances are computed
-// four SVs at a time with independent accumulators (breaking the FP add
-// dependency chain), and the exponentials go through expNeg. Scratch buffers
-// are reused across rows, so a batch of n rows costs one O(nSV) allocation
-// total instead of per-row garbage.
+// the kernel type per SV, and pays math.Exp per kernel value. The batch
+// entry points amortize all of that: the support vectors are flattened once
+// into a contiguous row-major matrix, squared distances are computed four
+// SVs at a time with independent accumulators (breaking the FP add
+// dependency chain), and the exponentials go through expNeg.
+//
+// PredictBatchInto is the allocation-free spine — flat row-major input,
+// caller-owned output and scratch — that steady-state serving loops (the
+// fleet anchor fan-out, the prediction service's batch endpoints) pump every
+// round without generating garbage. PredictBatch is the convenience wrapper
+// that still allocates its result.
 
 // flatSVs returns the support vectors as one contiguous row-major matrix,
 // building and caching it on first use. Callers must not mutate SV after
@@ -30,10 +34,82 @@ func (m *Model) flatSVs() []float64 {
 	return m.flatSV
 }
 
+// BatchScratch holds the reusable working memory of PredictBatchInto. The
+// zero value is ready to use; buffers grow to the model's support-vector
+// count on first use and are reused afterwards, so a long-lived scratch
+// makes repeated batch predictions allocation-free. A scratch must not be
+// shared between concurrent calls.
+type BatchScratch struct {
+	dists []float64
+}
+
+// grow returns the scratch's distance buffer resized to n support vectors.
+func (s *BatchScratch) grow(n int) []float64 {
+	if cap(s.dists) < n {
+		s.dists = make([]float64, n)
+	}
+	s.dists = s.dists[:n]
+	return s.dists
+}
+
+// predictRowRBF evaluates one pre-scaled row against the flattened support
+// vectors using the caller's distance buffer.
+func (m *Model) predictRowRBF(flat, x, dists []float64) float64 {
+	sqDistsInto(flat, m.Dim, x, dists)
+	gamma := m.Kernel.Gamma
+	nsv := len(dists)
+	var sum float64
+	k := 0
+	for ; k+4 <= nsv; k += 4 {
+		sum += m.Coef[k]*expNeg(gamma*dists[k]) +
+			m.Coef[k+1]*expNeg(gamma*dists[k+1]) +
+			m.Coef[k+2]*expNeg(gamma*dists[k+2]) +
+			m.Coef[k+3]*expNeg(gamma*dists[k+3])
+	}
+	for ; k < nsv; k++ {
+		sum += m.Coef[k] * expNeg(gamma*dists[k])
+	}
+	return sum - m.Rho
+}
+
+// PredictBatchInto evaluates the model on len(out) rows stored row-major in
+// xs (len(xs) must be len(out)·Dim) and writes one prediction per row into
+// out. Rows must already be in the model's feature space (scaled). With a
+// warm scratch the call allocates nothing; it is safe to run concurrently
+// as long as each call has its own scratch.
+func (m *Model) PredictBatchInto(xs []float64, out []float64, scratch *BatchScratch) error {
+	n := len(out)
+	if len(xs) != n*m.Dim {
+		return fmt.Errorf("svm: flat batch of %d values is not %d rows × %d features", len(xs), n, m.Dim)
+	}
+	if n == 0 {
+		return nil
+	}
+	if m.Kernel.Type != RBF {
+		// Non-RBF kernels are dot-product shaped and not exp-bound; the
+		// generic path is already close to memory-bandwidth-bound.
+		for i := 0; i < n; i++ {
+			v, err := m.Predict(xs[i*m.Dim : (i+1)*m.Dim])
+			if err != nil {
+				return fmt.Errorf("svm: batch row %d: %w", i, err)
+			}
+			out[i] = v
+		}
+		return nil
+	}
+	flat := m.flatSVs()
+	dists := scratch.grow(len(m.SV))
+	for i := 0; i < n; i++ {
+		out[i] = m.predictRowRBF(flat, xs[i*m.Dim:(i+1)*m.Dim], dists)
+	}
+	return nil
+}
+
 // PredictBatch evaluates the model on every row of xs, returning one
 // prediction per row. Results match Predict to ~1e-12 relative (the batch
 // path uses a table-driven exponential); use it whenever more than a
-// handful of rows are evaluated together.
+// handful of rows are evaluated together. Serving loops that run batches
+// every round should use PredictBatchInto with a reused scratch instead.
 func (m *Model) PredictBatch(xs [][]float64) ([]float64, error) {
 	out := make([]float64, len(xs))
 	if len(xs) == 0 {
@@ -45,8 +121,6 @@ func (m *Model) PredictBatch(xs [][]float64) ([]float64, error) {
 		}
 	}
 	if m.Kernel.Type != RBF {
-		// Non-RBF kernels are dot-product shaped and not exp-bound; the
-		// generic path is already close to memory-bandwidth-bound.
 		for i, x := range xs {
 			v, err := m.Predict(x)
 			if err != nil {
@@ -56,25 +130,11 @@ func (m *Model) PredictBatch(xs [][]float64) ([]float64, error) {
 		}
 		return out, nil
 	}
-
 	flat := m.flatSVs()
-	nsv := len(m.SV)
-	dists := make([]float64, nsv)
-	gamma := m.Kernel.Gamma
+	var scratch BatchScratch
+	dists := scratch.grow(len(m.SV))
 	for i, x := range xs {
-		sqDistsInto(flat, m.Dim, x, dists)
-		var sum float64
-		k := 0
-		for ; k+4 <= nsv; k += 4 {
-			sum += m.Coef[k]*expNeg(gamma*dists[k]) +
-				m.Coef[k+1]*expNeg(gamma*dists[k+1]) +
-				m.Coef[k+2]*expNeg(gamma*dists[k+2]) +
-				m.Coef[k+3]*expNeg(gamma*dists[k+3])
-		}
-		for ; k < nsv; k++ {
-			sum += m.Coef[k] * expNeg(gamma*dists[k])
-		}
-		out[i] = sum - m.Rho
+		out[i] = m.predictRowRBF(flat, x, dists)
 	}
 	return out, nil
 }

@@ -31,6 +31,13 @@ type Network struct {
 	temp        []float64 // °C
 	boundary    []bool
 	edges       []edge
+	// flux is the per-step heat-flow scratch, reused across Step calls so
+	// integrating a fleet of networks every tick allocates nothing.
+	flux []float64
+	// stableStep caches maxStableStep; topology and conductance changes
+	// invalidate it (0 = dirty). Every simulated second recomputing it from
+	// scratch used to rival the integration itself.
+	stableStep float64
 }
 
 type edge struct {
@@ -66,6 +73,8 @@ func (n *Network) add(name string, c, t float64, boundary bool) (int, error) {
 	n.capacitance = append(n.capacitance, c)
 	n.temp = append(n.temp, t)
 	n.boundary = append(n.boundary, boundary)
+	n.flux = append(n.flux, 0)
+	n.stableStep = 0
 	return id, nil
 }
 
@@ -83,6 +92,7 @@ func (n *Network) Connect(a, b int, g float64) (int, error) {
 		return 0, fmt.Errorf("thermal: conductance must be > 0, got %v", g)
 	}
 	n.edges = append(n.edges, edge{a: a, b: b, g: g})
+	n.stableStep = 0
 	return len(n.edges) - 1, nil
 }
 
@@ -94,7 +104,11 @@ func (n *Network) SetConductance(e int, g float64) error {
 	if g <= 0 {
 		return fmt.Errorf("thermal: conductance must be > 0, got %v", g)
 	}
+	if n.edges[e].g == g {
+		return nil // unchanged: keep the cached stable step
+	}
 	n.edges[e].g = g
+	n.stableStep = 0
 	return nil
 }
 
@@ -135,13 +149,38 @@ func (n *Network) Step(dt float64, injections map[int]float64) error {
 			return fmt.Errorf("thermal: injection into boundary node %d", id)
 		}
 	}
+	n.integrate(dt, 0, 0, injections)
+	return nil
+}
+
+// StepOne advances the network by dt seconds with a single heat injection —
+// the common server shape (all heat enters at the die) — without the map
+// traffic of Step. It allocates nothing.
+func (n *Network) StepOne(dt float64, node int, watts float64) error {
+	if dt <= 0 {
+		return fmt.Errorf("thermal: non-positive dt %v", dt)
+	}
+	if node < 0 || node >= len(n.temp) {
+		return fmt.Errorf("thermal: injection into unknown node %d", node)
+	}
+	if n.boundary[node] {
+		return fmt.Errorf("thermal: injection into boundary node %d", node)
+	}
+	n.integrate(dt, node, watts, nil)
+	return nil
+}
+
+// integrate runs the explicit-Euler sub-step loop. External heat comes from
+// injections when non-nil, otherwise from the single (node, watts) pair —
+// keeping the one-injection fast path free of closures and map traffic.
+func (n *Network) integrate(dt float64, node int, watts float64, injections map[int]float64) {
 	sub := n.maxStableStep()
 	steps := int(math.Ceil(dt / sub))
 	if steps < 1 {
 		steps = 1
 	}
 	h := dt / float64(steps)
-	flux := make([]float64, len(n.temp))
+	flux := n.flux
 	for s := 0; s < steps; s++ {
 		for i := range flux {
 			flux[i] = 0
@@ -151,8 +190,12 @@ func (n *Network) Step(dt float64, injections map[int]float64) error {
 			flux[e.a] -= q
 			flux[e.b] += q
 		}
-		for id, w := range injections {
-			flux[id] += w
+		if injections != nil {
+			for id, w := range injections {
+				flux[id] += w
+			}
+		} else {
+			flux[node] += watts
 		}
 		for i := range n.temp {
 			if n.boundary[i] {
@@ -161,13 +204,19 @@ func (n *Network) Step(dt float64, injections map[int]float64) error {
 			n.temp[i] += h * flux[i] / n.capacitance[i]
 		}
 	}
-	return nil
 }
 
 // maxStableStep returns a conservative explicit-Euler step: a quarter of the
-// smallest C/Gtotal among internal nodes.
+// smallest C/Gtotal among internal nodes. The value is cached; node and
+// conductance changes invalidate it.
 func (n *Network) maxStableStep() float64 {
-	gTotal := make([]float64, len(n.temp))
+	if n.stableStep > 0 {
+		return n.stableStep
+	}
+	gTotal := n.flux // borrow the scratch; Step zeroes it before use anyway
+	for i := range gTotal {
+		gTotal[i] = 0
+	}
 	for _, e := range n.edges {
 		gTotal[e.a] += e.g
 		gTotal[e.b] += e.g
@@ -183,9 +232,11 @@ func (n *Network) maxStableStep() float64 {
 		}
 	}
 	if math.IsInf(minTau, 1) {
-		return 1 // isolated nodes: any step is fine
+		n.stableStep = 1 // isolated nodes: any step is fine
+	} else {
+		n.stableStep = math.Max(minTau/4, 1e-3)
 	}
-	return math.Max(minTau/4, 1e-3)
+	return n.stableStep
 }
 
 // SteadyState solves the network's equilibrium temperatures for constant

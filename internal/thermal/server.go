@@ -178,7 +178,7 @@ func (s *Server) Advance(dt float64) error {
 	u := s.EffectiveUtil()
 	s.throttled = u < s.util
 	heat := s.params.Power.Power(u, s.memFrac, s.net.Temp(s.die))
-	return s.net.Step(dt, map[int]float64{s.die: heat})
+	return s.net.StepOne(dt, s.die, heat)
 }
 
 // DieTemp returns the true (noise-free) CPU die temperature, °C.

@@ -56,10 +56,16 @@ var ErrCapacity = errors.New("vmm: placement exceeds host capacity")
 const MigrationCPUOverhead = 0.10
 
 // Host is one physical server hosting VMs.
+//
+// Placed VMs are kept both in a lookup map and an insertion-ordered slice:
+// utilization and capacity sums — called per host per simulation tick at
+// fleet scale — walk the slice, avoiding randomized map iteration on the
+// hot path.
 type Host struct {
 	id     string
 	config HostConfig
 	vms    map[string]*VM
+	list   []*VM // placement order; parallel to vms
 	// incoming marks VMs whose capacity is reserved here while they still
 	// execute on a migration source; they hold capacity but burn no CPU.
 	incoming map[string]bool
@@ -106,6 +112,7 @@ func (h *Host) Place(vm *VM) error {
 		return fmt.Errorf("%w: %v GB over limit on %q", ErrCapacity, mem, h.id)
 	}
 	h.vms[vm.ID()] = vm
+	h.list = append(h.list, vm)
 	return nil
 }
 
@@ -137,6 +144,12 @@ func (h *Host) Remove(vmID string) error {
 	}
 	delete(h.vms, vmID)
 	delete(h.incoming, vmID)
+	for i, vm := range h.list {
+		if vm.ID() == vmID {
+			h.list = append(h.list[:i], h.list[i+1:]...)
+			break
+		}
+	}
 	return nil
 }
 
@@ -151,13 +164,16 @@ func (h *Host) VM(id string) (*VM, error) {
 
 // VMs returns placed VMs sorted by ID.
 func (h *Host) VMs() []*VM {
-	out := make([]*VM, 0, len(h.vms))
-	for _, vm := range h.vms {
-		out = append(out, vm)
-	}
+	out := make([]*VM, len(h.list))
+	copy(out, h.list)
 	sort.Slice(out, func(i, j int) bool { return out[i].ID() < out[j].ID() })
 	return out
 }
+
+// VMAt returns the i-th placed VM in placement order (0 ≤ i < NumVMs). It
+// allocates nothing — the iteration primitive for per-tick fleet loops and
+// anchor-cache deployment fingerprinting.
+func (h *Host) VMAt(i int) *VM { return h.list[i] }
 
 // NumVMs returns the placed VM count.
 func (h *Host) NumVMs() int { return len(h.vms) }
@@ -165,7 +181,7 @@ func (h *Host) NumVMs() int { return len(h.vms) }
 // PlacedVCPUs sums configured vCPUs across placed VMs.
 func (h *Host) PlacedVCPUs() float64 {
 	var sum float64
-	for _, vm := range h.vms {
+	for _, vm := range h.list {
 		sum += float64(vm.Config().VCPUs)
 	}
 	return sum
@@ -174,7 +190,7 @@ func (h *Host) PlacedVCPUs() float64 {
 // PlacedMemGB sums configured memory across placed VMs.
 func (h *Host) PlacedMemGB() float64 {
 	var sum float64
-	for _, vm := range h.vms {
+	for _, vm := range h.list {
 		sum += vm.Config().MemoryGB
 	}
 	return sum
@@ -184,8 +200,8 @@ func (h *Host) PlacedMemGB() float64 {
 // running VMs' demands (plus migration overhead) over physical cores.
 func (h *Host) Utilization() float64 {
 	var demand float64
-	for id, vm := range h.vms {
-		if h.incoming[id] {
+	for _, vm := range h.list {
+		if len(h.incoming) > 0 && h.incoming[vm.ID()] {
 			continue // reserved only; executing on the migration source
 		}
 		switch vm.State() {
@@ -204,8 +220,8 @@ func (h *Host) Utilization() float64 {
 // running or migrating VMs, in [0, 1].
 func (h *Host) MemActiveFrac() float64 {
 	var used float64
-	for id, vm := range h.vms {
-		if h.incoming[id] {
+	for _, vm := range h.list {
+		if len(h.incoming) > 0 && h.incoming[vm.ID()] {
 			continue
 		}
 		if st := vm.State(); st == VMRunning || st == VMMigrating {

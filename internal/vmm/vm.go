@@ -65,12 +65,18 @@ type Transition struct {
 
 // VM is a virtual machine instance: a config, a set of deployed tasks, and a
 // lifecycle state with an audit trail.
+//
+// Tasks live in an insertion-ordered slice with a side index: the hot loops
+// of fleet simulation (per-tick demand updates and utilization sums) scan a
+// handful of contiguous structs instead of paying randomized map iteration
+// per call, and iteration order is deterministic.
 type VM struct {
-	id     string
-	config VMConfig
-	state  VMState
-	tasks  map[string]Task
-	log    []Transition
+	id      string
+	config  VMConfig
+	state   VMState
+	tasks   []Task
+	taskIdx map[string]int // task id → index into tasks
+	log     []Transition
 }
 
 // NewVM creates a VM in the pending state.
@@ -82,10 +88,10 @@ func NewVM(id string, config VMConfig) (*VM, error) {
 		return nil, err
 	}
 	return &VM{
-		id:     id,
-		config: config,
-		state:  VMPending,
-		tasks:  make(map[string]Task),
+		id:      id,
+		config:  config,
+		state:   VMPending,
+		taskIdx: make(map[string]int),
 	}, nil
 }
 
@@ -147,43 +153,46 @@ func (v *VM) AddTask(t Task) error {
 	if err := t.Validate(); err != nil {
 		return err
 	}
-	if _, ok := v.tasks[t.ID]; ok {
+	if _, ok := v.taskIdx[t.ID]; ok {
 		return fmt.Errorf("vmm: duplicate task %q in vm %q", t.ID, v.id)
 	}
-	v.tasks[t.ID] = t
+	v.taskIdx[t.ID] = len(v.tasks)
+	v.tasks = append(v.tasks, t)
 	return nil
 }
 
 // RemoveTask undeploys a task.
 func (v *VM) RemoveTask(id string) error {
-	if _, ok := v.tasks[id]; !ok {
+	idx, ok := v.taskIdx[id]
+	if !ok {
 		return fmt.Errorf("vmm: no task %q in vm %q", id, v.id)
 	}
-	delete(v.tasks, id)
+	v.tasks = append(v.tasks[:idx], v.tasks[idx+1:]...)
+	delete(v.taskIdx, id)
+	for i := idx; i < len(v.tasks); i++ {
+		v.taskIdx[v.tasks[i].ID] = i
+	}
 	return nil
 }
 
 // SetTaskCPU updates a task's current CPU demand fraction; the workload
 // generator calls this to realize dynamic load profiles.
 func (v *VM) SetTaskCPU(id string, fraction float64) error {
-	t, ok := v.tasks[id]
+	idx, ok := v.taskIdx[id]
 	if !ok {
 		return fmt.Errorf("vmm: no task %q in vm %q", id, v.id)
 	}
 	if fraction < 0 || fraction > 1 {
 		return fmt.Errorf("vmm: cpu fraction %v outside [0,1]", fraction)
 	}
-	t.CPUFraction = fraction
-	v.tasks[id] = t
+	v.tasks[idx].CPUFraction = fraction
 	return nil
 }
 
 // Tasks returns the deployed tasks sorted by ID (deterministic iteration).
 func (v *VM) Tasks() []Task {
-	out := make([]Task, 0, len(v.tasks))
-	for _, t := range v.tasks {
-		out = append(out, t)
-	}
+	out := make([]Task, len(v.tasks))
+	copy(out, v.tasks)
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
 }
@@ -195,17 +204,34 @@ func (v *VM) NumTasks() int { return len(v.tasks) }
 // at the configured vCPU count (a VM cannot use more than it was given).
 func (v *VM) CPUDemandVCPUs() float64 {
 	var sum float64
-	for _, t := range v.tasks {
-		sum += t.CPUFraction
+	for i := range v.tasks {
+		sum += v.tasks[i].CPUFraction
 	}
 	return math.Min(sum, float64(v.config.VCPUs))
+}
+
+// TaskCPUStats returns the raw (uncapped) sum and maximum of the VM's task
+// CPU fractions without allocating. Together with the VM's identity these
+// determine every CPU-load feature the Eq. (2) encoder derives from a
+// deployment snapshot — the anchor cache folds them into its deployment
+// fingerprint so a load redistribution (same total, different tasks) is a
+// different key.
+func (v *VM) TaskCPUStats() (sum, maxFraction float64) {
+	for i := range v.tasks {
+		f := v.tasks[i].CPUFraction
+		sum += f
+		if f > maxFraction {
+			maxFraction = f
+		}
+	}
+	return sum, maxFraction
 }
 
 // MemUsedGB returns active memory, capped at the allocation.
 func (v *VM) MemUsedGB() float64 {
 	var sum float64
-	for _, t := range v.tasks {
-		sum += t.MemGB
+	for i := range v.tasks {
+		sum += v.tasks[i].MemGB
 	}
 	return math.Min(sum, v.config.MemoryGB)
 }
@@ -216,8 +242,8 @@ func (v *VM) ClassMix() map[TaskClass]float64 {
 	if len(v.tasks) == 0 {
 		return mix
 	}
-	for _, t := range v.tasks {
-		mix[t.Class]++
+	for i := range v.tasks {
+		mix[v.tasks[i].Class]++
 	}
 	for c := range mix {
 		mix[c] /= float64(len(v.tasks))
