@@ -426,6 +426,141 @@ func BenchmarkFleetRound(b *testing.B) {
 	}
 }
 
+// benchFleetSim assembles a hosts-sized simulated fleet on the synthetic
+// predictor (SVM training at this scale is setup noise, and the point of
+// the benchmark is the physics substrate): 32 racks, half the machines
+// populated with dynamically profiled VMs so every tick drives real task
+// load, plus one warm-up round so the anchor cache and sessions are hot.
+func benchFleetSim(b *testing.B, hosts, physWorkers int) *vmtherm.FleetController {
+	b.Helper()
+	cfg := vmtherm.DefaultFleetConfig()
+	cfg.Racks = 32
+	cfg.HostsPerRack = hosts / cfg.Racks
+	cfg.Seed = benchSeed
+	cfg.PhysWorkers = physWorkers
+	ctl, err := vmtherm.NewFleet(cfg, vmtherm.FleetSyntheticPredictor(75))
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := vmtherm.DefaultGenOptions()
+	opts.VMCountMin, opts.VMCountMax = hosts/2, hosts/2
+	opts.Host.Cores = 1 << 20
+	opts.Host.MemoryGB = 1 << 24
+	opts.Dynamic = true
+	pool, err := vmtherm.GenerateCase(opts, benchSeed, "fleet-bench-scale")
+	if err != nil {
+		b.Fatal(err)
+	}
+	ids := ctl.Hosts()
+	for i, spec := range pool.VMs {
+		if err := ctl.PlaceAt(ids[i*2], spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if _, err := ctl.RunRound(); err != nil {
+		b.Fatal(err)
+	}
+	return ctl
+}
+
+// BenchmarkFleetRound4k measures one warm control round at 4096 simulated
+// hosts, where the thermal/VM physics tick dominates the round. "serial"
+// pins PhysWorkers=1; "sharded" uses the default worker pool (min(cores,
+// 8)) that advances racks independently. Results are bit-identical across
+// the two (pinned by TestParallelPhysicsValueIdentical); on a multi-core
+// runner the sharded hosts/s must scale with cores. On a single-core
+// machine the two sub-benchmarks coincide.
+func BenchmarkFleetRound4k(b *testing.B) {
+	const hosts = 4096
+	for _, sub := range []struct {
+		name    string
+		workers int
+	}{
+		{"serial", 1},
+		{"sharded", 0}, // 0 = default min(GOMAXPROCS, 8)
+	} {
+		b.Run(sub.name, func(b *testing.B) {
+			ctl := benchFleetSim(b, hosts, sub.workers)
+			cfg := ctl.Config()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := ctl.RunRound(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if d := b.Elapsed().Seconds(); d > 0 {
+				b.ReportMetric(float64(hosts*b.N)/d, "hosts/s")
+				b.ReportMetric(cfg.UpdateEveryS*float64(b.N)/d, "x-realtime")
+			}
+		})
+	}
+}
+
+// BenchmarkSnapshotRead measures the published-snapshot read path at 1024
+// hosts. "view" is the scoped copy-on-read borrow (ViewSnapshot) the HTTP
+// handlers use — it must be allocation-free, since it hands out the
+// epoch-versioned generation instead of cloning three O(hosts) maps the
+// way the pre-PR5 Hotspots() did. "borrow" is the unscoped Hotspots()
+// borrow (also allocation-free; the cost moved to the writer, which
+// retires the escaped generation).
+func BenchmarkSnapshotRead(b *testing.B) {
+	const hosts = 1024
+	cfg := vmtherm.DefaultFleetConfig()
+	cfg.MaxHosts = hosts
+	readings := make([]vmtherm.FleetReading, hosts)
+	for i := range readings {
+		readings[i] = vmtherm.FleetReading{
+			HostID:  fmt.Sprintf("s%02d-h%03d", i/64, i%64),
+			AtS:     float64(i) * 15.0 / hosts,
+			TempC:   30 + float64(i%40),
+			Util:    float64(i%101) / 100,
+			MemFrac: float64(i%53) / 52,
+		}
+	}
+	src, err := vmtherm.NewTraceSource(readings, vmtherm.TraceOptions{Loop: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctl, err := vmtherm.NewFleetWithSource(cfg, src, vmtherm.FleetSyntheticPredictor(75))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := ctl.RunRound(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Run("view", func(b *testing.B) {
+		var n int
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ctl.ViewSnapshot(func(s *vmtherm.FleetSnapshot) { n = len(s.Predicted) })
+		}
+		if n != hosts {
+			b.Fatalf("view saw %d predictions, want %d", n, hosts)
+		}
+		if d := b.Elapsed().Seconds(); d > 0 {
+			b.ReportMetric(float64(b.N)/d, "reads/s")
+		}
+	})
+	b.Run("borrow", func(b *testing.B) {
+		var snap vmtherm.FleetSnapshot
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			snap = ctl.Hotspots()
+		}
+		if len(snap.Predicted) != hosts {
+			b.Fatalf("borrow saw %d predictions, want %d", len(snap.Predicted), hosts)
+		}
+		if d := b.Elapsed().Seconds(); d > 0 {
+			b.ReportMetric(float64(b.N)/d, "reads/s")
+		}
+	})
+}
+
 // BenchmarkFleetRoundCold measures the same control round with the anchor
 // cache invalidated before every round — the mass re-anchor worst case
 // (first sight of a fleet, model hot-swap, migration wave) where every
@@ -454,9 +589,10 @@ func BenchmarkFleetRoundCold(b *testing.B) {
 // source-driven controller replaying one sample per host per round, every
 // host hitting the quantized anchor cache — key derivation, lookup, and
 // anchor-map fill, with zero batch-predictor work (hit-% must stay 100).
-// The warm anchors() pass itself is allocation-free (pinned by the fleet
-// unit tests); the B/op column reflects the full round, dominated by
-// snapshot publication.
+// The warm anchors() pass is allocation-free (pinned by the fleet unit
+// tests), and since the epoch-versioned snapshot landed the whole warm
+// round is too (TestWarmRoundZeroAlloc) — the residual B/op here is the
+// first rounds' generation warm-up amortized over the run.
 func BenchmarkAnchorCache(b *testing.B) {
 	const hosts = 1024
 	cfg := vmtherm.DefaultFleetConfig()

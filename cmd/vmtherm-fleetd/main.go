@@ -84,6 +84,8 @@ func run() error {
 		ambient     = flag.Float64("ambient", 22, "δ_env assumed for ψ_stable anchors (trace/scrape sources)")
 		anchorCache = flag.Bool("anchor-cache", true, "memoize ψ_stable anchors per quantized (util, mem, ambient) bucket")
 		anchorQuant = flag.Float64("anchor-quant", 0, "anchor cache utilization bucket width (0 = default 0.01; mem buckets are 2×; bounded by ReanchorEpsC so cache error cannot trigger re-anchors)")
+		anchorFile  = flag.String("anchor-cache-file", "", "persist the anchor cache here on exit and warm from it on start (pair the file with the model that produced it)")
+		physWorkers = flag.Int("phys-workers", 0, "worker pool sharding the simulated physics tick per rack (0 = min(GOMAXPROCS, 8), 1 = serial; results are bit-identical either way)")
 		record      = flag.String("record", "", "tee the live telemetry stream to a trace CSV replayable with -source trace")
 	)
 	flag.Parse()
@@ -141,6 +143,7 @@ func run() error {
 		cfg.AnchorQuantUtil = *anchorQuant
 		cfg.AnchorQuantMem = 2 * *anchorQuant
 	}
+	cfg.PhysWorkers = *physWorkers
 	cfg.Seed = *seed
 
 	var ctl *vmtherm.FleetController
@@ -204,6 +207,25 @@ func run() error {
 		return fmt.Errorf("unknown -source %q (want sim, trace or scrape)", *source)
 	}
 
+	// -anchor-cache-file: warm the ψ_stable anchor cache from a previous
+	// run's save, so a restarted fleet skips the cold mass-re-anchor rounds
+	// entirely. A missing file is fine (first run); it is written on exit.
+	if *anchorFile != "" && !*anchorCache {
+		log.Printf("-anchor-cache-file ignored: anchor cache disabled (-anchor-cache=false)")
+		*anchorFile = ""
+	}
+	if *anchorFile != "" {
+		n, err := loadAnchorCache(ctl, *anchorFile)
+		switch {
+		case errors.Is(err, os.ErrNotExist):
+			log.Printf("anchor cache file %s absent; will be written on exit", *anchorFile)
+		case err != nil:
+			return fmt.Errorf("loading anchor cache: %w", err)
+		default:
+			log.Printf("warmed anchor cache with %d entries from %s", n, *anchorFile)
+		}
+	}
+
 	// -record: tee every reading the source emits into a recorder, and write
 	// the capture as a replayable trace CSV when the loop ends — closing the
 	// capture→replay loop (-source trace) for operators.
@@ -233,6 +255,17 @@ func run() error {
 		log.Printf("recording telemetry to %s (cap %d readings)", *record, maxRecorded)
 	}
 	finish := func(runErr error) error {
+		if *anchorFile != "" {
+			if err := saveAnchorCache(ctl, *anchorFile); err != nil {
+				log.Printf("saving anchor cache: %v", err)
+				if runErr == nil {
+					runErr = err
+				}
+			} else {
+				log.Printf("saved anchor cache to %s (warm-start with -anchor-cache-file %s)",
+					*anchorFile, *anchorFile)
+			}
+		}
 		if recorder == nil {
 			return runErr
 		}
@@ -301,6 +334,40 @@ func run() error {
 		model:     model,
 		traceDone: func() bool { return trace != nil && trace.Done() },
 	}))
+}
+
+// loadAnchorCache warms the controller's anchor cache from a file written
+// by saveAnchorCache.
+func loadAnchorCache(ctl *vmtherm.FleetController, path string) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	n, err := ctl.LoadAnchorCache(f)
+	if cerr := f.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	return n, err
+}
+
+// saveAnchorCache persists the controller's anchor cache for the next run,
+// writing to a temp file first so an interrupted save never truncates a
+// good cache.
+func saveAnchorCache(ctl *vmtherm.FleetController, path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	err = ctl.SaveAnchorCache(f)
+	if cerr := f.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	if err != nil {
+		_ = os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
 }
 
 // saveRecording writes a telemetry capture as a replayable trace CSV in

@@ -51,6 +51,25 @@ func main() {
 	}
 }
 
+// saveAnchorCache persists the controller's anchor cache, writing to a temp
+// file first so an interrupted save never truncates a good cache.
+func saveAnchorCache(ctl *vmtherm.FleetController, path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	err = ctl.SaveAnchorCache(f)
+	if cerr := f.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	if err != nil {
+		_ = os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
 func run() error {
 	var (
 		addr        = flag.String("addr", ":8080", "listen address")
@@ -73,6 +92,8 @@ func run() error {
 		ambient     = flag.Float64("ambient", 22, "δ_env assumed for ψ_stable anchors (trace/scrape sources)")
 		anchorCache = flag.Bool("anchor-cache", true, "memoize ψ_stable anchors per quantized (util, mem, ambient) bucket")
 		anchorQuant = flag.Float64("anchor-quant", 0, "anchor cache utilization bucket width (0 = default 0.01; mem buckets are 2×; bounded by ReanchorEpsC so cache error cannot trigger re-anchors)")
+		anchorFile  = flag.String("anchor-cache-file", "", "persist the anchor cache here on exit and warm from it on start (pair the file with -model)")
+		physWorkers = flag.Int("phys-workers", 0, "worker pool sharding the simulated physics tick per rack (0 = min(GOMAXPROCS, 8), 1 = serial; sim source)")
 	)
 	flag.Parse()
 
@@ -107,6 +128,7 @@ func run() error {
 			cfg.AnchorQuantUtil = *anchorQuant
 			cfg.AnchorQuantMem = 2 * *anchorQuant
 		}
+		cfg.PhysWorkers = *physWorkers
 		cfg.Seed = *seed
 		predict := vmtherm.FleetStablePredictor(model, 1800)
 
@@ -166,6 +188,35 @@ func run() error {
 		opts = append(opts, predictserver.WithFleet(ctl))
 		log.Printf("fleet control loop attached (source %s, Δ_update %.0fs paced to %.3gs)",
 			*source, ctl.Config().UpdateEveryS, paceS)
+
+		// -anchor-cache-file: warm the anchor cache from a previous run and
+		// persist it again on shutdown, so a restarted daemon skips the cold
+		// mass-re-anchor rounds against an unchanged population.
+		if *anchorFile != "" && !*anchorCache {
+			log.Printf("-anchor-cache-file ignored: anchor cache disabled (-anchor-cache=false)")
+			*anchorFile = ""
+		}
+		if *anchorFile != "" {
+			if f, ferr := os.Open(*anchorFile); ferr == nil {
+				n, lerr := ctl.LoadAnchorCache(f)
+				_ = f.Close()
+				if lerr != nil {
+					return fmt.Errorf("loading anchor cache: %w", lerr)
+				}
+				log.Printf("warmed anchor cache with %d entries from %s", n, *anchorFile)
+			} else if !errors.Is(ferr, os.ErrNotExist) {
+				return ferr
+			} else {
+				log.Printf("anchor cache file %s absent; will be written on exit", *anchorFile)
+			}
+			defer func() {
+				if err := saveAnchorCache(ctl, *anchorFile); err != nil {
+					log.Printf("saving anchor cache: %v", err)
+				} else {
+					log.Printf("saved anchor cache to %s", *anchorFile)
+				}
+			}()
+		}
 	}
 
 	srv, err := predictserver.New(model, opts...)

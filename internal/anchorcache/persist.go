@@ -1,0 +1,137 @@
+package anchorcache
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"slices"
+)
+
+// Serialized cache format (little-endian, versioned):
+//
+//	[8]byte  magic "vmtacppc" (vmtherm anchor-cache persisted predictions)
+//	uint32   format version (1)
+//	float64  UtilQuant    ┐ the quantizer the keys were derived with —
+//	float64  MemQuant     │ a cache is only valid against the exact bucket
+//	float64  AmbientQuantC┘ widths that produced its keys
+//	uint64   entry count
+//	entry count × (uint64 key, float64 ψ_stable)
+//
+// Keys are written in ascending order so identical cache contents always
+// serialize to identical bytes. The file memoizes model *outputs*: it is
+// only meaningful for the model that produced it — loading a cache saved
+// against a different model silently serves that model's anchors, exactly
+// like skipping Invalidate after a hot-swap. Pair the file with the model
+// artifact it was warmed by.
+const persistVersion = 1
+
+var persistMagic = [8]byte{'v', 'm', 't', 'a', 'c', 'p', 'p', 'c'}
+
+// ErrPersistFormat reports an unreadable or incompatible cache file.
+var ErrPersistFormat = fmt.Errorf("anchorcache: bad cache file")
+
+// Save serializes every live entry (both generations). Like Get/Put it
+// requires external synchronization with cache mutations.
+func (c *Cache) Save(w io.Writer) error {
+	keys := make([]Key, 0, c.Len())
+	for k := range c.cur {
+		keys = append(keys, k)
+	}
+	for k := range c.prev {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(persistMagic[:]); err != nil {
+		return err
+	}
+	var scratch [8]byte
+	binary.LittleEndian.PutUint32(scratch[:4], persistVersion)
+	if _, err := bw.Write(scratch[:4]); err != nil {
+		return err
+	}
+	for _, q := range []float64{c.quant.UtilQuant, c.quant.MemQuant, c.quant.AmbientQuantC} {
+		binary.LittleEndian.PutUint64(scratch[:], math.Float64bits(q))
+		if _, err := bw.Write(scratch[:]); err != nil {
+			return err
+		}
+	}
+	binary.LittleEndian.PutUint64(scratch[:], uint64(len(keys)))
+	if _, err := bw.Write(scratch[:]); err != nil {
+		return err
+	}
+	for _, k := range keys {
+		v, ok := c.cur[k]
+		if !ok {
+			v = c.prev[k]
+		}
+		binary.LittleEndian.PutUint64(scratch[:], uint64(k))
+		if _, err := bw.Write(scratch[:]); err != nil {
+			return err
+		}
+		binary.LittleEndian.PutUint64(scratch[:], math.Float64bits(v))
+		if _, err := bw.Write(scratch[:]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Load restores entries saved by Save into the cache, returning how many
+// were inserted. The file's quantizer must match the cache's exactly: keys
+// derived under different bucket widths address different buckets, so a
+// mismatch is rejected rather than silently serving wrong anchors. Existing
+// entries are kept (loaded entries overwrite on key collision) and the size
+// bound is enforced as usual. Requires external synchronization, like Put.
+func (c *Cache) Load(r io.Reader) (int, error) {
+	br := bufio.NewReader(r)
+	var header [8]byte
+	if _, err := io.ReadFull(br, header[:]); err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrPersistFormat, err)
+	}
+	if header != persistMagic {
+		return 0, fmt.Errorf("%w: bad magic %q", ErrPersistFormat, header[:])
+	}
+	if _, err := io.ReadFull(br, header[:4]); err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrPersistFormat, err)
+	}
+	if v := binary.LittleEndian.Uint32(header[:4]); v != persistVersion {
+		return 0, fmt.Errorf("%w: unsupported version %d", ErrPersistFormat, v)
+	}
+	var quants [3]float64
+	for i := range quants {
+		if _, err := io.ReadFull(br, header[:]); err != nil {
+			return 0, fmt.Errorf("%w: %v", ErrPersistFormat, err)
+		}
+		quants[i] = math.Float64frombits(binary.LittleEndian.Uint64(header[:]))
+	}
+	saved := Quantizer{UtilQuant: quants[0], MemQuant: quants[1], AmbientQuantC: quants[2]}
+	if saved != c.quant {
+		return 0, fmt.Errorf("%w: quantizer %+v does not match cache %+v",
+			ErrPersistFormat, saved, c.quant)
+	}
+	if _, err := io.ReadFull(br, header[:]); err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrPersistFormat, err)
+	}
+	count := binary.LittleEndian.Uint64(header[:])
+	loaded := 0
+	for i := uint64(0); i < count; i++ {
+		if _, err := io.ReadFull(br, header[:]); err != nil {
+			return loaded, fmt.Errorf("%w: truncated at entry %d: %v", ErrPersistFormat, i, err)
+		}
+		k := Key(binary.LittleEndian.Uint64(header[:]))
+		if _, err := io.ReadFull(br, header[:]); err != nil {
+			return loaded, fmt.Errorf("%w: truncated at entry %d: %v", ErrPersistFormat, i, err)
+		}
+		v := math.Float64frombits(binary.LittleEndian.Uint64(header[:]))
+		if math.IsNaN(v) {
+			continue // never admit a degenerate anchor, matching the put path
+		}
+		c.Put(k, v)
+		loaded++
+	}
+	return loaded, nil
+}

@@ -1,0 +1,191 @@
+package anchorcache
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	src, err := New(Config{MaxEntries: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[Key]float64{}
+	for i := 0; i < 40; i++ {
+		k := NewHash().Uint64(uint64(i)).Key()
+		v := 20 + float64(i)*0.5
+		src.Put(k, v)
+		want[k] = v
+	}
+	var buf bytes.Buffer
+	if err := src.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	dst, err := New(Config{MaxEntries: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := dst.Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(want) {
+		t.Fatalf("loaded %d entries, want %d", n, len(want))
+	}
+	for k, v := range want {
+		got, ok := dst.Get(k)
+		if !ok || got != v {
+			t.Fatalf("key %v = %v (hit=%v), want %v", k, got, ok, v)
+		}
+	}
+}
+
+func TestSaveIsDeterministic(t *testing.T) {
+	build := func() *Cache {
+		c, err := New(Config{MaxEntries: 64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Insert in two different orders; serialized bytes must not depend
+		// on map iteration or insertion history.
+		return c
+	}
+	a, b := build(), build()
+	for i := 0; i < 20; i++ {
+		a.Put(NewHash().Uint64(uint64(i)).Key(), float64(i))
+	}
+	for i := 19; i >= 0; i-- {
+		b.Put(NewHash().Uint64(uint64(i)).Key(), float64(i))
+	}
+	var ab, bb bytes.Buffer
+	if err := a.Save(&ab); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Save(&bb); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ab.Bytes(), bb.Bytes()) {
+		t.Fatal("identical cache contents serialized to different bytes")
+	}
+}
+
+func TestSaveSpansBothGenerations(t *testing.T) {
+	c, err := New(Config{MaxEntries: 8}) // half = 4: rotations happen
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		c.Put(NewHash().Uint64(uint64(i)).Key(), float64(i))
+	}
+	if c.Len() <= 4 {
+		t.Fatalf("test premise broken: %d entries, want both generations occupied", c.Len())
+	}
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dst, err := New(Config{MaxEntries: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := dst.Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != c.Len() {
+		t.Fatalf("round-trip carried %d of %d live entries", n, c.Len())
+	}
+}
+
+func TestLoadRejectsQuantizerMismatch(t *testing.T) {
+	src, err := New(Config{MaxEntries: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src.Put(NewHash().Uint64(1).Key(), 42)
+	var buf bytes.Buffer
+	if err := src.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dst, err := New(Config{MaxEntries: 16, Quant: Quantizer{UtilQuant: 0.005}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dst.Load(&buf); !errors.Is(err, ErrPersistFormat) {
+		t.Fatalf("quantizer mismatch accepted (err = %v)", err)
+	}
+	if dst.Len() != 0 {
+		t.Fatalf("rejected load still inserted %d entries", dst.Len())
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	c, err := New(Config{MaxEntries: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, payload := range [][]byte{
+		nil,
+		[]byte("not a cache file at all"),
+		{'v', 'm', 't', 'a', 'c', 'p', 'p', 'c', 9, 0, 0, 0}, // bad version
+	} {
+		if _, err := c.Load(bytes.NewReader(payload)); !errors.Is(err, ErrPersistFormat) {
+			t.Fatalf("payload %q accepted (err = %v)", payload, err)
+		}
+	}
+}
+
+func TestLoadTruncatedReportsPartial(t *testing.T) {
+	src, err := New(Config{MaxEntries: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		src.Put(NewHash().Uint64(uint64(i)).Key(), float64(i))
+	}
+	var buf bytes.Buffer
+	if err := src.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	cut := buf.Bytes()[:buf.Len()-12] // chop mid-entry
+	dst, err := New(Config{MaxEntries: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := dst.Load(bytes.NewReader(cut))
+	if !errors.Is(err, ErrPersistFormat) {
+		t.Fatalf("truncated file accepted (err = %v)", err)
+	}
+	if n != dst.Len() {
+		t.Fatalf("reported %d loaded but cache holds %d", n, dst.Len())
+	}
+	if n == 0 {
+		t.Fatal("no prefix entries restored from truncated file")
+	}
+}
+
+func TestLoadRespectsSizeBound(t *testing.T) {
+	src, err := New(Config{MaxEntries: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		src.Put(NewHash().Uint64(uint64(i)).Key(), float64(i))
+	}
+	var buf bytes.Buffer
+	if err := src.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dst, err := New(Config{MaxEntries: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dst.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if dst.Len() > 16 {
+		t.Fatalf("loaded cache holds %d entries, bound is 16", dst.Len())
+	}
+}

@@ -139,6 +139,53 @@ func TestInletTempSlotOffsetsAndRecirc(t *testing.T) {
 	}
 }
 
+// TestRackInletTempsVariants: the one-pass rack sweep and the caller-
+// supplied-mean variant (the parallel tick's seam) must both reproduce
+// per-slot InletTemp exactly, bit for bit.
+func TestRackInletTempsVariants(t *testing.T) {
+	r := mustRack(t, "r1", 4)
+	dc := mustDC(t, r)
+	runVM(t, r.Hosts()[1], "v1", 0.7)
+	runVM(t, r.Hosts()[3], "v2", 0.4)
+
+	want := make([]float64, 4)
+	for s := range want {
+		v, err := dc.InletTemp(r, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[s] = v
+	}
+	sweep, err := dc.RackInletTemps(r, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	at, err := dc.RackInletTempsAt(r, r.MeanUtilization(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := range want {
+		if sweep[s] != want[s] {
+			t.Errorf("RackInletTemps slot %d = %v, want %v", s, sweep[s], want[s])
+		}
+		if at[s] != want[s] {
+			t.Errorf("RackInletTempsAt slot %d = %v, want %v", s, at[s], want[s])
+		}
+	}
+	if _, err := dc.RackInletTempsAt(nil, 0, nil); err == nil {
+		t.Error("nil rack should fail")
+	}
+	// Appending semantics: existing dst content is preserved.
+	dst := []float64{-1}
+	out, err := dc.RackInletTempsAt(r, 0.5, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != -1 || len(out) != 5 {
+		t.Errorf("append contract broken: %v", out)
+	}
+}
+
 func TestFindHostAndAllHosts(t *testing.T) {
 	r1 := mustRack(t, "r1", 2)
 	r2 := mustRack(t, "r2", 3)
@@ -178,6 +225,32 @@ func TestDetectHotspots(t *testing.T) {
 	}
 	if len(DetectHotspots(temps, 200)) != 0 {
 		t.Error("no hotspots expected at threshold 200")
+	}
+}
+
+// TestSortHotspotsMatchesDetect: sorting an unordered hotspot slice in
+// place must yield exactly DetectHotspots' published order, without
+// allocating.
+func TestSortHotspotsMatchesDetect(t *testing.T) {
+	temps := make(map[string]float64, 32)
+	for i := 0; i < 32; i++ {
+		temps[fmt.Sprintf("s%02d", i)] = 60 + float64(i/2)
+	}
+	ref := DetectHotspots(temps, 63)
+	shuffled := make([]Hotspot, len(ref))
+	for i, h := range ref {
+		shuffled[(i*7)%len(ref)] = h
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		SortHotspots(shuffled)
+	})
+	for i := range ref {
+		if shuffled[i] != ref[i] {
+			t.Fatalf("SortHotspots order diverged at %d: %+v vs %+v", i, shuffled[i], ref[i])
+		}
+	}
+	if allocs != 0 {
+		t.Errorf("SortHotspots allocates %.1f/op, want 0", allocs)
 	}
 }
 

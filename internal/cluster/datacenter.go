@@ -9,7 +9,8 @@ package cluster
 import (
 	"errors"
 	"fmt"
-	"sort"
+	"slices"
+	"strings"
 
 	"vmtherm/internal/vmm"
 	"vmtherm/internal/workload"
@@ -149,7 +150,20 @@ func (dc *Datacenter) RackInletTemps(r *Rack, dst []float64) ([]float64, error) 
 	if r == nil {
 		return nil, errors.New("cluster: nil rack")
 	}
-	base := dc.crac.SupplyC + dc.crac.RecircPerUtil*r.MeanUtilization()
+	return dc.RackInletTempsAt(r, r.MeanUtilization(), dst)
+}
+
+// RackInletTempsAt is RackInletTemps with the rack's mean utilization
+// supplied by the caller — the seam for tick loops that already derived
+// every host's utilization this step (one load sweep feeds both the inlet
+// model and the thermal integration) and for rack-sharded parallel ticks,
+// where each shard owns its rack's sweep. Passing MeanUtilization's value
+// yields exactly RackInletTemps.
+func (dc *Datacenter) RackInletTempsAt(r *Rack, meanUtil float64, dst []float64) ([]float64, error) {
+	if r == nil {
+		return nil, errors.New("cluster: nil rack")
+	}
+	base := dc.crac.SupplyC + dc.crac.RecircPerUtil*meanUtil
 	for _, off := range r.offsets {
 		dst = append(dst, base+off)
 	}
@@ -203,13 +217,25 @@ func DetectHotspots(temps map[string]float64, thresholdC float64) []Hotspot {
 			out = append(out, Hotspot{HostID: id, TempC: tc, Margin: tc - thresholdC})
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Margin != out[j].Margin {
-			return out[i].Margin > out[j].Margin
-		}
-		return out[i].HostID < out[j].HostID
-	})
+	SortHotspots(out)
 	return out
+}
+
+// SortHotspots orders hotspots by descending margin, ties broken by host id
+// — the deterministic contract DetectHotspots promises — without allocating.
+// Exposed for callers that build their hotspot slice from an already
+// deterministic source (e.g. the fleet round's prediction buffer) into
+// reusable storage.
+func SortHotspots(out []Hotspot) {
+	slices.SortFunc(out, func(a, b Hotspot) int {
+		if a.Margin != b.Margin {
+			if a.Margin > b.Margin {
+				return -1
+			}
+			return 1
+		}
+		return strings.Compare(a.HostID, b.HostID)
+	})
 }
 
 // HostStateCase reconstructs a workload.Case describing a host's *current*

@@ -56,6 +56,12 @@ type Config struct {
 	// Shards is the stripe count of the session map; it is rounded up to a
 	// power of two so the hash reduces with a mask (default 32).
 	Shards int
+	// RoundWorkers bounds the worker pool Round shards its per-host pass
+	// across at fleet scale (>= 1024 hosts). Default 1 keeps rounds serial
+	// and unconditionally allocation-free; any value produces identical
+	// results (per-host work is independent, evictions and output order are
+	// serialized).
+	RoundWorkers int
 }
 
 // DefaultConfig uses the paper's dynamic parameters (λ=0.8, Δ_update=15 s,
@@ -135,6 +141,9 @@ func (c Config) Validate() error {
 	if c.Shards < 1 {
 		return fmt.Errorf("engine: shards %d < 1", c.Shards)
 	}
+	if c.RoundWorkers < 0 {
+		return fmt.Errorf("engine: round workers %d < 0", c.RoundWorkers)
+	}
 	return nil
 }
 
@@ -176,13 +185,19 @@ type shard struct {
 }
 
 // Engine is the sharded session store plus the round executor. Create with
-// New; all methods are safe for concurrent use.
+// New. All methods are safe for concurrent use, with one carve-out: Round
+// must not overlap another Round on the same engine (it owns the shared
+// round scratch); it is safe against concurrent Observe/Predict/Create/
+// Delete traffic.
 type Engine struct {
 	cfg    Config
 	shards []shard
 	mask   uint64
 	count  atomic.Int64
 	nextID atomic.Uint64
+	// scratch backs the sharded round's per-host slots; owned by the single
+	// in-flight Round call and reused across rounds.
+	scratch []roundSlot
 }
 
 // New builds an engine.
@@ -385,6 +400,79 @@ type RoundStats struct {
 	MaxStalenessS float64
 }
 
+// roundParallelMinHosts gates the sharded round: below this population the
+// per-host work cannot amortize the goroutine fan-out, and the serial
+// path's zero-allocation contract holds unconditionally.
+const roundParallelMinHosts = 1024
+
+// roundHost runs one host's share of a round — staleness accounting,
+// (re-)anchoring, calibration, Δ_gap prediction — into pred. It reports
+// whether a prediction was produced and whether the host must be evicted
+// (the eviction itself, which mutates shared maps, is the caller's —
+// serial — responsibility). Safe for concurrent calls on distinct hosts:
+// sessions live behind striped locks and every counter lands in the
+// caller-owned st.
+func (e *Engine) roundHost(nowS float64, id string, r telemetry.Reading, anchors map[string]float64, st *RoundStats, pred *Prediction) (ok, evict bool) {
+	if r.AtS > nowS {
+		// Clock-skewed producer: a future-stamped reading would drive
+		// staleness (and uncertainty) negative and jump the calibration
+		// schedule ahead; clamp it to the present instead.
+		r.AtS = nowS
+	}
+	staleness := nowS - r.AtS
+	if staleness > st.MaxStalenessS {
+		st.MaxStalenessS = staleness
+	}
+	if e.cfg.EvictAfterS > 0 && staleness > e.cfg.EvictAfterS {
+		// Dark beyond the eviction horizon: the host is gone, not merely
+		// degraded. Forget the session and the fossil reading so the
+		// population shrinks instead of accumulating ghosts.
+		return false, true
+	}
+	stale := staleness > e.cfg.StaleAfterS
+
+	sh := e.shardFor(id)
+	sh.mu.RLock()
+	sess := sh.sessions[id]
+	sh.mu.RUnlock()
+	anchor, anchored := anchors[id]
+	// (Re-)anchor on first sight or when the deployment's predicted
+	// ψ_stable moved: the old curve no longer describes this host.
+	if anchored && (sess == nil || math.Abs(anchor-sess.stable) > e.cfg.ReanchorEpsC) {
+		// On failure (e.g. a NaN anchor from a degenerate model output)
+		// keep the previous session if there is one; a host left with no
+		// session at all is counted so the blindness is observable.
+		if ns, err := e.build(SessionParams{Phi0: r.TempC, StableC: anchor, AnchorAtS: r.AtS}); err == nil {
+			sh.mu.Lock()
+			if _, had := sh.sessions[id]; !had {
+				e.count.Add(1)
+			}
+			sh.sessions[id] = ns
+			sh.mu.Unlock()
+			sess = ns
+			st.Reanchored++
+		}
+	}
+	if sess == nil {
+		st.AnchorFailures++
+		return false, false
+	}
+	if !stale {
+		// Calibration: Eqs. (4)–(6) on the session's Δ_update schedule.
+		sess.observe(r.AtS, r.TempC)
+	}
+	st.Live++
+	tempC, _ := sess.predict(nowS)
+	*pred = Prediction{
+		HostID:       id,
+		TempC:        tempC,
+		UncertaintyC: e.cfg.UncertaintyBaseC + e.cfg.UncertaintyPerSC*staleness,
+		StalenessS:   staleness,
+		Stale:        stale,
+	}
+	return true, false
+}
+
 // Round executes one control round over a host population: for every id in
 // order that has a reading in latest, (re-)anchor the session against the
 // batch-predicted ψ_stable in anchors, calibrate on fresh telemetry, and
@@ -396,74 +484,109 @@ type RoundStats struct {
 // dst is appended to and returned (pass dst[:0] to reuse a buffer); beyond
 // session (re)creation, Round does not allocate. Hosts absent from latest
 // are skipped — never observed means no session and no prediction.
+//
+// With RoundWorkers > 1 and a population of at least 1024 hosts, the
+// per-host pass is sharded across a bounded worker pool: workers write
+// disjoint scratch slots and only read latest/anchors, evictions are
+// deferred to a serial sweep, and dst is filled in host order afterwards —
+// so results (predictions, their order, and the round stats) are identical
+// to the serial pass. Round itself must not be called concurrently with
+// another Round on the same engine; it remains safe against concurrent
+// Observe/Predict/Create/Delete traffic, exactly like the serial path.
 func (e *Engine) Round(dst []Prediction, nowS float64, order []string, latest map[string]telemetry.Reading, anchors map[string]float64) ([]Prediction, RoundStats) {
+	workers := e.cfg.RoundWorkers
+	if len(order) < roundParallelMinHosts {
+		workers = 1
+	}
+	// Keep every worker's chunk large enough to amortize its goroutine.
+	if maxW := (len(order) + 255) / 256; workers > maxW {
+		workers = maxW
+	}
+	if workers <= 1 {
+		var st RoundStats
+		for _, id := range order {
+			r, seen := latest[id]
+			if !seen {
+				continue
+			}
+			var pred Prediction
+			ok, evict := e.roundHost(nowS, id, r, anchors, &st, &pred)
+			if evict {
+				if e.Delete(id) {
+					st.Evicted++
+				}
+				delete(latest, id)
+				continue
+			}
+			if ok {
+				dst = append(dst, pred)
+			}
+		}
+		return dst, st
+	}
+	return e.roundSharded(workers, dst, nowS, order, latest, anchors)
+}
+
+// roundSlot is one host's scratch cell in the sharded round.
+type roundSlot struct {
+	pred      Prediction
+	ok, evict bool
+}
+
+// roundSharded is the parallel Round body: chunked host ranges into
+// per-index scratch, stats merged in chunk order, evictions and the
+// in-order dst fill applied serially.
+func (e *Engine) roundSharded(workers int, dst []Prediction, nowS float64, order []string, latest map[string]telemetry.Reading, anchors map[string]float64) ([]Prediction, RoundStats) {
+	n := len(order)
+	if cap(e.scratch) < n {
+		e.scratch = make([]roundSlot, n)
+	}
+	scratch := e.scratch[:n]
+	stats := make([]RoundStats, workers)
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := min(lo+chunk, n)
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			st := &stats[w]
+			for i := lo; i < hi; i++ {
+				id := order[i]
+				r, seen := latest[id]
+				if !seen {
+					scratch[i].ok, scratch[i].evict = false, false
+					continue
+				}
+				scratch[i].ok, scratch[i].evict = e.roundHost(nowS, id, r, anchors, st, &scratch[i].pred)
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
 	var st RoundStats
-	for _, id := range order {
-		r, seen := latest[id]
-		if !seen {
-			continue
+	for i := range stats {
+		st.Live += stats[i].Live
+		st.AnchorFailures += stats[i].AnchorFailures
+		st.Reanchored += stats[i].Reanchored
+		if stats[i].MaxStalenessS > st.MaxStalenessS {
+			st.MaxStalenessS = stats[i].MaxStalenessS
 		}
-		if r.AtS > nowS {
-			// Clock-skewed producer: a future-stamped reading would drive
-			// staleness (and uncertainty) negative and jump the calibration
-			// schedule ahead; clamp it to the present instead.
-			r.AtS = nowS
-		}
-		staleness := nowS - r.AtS
-		if staleness > st.MaxStalenessS {
-			st.MaxStalenessS = staleness
-		}
-		if e.cfg.EvictAfterS > 0 && staleness > e.cfg.EvictAfterS {
-			// Dark beyond the eviction horizon: the host is gone, not merely
-			// degraded. Forget the session and the fossil reading so the
-			// population shrinks instead of accumulating ghosts.
+	}
+	for i, id := range order {
+		if scratch[i].evict {
 			if e.Delete(id) {
 				st.Evicted++
 			}
 			delete(latest, id)
 			continue
 		}
-		stale := staleness > e.cfg.StaleAfterS
-
-		sh := e.shardFor(id)
-		sh.mu.RLock()
-		sess := sh.sessions[id]
-		sh.mu.RUnlock()
-		anchor, anchored := anchors[id]
-		// (Re-)anchor on first sight or when the deployment's predicted
-		// ψ_stable moved: the old curve no longer describes this host.
-		if anchored && (sess == nil || math.Abs(anchor-sess.stable) > e.cfg.ReanchorEpsC) {
-			// On failure (e.g. a NaN anchor from a degenerate model output)
-			// keep the previous session if there is one; a host left with no
-			// session at all is counted so the blindness is observable.
-			if ns, err := e.build(SessionParams{Phi0: r.TempC, StableC: anchor, AnchorAtS: r.AtS}); err == nil {
-				sh.mu.Lock()
-				if _, had := sh.sessions[id]; !had {
-					e.count.Add(1)
-				}
-				sh.sessions[id] = ns
-				sh.mu.Unlock()
-				sess = ns
-				st.Reanchored++
-			}
+		if scratch[i].ok {
+			dst = append(dst, scratch[i].pred)
 		}
-		if sess == nil {
-			st.AnchorFailures++
-			continue
-		}
-		if !stale {
-			// Calibration: Eqs. (4)–(6) on the session's Δ_update schedule.
-			sess.observe(r.AtS, r.TempC)
-		}
-		st.Live++
-		tempC, _ := sess.predict(nowS)
-		dst = append(dst, Prediction{
-			HostID:       id,
-			TempC:        tempC,
-			UncertaintyC: e.cfg.UncertaintyBaseC + e.cfg.UncertaintyPerSC*staleness,
-			StalenessS:   staleness,
-			Stale:        stale,
-		})
 	}
 	return dst, st
 }

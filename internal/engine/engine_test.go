@@ -421,3 +421,110 @@ func TestEngineConcurrentLifecycle(t *testing.T) {
 		t.Errorf("engine len = %d, want %d", got, want)
 	}
 }
+
+// TestShardedRoundMatchesSerial: with RoundWorkers > 1 and a >= 1024-host
+// population, the sharded round must produce exactly the serial round's
+// predictions (same order), stats, surviving sessions and latest map —
+// across multiple rounds including staleness degradation and evictions.
+func TestShardedRoundMatchesSerial(t *testing.T) {
+	const hosts = 2048
+	run := func(workers int) ([][]Prediction, []RoundStats, int, int) {
+		e := testEngine(t, func(c *Config) { c.RoundWorkers = workers })
+		order := make([]string, hosts)
+		latest := make(map[string]telemetry.Reading, hosts)
+		anchors := make(map[string]float64, hosts)
+		for i := range order {
+			id := fmt.Sprintf("p%02d-h%04d", i/128, i%128)
+			order[i] = id
+			latest[id] = telemetry.Reading{HostID: id, AtS: 0, TempC: 25 + float64(i%30)}
+			anchors[id] = 40 + float64(i%40)
+		}
+		var allPreds [][]Prediction
+		var allStats []RoundStats
+		now := 0.0
+		for round := 0; round < 8; round++ {
+			now += 200 // large steps: some hosts go stale, then evict
+			for i, id := range order {
+				// Starve one host in three after round 2 (stale → evicted);
+				// move anchors on a stripe to force re-anchors.
+				if round < 3 || i%3 != 0 {
+					r := latest[id]
+					r.AtS = now
+					r.TempC = 25 + float64((round+i)%30)
+					latest[id] = r
+				}
+				if round == 4 && i%5 == 0 {
+					anchors[id] += 10
+				}
+			}
+			preds, st := e.Round(nil, now, order, latest, anchors)
+			allPreds = append(allPreds, preds)
+			allStats = append(allStats, st)
+		}
+		return allPreds, allStats, e.Len(), len(latest)
+	}
+
+	sp, ss, slen, slat := run(1)
+	pp, ps, plen, plat := run(8)
+	if slen != plen || slat != plat {
+		t.Fatalf("population diverged: sessions %d vs %d, latest %d vs %d", slen, plen, slat, plat)
+	}
+	for round := range sp {
+		if ss[round] != ps[round] {
+			t.Fatalf("round %d stats diverged: serial %+v, sharded %+v", round, ss[round], ps[round])
+		}
+		if len(sp[round]) != len(pp[round]) {
+			t.Fatalf("round %d produced %d vs %d predictions", round, len(sp[round]), len(pp[round]))
+		}
+		for i := range sp[round] {
+			if sp[round][i] != pp[round][i] {
+				t.Fatalf("round %d prediction %d diverged: %+v vs %+v",
+					round, i, sp[round][i], pp[round][i])
+			}
+		}
+	}
+	// The scenario must exercise all lifecycle paths, or the check is weak.
+	var evicted, reanchored, stale int
+	for round := range ss {
+		evicted += ss[round].Evicted
+		reanchored += ss[round].Reanchored
+		for _, p := range sp[round] {
+			if p.Stale {
+				stale++
+			}
+		}
+	}
+	if evicted == 0 || reanchored == 0 || stale == 0 {
+		t.Fatalf("scenario too tame: evicted %d, reanchored %d, stale %d", evicted, reanchored, stale)
+	}
+}
+
+// TestShardedRoundSmallPopulationStaysSerial: below the gate the sharded
+// configuration must keep the serial path's zero-allocation contract.
+func TestShardedRoundSmallPopulationStaysSerial(t *testing.T) {
+	e := testEngine(t, func(c *Config) { c.RoundWorkers = 8 })
+	const hosts = 256
+	order := make([]string, hosts)
+	latest := make(map[string]telemetry.Reading, hosts)
+	anchors := make(map[string]float64, hosts)
+	for i := range order {
+		id := fmt.Sprintf("h%04d", i)
+		order[i] = id
+		latest[id] = telemetry.Reading{HostID: id, AtS: 0, TempC: 30}
+		anchors[id] = 50
+	}
+	dst, _ := e.Round(nil, 0, order, latest, anchors)
+	now := 0.0
+	allocs := testing.AllocsPerRun(50, func() {
+		now += 15
+		for _, id := range order {
+			r := latest[id]
+			r.AtS = now
+			latest[id] = r
+		}
+		dst, _ = e.Round(dst[:0], now, order, latest, anchors)
+	})
+	if allocs != 0 {
+		t.Fatalf("small-population round with RoundWorkers=8 allocates %.1f/op, want 0", allocs)
+	}
+}

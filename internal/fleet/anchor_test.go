@@ -416,6 +416,66 @@ func TestAnchorQuantValidation(t *testing.T) {
 	}
 }
 
+// TestAnchorCachePersistenceWarmsRestart closes the restart loop: a fleet
+// saves its anchor cache, a fresh controller for the same population loads
+// it, and the restarted fleet's first round is already all cache hits —
+// zero batch-predictor fan-out instead of a cold mass re-anchor.
+func TestAnchorCachePersistenceWarmsRestart(t *testing.T) {
+	ctl := gridController(t, DefaultConfig(), syntheticStable, gridAxis(16), gridAxis(4))
+	if _, _, misses, err := ctl.anchors(); err != nil || misses == 0 {
+		t.Fatalf("cold run: misses=%d err=%v", misses, err)
+	}
+	var buf bytes.Buffer
+	if err := ctl.SaveAnchorCache(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	restarted := gridController(t, DefaultConfig(), syntheticStable, gridAxis(16), gridAxis(4))
+	n, err := restarted.LoadAnchorCache(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("no anchors restored")
+	}
+	anchors, hits, misses, err := restarted.anchors()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if misses != 0 {
+		t.Fatalf("restarted fleet's first round had %d misses, want 0 (hits %d)", misses, hits)
+	}
+	// Restored anchors must equal the original fleet's, not just hit.
+	orig, _, _, err := ctl.anchors()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, v := range orig {
+		if anchors[id] != v {
+			t.Fatalf("restored anchor for %s = %v, original %v", id, anchors[id], v)
+		}
+	}
+
+	// A restart configured with different bucket widths must refuse the file.
+	mismatch := DefaultConfig()
+	mismatch.AnchorQuantUtil = 0.005
+	other := gridController(t, mismatch, syntheticStable, gridAxis(4), gridAxis(2))
+	if _, err := other.LoadAnchorCache(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("quantizer-mismatched cache file accepted")
+	}
+
+	// With the cache disabled the hooks must fail loudly.
+	disabled := DefaultConfig()
+	disabled.AnchorCacheDisabled = true
+	off := gridController(t, disabled, syntheticStable, gridAxis(4), gridAxis(2))
+	if err := off.SaveAnchorCache(&bytes.Buffer{}); err != ErrNoAnchorCache {
+		t.Fatalf("SaveAnchorCache on disabled cache: %v", err)
+	}
+	if _, err := off.LoadAnchorCache(bytes.NewReader(buf.Bytes())); err != ErrNoAnchorCache {
+		t.Fatalf("LoadAnchorCache on disabled cache: %v", err)
+	}
+}
+
 // TestStableMembershipSkipsOrderRebuild: rounds with unchanged membership
 // must not disturb the discovered host order slice, and membership changes
 // (new host, eviction) must rebuild it sorted.

@@ -23,10 +23,12 @@ package fleet
 import (
 	"errors"
 	"fmt"
+	"io"
 	"math"
 	"runtime"
 	"slices"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -143,10 +145,16 @@ type Config struct {
 	// UncertaintyBaseC and UncertaintyPerSC shape per-prediction uncertainty:
 	// base + perS · staleness.
 	UncertaintyBaseC, UncertaintyPerSC float64
-	// IngestBuffer bounds the telemetry pipeline.
+	// IngestBuffer bounds the telemetry pipeline. 0 auto-sizes to at least
+	// one full round of emissions — the simulated fleet's own sensor sweep
+	// volume, or MaxHosts × samples-per-round for source-driven fleets
+	// (minimum 4096 either way) — because a default smaller than the round
+	// volume would silently starve the hosts beyond it of telemetry
+	// forever.
 	IngestBuffer int
 	// MaxMigrationsPerRound bounds reconciliation work per round; 0 disables
-	// migration (proposals are still produced).
+	// migration (a bounded set of hottest-first proposals is still derived
+	// each round for observability — see propose for the bound).
 	MaxMigrationsPerRound int
 	// SourceAmbientC is δ_env assumed when synthesizing ψ_stable anchor
 	// cases for source-driven fleets (trace replay, scraping), where no
@@ -173,6 +181,12 @@ type Config struct {
 	// fan-outs (cold rounds, mass re-anchors) across cores (default
 	// min(GOMAXPROCS, 8); 1 forces sequential fan-out).
 	AnchorWorkers int
+	// PhysWorkers bounds the worker pool the simulated-physics tick shards
+	// racks across (default min(GOMAXPROCS, 8); 1 forces the serial tick).
+	// Results are bit-identical for every worker count: racks advance
+	// independently and each shard's reduction order is fixed. Simulated
+	// fleets only.
+	PhysWorkers int
 	// Seed drives all stochastic components.
 	Seed int64
 }
@@ -202,7 +216,7 @@ func DefaultConfig() Config {
 		ReanchorEpsC:          1.0,
 		UncertaintyBaseC:      0.5,
 		UncertaintyPerSC:      0.05,
-		IngestBuffer:          4096,
+		IngestBuffer:          0, // auto-sized per fleet shape; see the field doc
 		MaxMigrationsPerRound: 1,
 		SourceAmbientC:        22,
 		MaxHosts:              4096,
@@ -271,7 +285,7 @@ func (c Config) withDefaults() Config {
 		c.UncertaintyPerSC = d.UncertaintyPerSC
 	}
 	if c.IngestBuffer == 0 {
-		c.IngestBuffer = d.IngestBuffer
+		c.IngestBuffer = 4096
 	}
 	if c.RackSpreadC == 0 {
 		c.RackSpreadC = d.RackSpreadC
@@ -297,6 +311,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.AnchorWorkers == 0 {
 		c.AnchorWorkers = min(runtime.GOMAXPROCS(0), 8)
+	}
+	if c.PhysWorkers == 0 {
+		c.PhysWorkers = min(runtime.GOMAXPROCS(0), 8)
 	}
 	return c
 }
@@ -361,6 +378,9 @@ func (c Config) Validate() error {
 	if c.AnchorWorkers < 1 {
 		return fmt.Errorf("fleet: anchor workers %d < 1", c.AnchorWorkers)
 	}
+	if c.PhysWorkers < 1 {
+		return fmt.Errorf("fleet: phys workers %d < 1", c.PhysWorkers)
+	}
 	return nil
 }
 
@@ -375,7 +395,9 @@ const (
 	anchorAmbientSens = 1.0
 )
 
-// engineConfig maps the fleet configuration onto the session engine's.
+// engineConfig maps the fleet configuration onto the session engine's. The
+// engine round inherits the physics worker bound: the same cores that shard
+// the rack ticks shard the per-host session pass at >= 1024 hosts.
 func (c Config) engineConfig() engine.Config {
 	return engine.Config{
 		Lambda:           c.Lambda,
@@ -388,6 +410,7 @@ func (c Config) engineConfig() engine.Config {
 		ReanchorEpsC:     c.ReanchorEpsC,
 		UncertaintyBaseC: c.UncertaintyBaseC,
 		UncertaintyPerSC: c.UncertaintyPerSC,
+		RoundWorkers:     c.PhysWorkers,
 	}
 }
 
@@ -405,6 +428,11 @@ type Hotspot struct {
 
 // Snapshot is the control plane's published view after a round: what the
 // fleet API serves and what schedulers consume.
+//
+// Snapshots are published as immutable, epoch-versioned generations:
+// Hotspots and ViewSnapshot hand out the generation's maps and slices
+// WITHOUT copying, so every field — including map contents — is strictly
+// read-only for consumers. Mutating a returned map is a data race.
 type Snapshot struct {
 	Round      int
 	SimTimeS   float64
@@ -525,6 +553,23 @@ type Controller struct {
 	anchorVals []float64
 	missByKey  map[anchorcache.Key]int
 	anchorBuf  map[string]float64
+	// Simulated-fleet anchor scratch (indexed like sim.byPos/order): the
+	// rack-sharded scan fills inlets and deployment-fingerprint keys, the
+	// serial cache pass records misses, and the sharded case build fills
+	// missCase before staging — so the per-round anchor work that walks VM
+	// and task state scales with cores instead of serializing.
+	simInlets []float64
+	simKeys   []anchorcache.Key
+	missIdx   []int
+	missKey   []anchorcache.Key
+	missAmb   []float64
+	missCase  []workload.Case
+	missErr   []error
+
+	// rankedHosts caches the coolest-first placement ranking for the round
+	// it was built in (rankedRound); placements within one round share it.
+	rankedHosts []string
+	rankedRound int
 
 	pendMu  sync.Mutex
 	pending []workload.VMSpec
@@ -536,15 +581,28 @@ type Controller struct {
 	// TeeTelemetry swaps.
 	emit atomic.Pointer[func(Reading) bool]
 
-	snapMu sync.RWMutex
-	snap   Snapshot
+	// snaps owns the epoch-versioned snapshot generations (publication via
+	// atomic pointer swap; retired generations recycled in place).
+	snaps snapStore
 
 	round int
 }
 
 // New builds a controller over a freshly assembled simulated fleet.
 func New(cfg Config, predict BatchCasePredictor) (*Controller, error) {
+	autoBuffer := cfg.IngestBuffer == 0
 	cfg = cfg.withDefaults()
+	if autoBuffer {
+		// The simulator emits one reading per host per sample interval; a
+		// default-sized buffer smaller than one round's emissions would
+		// silently starve the hosts beyond it of telemetry forever. Size the
+		// default to the fleet's own round volume (an explicit IngestBuffer
+		// is honored as given).
+		perRound := int(math.Ceil(cfg.UpdateEveryS/cfg.SampleS)) + 1
+		if need := cfg.Racks * cfg.HostsPerRack * perRound; need > cfg.IngestBuffer {
+			cfg.IngestBuffer = need
+		}
+	}
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -568,7 +626,18 @@ func New(cfg Config, predict BatchCasePredictor) (*Controller, error) {
 // and placement/migration — which need a substrate to act on — report
 // rejections instead of acting.
 func NewWithSource(cfg Config, src telemetry.Source, predict BatchCasePredictor) (*Controller, error) {
+	autoBuffer := cfg.IngestBuffer == 0
 	cfg = cfg.withDefaults()
+	if autoBuffer {
+		// Source populations are discovered, so size the default for the
+		// worst case the MaxHosts bound admits: a full population sampled
+		// every SampleS must fit one round's readings, or the hosts beyond
+		// the buffer would be starved into staleness every round.
+		perRound := int(math.Ceil(cfg.UpdateEveryS/cfg.SampleS)) + 1
+		if need := cfg.MaxHosts * perRound; need > cfg.IngestBuffer {
+			cfg.IngestBuffer = need
+		}
+	}
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -703,30 +772,34 @@ func (c *Controller) InvalidateAnchorCache() {
 	}
 }
 
-// Hotspots returns the latest published snapshot.
-func (c *Controller) Hotspots() Snapshot {
-	c.snapMu.RLock()
-	defer c.snapMu.RUnlock()
-	return cloneSnapshot(c.snap)
+// ErrNoAnchorCache is returned by the cache persistence hooks when the
+// anchor cache is disabled.
+var ErrNoAnchorCache = errors.New("fleet: anchor cache disabled")
+
+// SaveAnchorCache serializes the anchor cache (fleetd -anchor-cache-file):
+// a restarted controller facing the same population warms instantly from
+// the file instead of re-predicting every anchor. Safe to call between or
+// concurrently with rounds. The file is only valid for the model that
+// produced the cached anchors — pair it with the model artifact.
+func (c *Controller) SaveAnchorCache(w io.Writer) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.cache == nil {
+		return ErrNoAnchorCache
+	}
+	return c.cache.Save(w)
 }
 
-func cloneSnapshot(s Snapshot) Snapshot {
-	out := s
-	out.Hotspots = append([]Hotspot(nil), s.Hotspots...)
-	out.StaleHosts = append([]string(nil), s.StaleHosts...)
-	out.Predicted = make(map[string]float64, len(s.Predicted))
-	for k, v := range s.Predicted {
-		out.Predicted[k] = v
+// LoadAnchorCache restores a cache serialized by SaveAnchorCache, returning
+// the number of anchors restored. The saved quantizer must match the
+// controller's configuration exactly.
+func (c *Controller) LoadAnchorCache(r io.Reader) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.cache == nil {
+		return 0, ErrNoAnchorCache
 	}
-	out.Uncertainty = make(map[string]float64, len(s.Uncertainty))
-	for k, v := range s.Uncertainty {
-		out.Uncertainty[k] = v
-	}
-	out.Latest = make(map[string]Reading, len(s.Latest))
-	for k, v := range s.Latest {
-		out.Latest[k] = v
-	}
-	return out
+	return c.cache.Load(r)
 }
 
 // PlaceNow synchronously places one VM with the thermal-aware policy against
@@ -830,29 +903,57 @@ func (c *Controller) RunRound() (RoundReport, error) {
 		c.orderDirty = true
 	}
 
-	// 5. Hotspot map from *predicted* temperatures.
-	predicted := make(map[string]float64, len(preds))
-	uncertainty := make(map[string]float64, len(preds))
-	var staleHosts []string
-	for _, p := range preds {
+	// 5. Hotspot map from *predicted* temperatures, built into the next
+	// snapshot generation: a recycled retired generation whose maps are
+	// rewritten in place (only changed entries), so the warm round's
+	// publication allocates nothing.
+	gen := c.snaps.writable(len(c.order))
+	snap := &gen.snap
+	c.round++
+	snap.Round = c.round
+	snap.SimTimeS = now
+	snap.GapS = c.cfg.GapS
+	snap.ThresholdC = c.cfg.ThresholdC
+	snap.StaleHosts = snap.StaleHosts[:0]
+	snap.Hotspots = snap.Hotspots[:0]
+	for i := range preds {
+		p := &preds[i]
 		if p.Stale {
-			staleHosts = append(staleHosts, p.HostID)
+			snap.StaleHosts = append(snap.StaleHosts, p.HostID)
 			continue
 		}
-		predicted[p.HostID] = p.TempC
-		uncertainty[p.HostID] = p.UncertaintyC
-	}
-	slices.Sort(staleHosts)
-	spots := cluster.DetectHotspots(predicted, c.cfg.ThresholdC)
-	hotspots := make([]Hotspot, len(spots))
-	for i, s := range spots {
-		hotspots[i] = Hotspot{
-			HostID:         s.HostID,
-			PredictedTempC: s.TempC,
-			MarginC:        s.Margin,
-			UncertaintyC:   uncertainty[s.HostID],
+		if p.TempC > c.cfg.ThresholdC {
+			snap.Hotspots = append(snap.Hotspots, Hotspot{
+				HostID:         p.HostID,
+				PredictedTempC: p.TempC,
+				MarginC:        p.TempC - c.cfg.ThresholdC,
+				UncertaintyC:   p.UncertaintyC,
+			})
 		}
 	}
+	slices.Sort(snap.StaleHosts)
+	sortHotspots(snap.Hotspots)
+	if c.cfg.PhysWorkers > 1 && len(c.order) >= simParallelMinHosts {
+		// The three map rewrites touch disjoint maps and only read the
+		// prediction buffer / latest readings; at fleet scale they overlap.
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			rewriteFloats(snap.Predicted, preds, func(p *Prediction) float64 { return p.TempC })
+		}()
+		go func() {
+			defer wg.Done()
+			rewriteFloats(snap.Uncertainty, preds, func(p *Prediction) float64 { return p.UncertaintyC })
+		}()
+		rewriteLatest(snap.Latest, c.latest)
+		wg.Wait()
+	} else {
+		rewriteFloats(snap.Predicted, preds, func(p *Prediction) float64 { return p.TempC })
+		rewriteFloats(snap.Uncertainty, preds, func(p *Prediction) float64 { return p.UncertaintyC })
+		rewriteLatest(snap.Latest, c.latest)
+	}
+	predicted, hotspots := snap.Predicted, snap.Hotspots
 
 	// 6. Reconciliation: apply last round's still-valid proposals, bounded
 	// per round, then derive fresh proposals from this round's map.
@@ -865,28 +966,10 @@ func (c *Controller) RunRound() (RoundReport, error) {
 		c.pendingP = proposals
 	}
 
-	// 7. Publish the snapshot BEFORE placing queued VMs: placement avoids
+	// 7. Publish the generation BEFORE placing queued VMs: placement avoids
 	// predicted hotspots by consulting the published map, which must be this
-	// round's, not last round's.
-	c.round++
-	latest := make(map[string]Reading, len(c.latest))
-	for id, r := range c.latest {
-		latest[id] = r
-	}
-	snap := Snapshot{
-		Round:       c.round,
-		SimTimeS:    now,
-		GapS:        c.cfg.GapS,
-		ThresholdC:  c.cfg.ThresholdC,
-		Hotspots:    hotspots,
-		Predicted:   predicted,
-		Uncertainty: uncertainty,
-		Latest:      latest,
-		StaleHosts:  staleHosts,
-	}
-	c.snapMu.Lock()
-	c.snap = snap
-	c.snapMu.Unlock()
+	// round's, not last round's. From here on the generation is immutable.
+	c.snaps.publish(gen)
 
 	// 8. Placement of queued VM requests against the fresh hotspot map.
 	c.pendMu.Lock()
@@ -930,7 +1013,7 @@ func (c *Controller) RunRound() (RoundReport, error) {
 		TelemetryDrained:   drained,
 		DroppedTotal:       droppedTotal,
 		SupersededTotal:    supersededTotal,
-		StaleHosts:         len(staleHosts),
+		StaleHosts:         len(snap.StaleHosts),
 		MaxStalenessS:      st.MaxStalenessS,
 		AnchorFailures:     st.AnchorFailures,
 		AnchorHits:         anchorHits,
@@ -1091,6 +1174,13 @@ func (c *Controller) predictMissBatch(cases []workload.Case, out []float64) erro
 // util/mem/inlet) is already memoized, else by staging its current
 // deployment as a miss case. Idle hosts anchor at their inlet temperature
 // (an idle machine settles at ambient) without touching cache or model.
+//
+// The pass is phased so the per-host VM/task walks scale with cores at
+// fleet size: a rack-sharded scan derives inlets and fingerprint keys, the
+// serial cache pass consumes them (map access and hit accounting stay
+// single-threaded), a sharded build constructs the miss deployment cases,
+// and a final serial sweep stages them in host order. Values, staging
+// order and cache state are identical to the former single loop.
 func (c *Controller) simAnchorCases(hits *int) error {
 	var q anchorcache.Quantizer
 	if c.cache != nil {
@@ -1107,69 +1197,159 @@ func (c *Controller) simAnchorCases(hits *int) error {
 		q.UtilQuant /= 4
 		q.MemQuant /= 4
 	}
+	if err := c.simAnchorScan(q); err != nil {
+		return err
+	}
+	c.missIdx = c.missIdx[:0]
+	c.missKey = c.missKey[:0]
+	c.missAmb = c.missAmb[:0]
 	for i, id := range c.order {
 		sh := c.sim.byPos[i]
+		inlet := c.simInlets[i]
 		if sh.host.NumVMs() == 0 {
-			inlet, err := c.sim.inletAt(sh)
-			if err != nil {
-				return err
-			}
 			c.anchorBuf[id] = inlet
 			continue
 		}
 		if c.cache == nil {
-			cse, ok, err := c.sim.hostCase(id, nil)
-			if err != nil {
-				return err
-			}
-			if !ok {
-				inlet, err := c.sim.inletAt(sh)
-				if err != nil {
-					return err
-				}
-				c.anchorBuf[id] = inlet
-				continue
-			}
-			c.stageMiss(id, 0, cse)
+			c.missIdx = append(c.missIdx, i)
+			c.missKey = append(c.missKey, 0)
+			c.missAmb = append(c.missAmb, inlet)
 			continue
 		}
-		inlet, err := c.sim.inletAt(sh)
-		if err != nil {
-			return err
-		}
-		ambBucket, ambCenter := q.Ambient(inlet)
-		bu, bm := q.UtilMemBuckets(sh.host.Utilization(), sh.host.MemActiveFrac())
-		h := anchorcache.NewHash()
-		for vi := 0; vi < sh.host.NumVMs(); vi++ {
-			vm := sh.host.VMAt(vi)
-			// The fingerprint must cover everything the feature encoder can
-			// see in the deployment snapshot: identity and lifecycle state,
-			// plus the per-VM load *distribution* (raw task-fraction sum and
-			// max, quantized) — dynamic profiles can redistribute load
-			// between tasks without moving total host utilization, and
-			// features like task_cpu_max follow the distribution.
-			cpuSum, cpuMax := vm.TaskCPUStats()
-			h = h.String(vm.ID()).Uint64(uint64(vm.State())).
-				Uint64(q.UtilBucket(cpuSum)).Uint64(q.UtilBucket(cpuMax))
-		}
-		key := h.Uint64(ambBucket).Uint64(bu).Uint64(bm).Key()
+		key := c.simKeys[i]
 		if v, ok := c.cache.Get(key); ok {
 			c.anchorBuf[id] = v
 			*hits++
 			continue
 		}
-		cse, ok, err := c.sim.hostCase(id, nil)
+		// Predict at the inlet bucket's center so the cached value serves
+		// the whole bucket with at most half a bucket of ambient error.
+		_, ambCenter := q.Ambient(inlet)
+		c.missIdx = append(c.missIdx, i)
+		c.missKey = append(c.missKey, key)
+		c.missAmb = append(c.missAmb, ambCenter)
+	}
+	if err := c.buildMissCases(); err != nil {
+		return err
+	}
+	for mi, i := range c.missIdx {
+		c.stageMiss(c.order[i], c.missKey[mi], c.missCase[mi])
+	}
+	return nil
+}
+
+// simAnchorScan fills the per-host inlet and fingerprint scratch,
+// rack-sharded at scale (pure computation over rack-local state; every
+// worker writes disjoint indices).
+func (c *Controller) simAnchorScan(q anchorcache.Quantizer) error {
+	fs := c.sim
+	n := len(c.order)
+	if cap(c.simInlets) < n {
+		c.simInlets = make([]float64, n)
+		c.simKeys = make([]anchorcache.Key, n)
+	}
+	c.simInlets = c.simInlets[:n]
+	c.simKeys = c.simKeys[:n]
+	if c.cfg.PhysWorkers > 1 && n >= simParallelMinHosts {
+		return fs.forEachRackShard(func(ri int) error { return c.scanRackAnchors(ri, q) })
+	}
+	for ri := range fs.racks {
+		if err := c.scanRackAnchors(ri, q); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// scanRackAnchors is one rack's share of simAnchorScan.
+func (c *Controller) scanRackAnchors(ri int, q anchorcache.Quantizer) error {
+	fs := c.sim
+	span := fs.rackSpan[ri]
+	for i := span[0]; i < span[1]; i++ {
+		sh := fs.byPos[i]
+		inlet, err := fs.inletAt(sh)
 		if err != nil {
 			return err
 		}
-		if !ok {
-			c.anchorBuf[id] = inlet
-			continue
+		c.simInlets[i] = inlet
+		if c.cache != nil && sh.host.NumVMs() > 0 {
+			c.simKeys[i] = simAnchorKey(sh, q, inlet)
 		}
-		// Predict at the inlet bucket's center so the cached value serves
-		// the whole bucket with at most half a bucket of ambient error.
-		cse.AmbientC = ambCenter
-		c.stageMiss(id, key, cse)
+	}
+	return nil
+}
+
+// simAnchorKey derives a host's deployment fingerprint: the cache key that
+// changes exactly when something the feature encoder can see changes.
+func simAnchorKey(sh *simHost, q anchorcache.Quantizer, inlet float64) anchorcache.Key {
+	ambBucket, _ := q.Ambient(inlet)
+	util, mem := sh.host.Loads()
+	bu, bm := q.UtilMemBuckets(util, mem)
+	h := anchorcache.NewHash()
+	for vi := 0; vi < sh.host.NumVMs(); vi++ {
+		vm := sh.host.VMAt(vi)
+		// The fingerprint must cover everything the feature encoder can
+		// see in the deployment snapshot: identity and lifecycle state,
+		// plus the per-VM load *distribution* (raw task-fraction sum and
+		// max, quantized) — dynamic profiles can redistribute load
+		// between tasks without moving total host utilization, and
+		// features like task_cpu_max follow the distribution.
+		cpuSum, cpuMax := vm.TaskCPUStats()
+		h = h.String(vm.ID()).Uint64(uint64(vm.State())).
+			Uint64(q.UtilBucket(cpuSum)).Uint64(q.UtilBucket(cpuMax))
+	}
+	return h.Uint64(ambBucket).Uint64(bu).Uint64(bm).Key()
+}
+
+// buildMissCases constructs the recorded misses' deployment cases into
+// missCase, sharded across the physics pool at scale: each build only reads
+// host/VM state and writes its own slot. The ambient is the value the
+// cache pass chose (bucket center with the cache on, the host's inlet
+// otherwise) — the former per-miss InletTemp recomputation was an O(rack)
+// utilization sweep per case, redundant with the per-tick inlet cache.
+func (c *Controller) buildMissCases() error {
+	n := len(c.missIdx)
+	if n == 0 {
+		return nil
+	}
+	if cap(c.missCase) < n {
+		c.missCase = make([]workload.Case, n)
+		c.missErr = make([]error, n)
+	}
+	c.missCase = c.missCase[:n]
+	c.missErr = c.missErr[:n]
+	build := func(lo, hi int) {
+		for mi := lo; mi < hi; mi++ {
+			sh := c.sim.byPos[c.missIdx[mi]]
+			cse, err := cluster.HostStateCase(sh.host, c.cfg.FanCount, c.missAmb[mi], nil)
+			c.missCase[mi], c.missErr[mi] = cse, err
+		}
+	}
+	// Below this many cases per worker the goroutine overhead dominates.
+	const minShard = 64
+	workers := c.cfg.PhysWorkers
+	if maxW := (n + minShard - 1) / minShard; workers > maxW {
+		workers = maxW
+	}
+	if workers <= 1 {
+		build(0, n)
+	} else {
+		var wg sync.WaitGroup
+		chunk := (n + workers - 1) / workers
+		for lo := 0; lo < n; lo += chunk {
+			hi := min(lo+chunk, n)
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				build(lo, hi)
+			}(lo, hi)
+		}
+		wg.Wait()
+	}
+	for mi, err := range c.missErr {
+		if err != nil {
+			return fmt.Errorf("fleet: anchor case for %s: %w", c.order[c.missIdx[mi]], err)
+		}
 	}
 	return nil
 }
@@ -1276,14 +1456,28 @@ func (c *Controller) reconcile(predicted map[string]float64) (applied int) {
 
 // propose derives migration proposals from the hotspot map: for each hotspot
 // (hottest first), move its largest VM to the coolest non-hot host that can
-// admit it.
+// admit it. Proposals are bounded — 4× what reconcile can apply per round,
+// or 64 hottest-first in observe-only mode (MaxMigrationsPerRound = 0) —
+// because each proposal costs an O(hosts) target scan and the map is
+// recomputed fresh every round anyway: at datacenter scale an unbounded
+// pass over thousands of hotspots would be quadratic for proposals that
+// could never be acted on.
 func (c *Controller) propose(hotspots []Hotspot, predicted map[string]float64) []MigrationProposal {
+	maxProposals := 4 * c.cfg.MaxMigrationsPerRound
+	if c.cfg.MaxMigrationsPerRound == 0 {
+		maxProposals = 64
+	} else if maxProposals < 8 {
+		maxProposals = 8
+	}
 	var out []MigrationProposal
 	hot := make(map[string]bool, len(hotspots))
 	for _, h := range hotspots {
 		hot[h.HostID] = true
 	}
 	for _, h := range hotspots {
+		if len(out) >= maxProposals {
+			break
+		}
 		vm, err := c.sim.largestVM(h.HostID)
 		if err != nil {
 			continue // nothing running to move (e.g. hot purely from environment)
@@ -1319,6 +1513,40 @@ func (c *Controller) propose(hotspots []Hotspot, predicted map[string]float64) [
 	return out
 }
 
+// rankedByPredicted returns every tracked host sorted coolest-first by the
+// published Δ_gap-ahead prediction (unpredicted hosts — stale telemetry —
+// last: never place blind when an observed host can admit; ties broken by
+// id). The ranking is cached per round: predictions only move when a round
+// publishes, so every placement within a round shares one O(n log n) sort.
+func (c *Controller) rankedByPredicted() []string {
+	if c.rankedRound == c.round && len(c.rankedHosts) == len(c.order) {
+		return c.rankedHosts
+	}
+	var predictedNow map[string]float64
+	if snap := c.publishedSnapshot(); snap != nil {
+		predictedNow = snap.Predicted
+	}
+	c.rankedHosts = append(c.rankedHosts[:0], c.order...)
+	rank := func(id string) float64 {
+		if v, ok := predictedNow[id]; ok {
+			return v
+		}
+		return math.Inf(1)
+	}
+	slices.SortFunc(c.rankedHosts, func(a, b string) int {
+		ra, rb := rank(a), rank(b)
+		if ra != rb {
+			if ra < rb {
+				return -1
+			}
+			return 1
+		}
+		return strings.Compare(a, b)
+	})
+	c.rankedRound = c.round
+	return c.rankedHosts
+}
+
 // canAdmitVM checks capacity without mutating the host.
 func canAdmitVM(h *vmm.Host, cfg vmm.VMConfig) bool {
 	hc := h.Config()
@@ -1345,19 +1573,44 @@ func (c *Controller) placeLocked(spec workload.VMSpec) (PlacementDecision, error
 	if c.sim == nil {
 		return PlacementDecision{VMID: spec.ID, Rejected: ErrNoSubstrate.Error()}, nil
 	}
-	snap := c.Hotspots()
-	hot := make(map[string]bool, len(snap.Hotspots))
-	for _, h := range snap.Hotspots {
-		hot[h.HostID] = true
+	// Writer-side borrow of the published snapshot: placeLocked holds c.mu,
+	// which excludes generation recycling, and published generations are
+	// immutable — no escape or copy needed.
+	hot := make(map[string]bool)
+	if snap := c.publishedSnapshot(); snap != nil {
+		for _, h := range snap.Hotspots {
+			hot[h.HostID] = true
+		}
 	}
 
+	// At datacenter scale, building and predicting a post-placement case
+	// for every admitting host would make each placement O(fleet). Walk the
+	// hosts coolest-first (by current predicted temperature) and stop at a
+	// bounded candidate shortlist. This is a heuristic truncation: the
+	// policy minimizes predicted POST-placement temperature, which tracks
+	// the current ranking exactly on the homogeneous fleets the simulator
+	// builds (one HostShape per fleet) but could exclude a
+	// currently-warmer host with more headroom on heterogeneous hardware —
+	// revisit the rank when per-host-class shapes land. The ranking is
+	// derived once per round and shared by every placement in it; below
+	// the bound the walk degenerates to the old all-hosts pass.
+	const maxPlacementCandidates = 256
+	source := c.order
+	if len(c.order) > maxPlacementCandidates {
+		source = c.rankedByPredicted()
+	}
+	admitting := make([]string, 0, min(len(source), maxPlacementCandidates))
+	for _, id := range source {
+		if canAdmitVM(c.sim.hosts[id].host, spec.Config) {
+			admitting = append(admitting, id)
+			if len(admitting) == maxPlacementCandidates {
+				break
+			}
+		}
+	}
 	var cases []workload.Case
 	var candidates []string
-	for _, id := range c.order {
-		sh := c.sim.hosts[id]
-		if !canAdmitVM(sh.host, spec.Config) {
-			continue
-		}
+	for _, id := range admitting {
 		cse, ok, err := c.sim.hostCase(id, &spec)
 		if err != nil {
 			return PlacementDecision{}, err

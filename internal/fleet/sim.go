@@ -3,6 +3,7 @@ package fleet
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"vmtherm/internal/cluster"
 	"vmtherm/internal/mathx"
@@ -68,10 +69,26 @@ type fleetSim struct {
 	order  []string   // host ids in rack/slot order (deterministic iteration)
 	byPos  []*simHost // hosts in order, for map-free tick/sample sweeps
 	racks  []*cluster.Rack
+	// rackSpan[ri] is rack ri's contiguous [start, end) range in byPos/order:
+	// the shard boundary of the parallel tick (every mutation a tick performs
+	// is confined to one rack's span).
+	rackSpan [][2]int
 	// rackInlets caches each rack's per-slot inlet temperatures for the
 	// current tick: rack mean utilization is O(hosts) to derive, so
 	// recomputing it per host per tick would make ticks O(hosts²).
 	rackInlets [][]float64
+	// tickUtil/tickMem hold each host's load for the current tick (indexed
+	// like byPos): one Loads sweep per host feeds both the rack inlet model
+	// and the thermal integration instead of three separate VM-list walks.
+	tickUtil, tickMem []float64
+	// sample* are the sensor-sweep scratch for the rack-sharded read phase
+	// (indexed like byPos); emission consumes them serially in host order.
+	sampleVal, sampleUtil, sampleMem []float64
+	sampleOK                         []bool
+	// tickErrs collects per-rack tick failures from the sharded pass; the
+	// first error in rack order is reported, keeping failures deterministic
+	// regardless of worker interleaving.
+	tickErrs []error
 	// vmHost maps every placed VM id to its current host: vmm only enforces
 	// per-host uniqueness, but migration addresses VMs by id fleet-wide, so
 	// duplicates (e.g. a retried placement request) must be rejected here.
@@ -149,6 +166,20 @@ func newFleetSim(cfg Config) (*fleetSim, error) {
 		fs.order = append(fs.order, h.ID())
 		fs.byPos = append(fs.byPos, sh)
 	}
+	fs.rackSpan = make([][2]int, len(racks))
+	for i, sh := range fs.byPos {
+		if i == 0 || sh.rackIdx != fs.byPos[i-1].rackIdx {
+			fs.rackSpan[sh.rackIdx][0] = i
+		}
+		fs.rackSpan[sh.rackIdx][1] = i + 1
+	}
+	fs.tickUtil = make([]float64, len(fs.byPos))
+	fs.tickMem = make([]float64, len(fs.byPos))
+	fs.tickErrs = make([]error, len(racks))
+	fs.sampleVal = make([]float64, len(fs.byPos))
+	fs.sampleUtil = make([]float64, len(fs.byPos))
+	fs.sampleMem = make([]float64, len(fs.byPos))
+	fs.sampleOK = make([]bool, len(fs.byPos))
 	return fs, nil
 }
 
@@ -225,12 +256,78 @@ func (fs *fleetSim) migrate(vmID, fromID, toID string) error {
 
 // tick drives one simulation step: task loads from profiles, rack inlet
 // temperatures (recirculation couples hosts through rack utilization), and
-// thermal integration.
+// thermal integration. The work partitions cleanly by rack — a rack's
+// inlets depend only on its own hosts' utilization, and each server's heat
+// only on its own rack's inlet — so racks advance independently: serially
+// when PhysWorkers is 1, sharded across a bounded worker pool otherwise.
+// Both paths run the identical per-rack code in a fixed reduction order, so
+// results are bit-identical regardless of worker count or interleaving.
 func (fs *fleetSim) tick(dt float64) error {
 	t := fs.engine.Now()
-	for _, sh := range fs.byPos {
-		for i := range sh.driven {
-			d := &sh.driven[i]
+	return fs.forEachRackShard(func(ri int) error { return fs.tickRack(ri, t, dt) })
+}
+
+// forEachRackShard runs fn once per rack — serially with one physics
+// worker, sharded across a bounded goroutine pool otherwise. Racks are
+// assigned to workers in contiguous chunks and every error lands in its
+// rack's tickErrs slot, so the first error in rack order is reported
+// regardless of worker interleaving: the shard layer adds no
+// nondeterminism of its own.
+func (fs *fleetSim) forEachRackShard(fn func(ri int) error) error {
+	nr := len(fs.racks)
+	workers := fs.cfg.PhysWorkers
+	if workers > nr {
+		workers = nr
+	}
+	if workers <= 1 {
+		for ri := 0; ri < nr; ri++ {
+			if err := fn(ri); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for i := range fs.tickErrs {
+		fs.tickErrs[i] = nil
+	}
+	var wg sync.WaitGroup
+	chunk := (nr + workers - 1) / workers
+	for lo := 0; lo < nr; lo += chunk {
+		hi := min(lo+chunk, nr)
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for ri := lo; ri < hi; ri++ {
+				if err := fn(ri); err != nil {
+					fs.tickErrs[ri] = err
+					return
+				}
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	for _, err := range fs.tickErrs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// tickRack advances one rack through a full simulation step. Loads first,
+// then inlets, then thermal integration: recirculation sees this tick's
+// utilization, exactly as the former whole-fleet phase ordering did —
+// reordering per rack is value-identical because no phase reads another
+// rack's state. Each host's (util, mem) is derived in ONE walk over its VM
+// list and reused for both the rack-mean inlet model and SetLoad, replacing
+// the three walks (MeanUtilization + Utilization + MemActiveFrac) the
+// serial loop used to pay.
+func (fs *fleetSim) tickRack(ri int, t, dt float64) error {
+	span := fs.rackSpan[ri]
+	for i := span[0]; i < span[1]; i++ {
+		sh := fs.byPos[i]
+		for j := range sh.driven {
+			d := &sh.driven[j]
 			if st := d.vm.State(); st != vmm.VMRunning && st != vmm.VMMigrating {
 				continue
 			}
@@ -239,20 +336,22 @@ func (fs *fleetSim) tick(dt float64) error {
 			}
 		}
 	}
-	// Loads first, then inlets: recirculation sees this tick's utilization.
-	// Each rack's per-slot inlets are derived once — rack mean utilization
-	// is constant within a tick, so one sweep replaces the former per-host
-	// recomputation without changing a single value.
-	for ri, rack := range fs.racks {
-		inlets, err := fs.dc.RackInletTemps(rack, fs.rackInlets[ri][:0])
-		if err != nil {
-			return err
-		}
-		fs.rackInlets[ri] = inlets
+	var utilSum float64
+	for i := span[0]; i < span[1]; i++ {
+		u, m := fs.byPos[i].host.Loads()
+		fs.tickUtil[i], fs.tickMem[i] = u, m
+		utilSum += u
 	}
-	for _, sh := range fs.byPos {
-		sh.server.SetAmbient(fs.rackInlets[sh.rackIdx][sh.pos.Slot])
-		sh.server.SetLoad(sh.host.Utilization(), sh.host.MemActiveFrac())
+	mean := utilSum / float64(span[1]-span[0])
+	inlets, err := fs.dc.RackInletTempsAt(fs.racks[ri], mean, fs.rackInlets[ri][:0])
+	if err != nil {
+		return err
+	}
+	fs.rackInlets[ri] = inlets
+	for i := span[0]; i < span[1]; i++ {
+		sh := fs.byPos[i]
+		sh.server.SetAmbient(inlets[sh.pos.Slot])
+		sh.server.SetLoad(fs.tickUtil[i], fs.tickMem[i])
 		if err := sh.server.Advance(dt); err != nil {
 			return err
 		}
@@ -260,25 +359,64 @@ func (fs *fleetSim) tick(dt float64) error {
 	return nil
 }
 
+// simParallelMinHosts gates the auxiliary rack-sharded sweeps (sensor
+// sampling, anchor fingerprint scans): below this population the goroutine
+// fan-out costs more than the sweep itself — and small warm fleets keep
+// their zero-allocation anchor-pass contract. The tick itself is always
+// sharded (its per-rack work is orders of magnitude heavier). Values are
+// bit-identical on both sides of the gate.
+const simParallelMinHosts = 1024
+
 // sample reads every host's sensor once and emits the readings, exactly as
-// a fleet of monitoring agents would.
+// a fleet of monitoring agents would. At scale the sensor reads and load
+// sweeps run rack-sharded into per-host scratch (each host owns its sensor
+// rng, so draws are independent); emission stays serial and in host order,
+// so the reading stream — and therefore ingest accounting, tee captures and
+// recorded traces — is byte-identical to the serial sweep.
 func (fs *fleetSim) sample(emit func(telemetry.Reading) bool) {
 	t := fs.engine.Now()
+	parallel := fs.cfg.PhysWorkers > 1 && len(fs.byPos) >= simParallelMinHosts
+	if parallel {
+		// Sensor and load sweeps cannot fail (read errors become skipped
+		// samples), so the shard error path is unreachable here.
+		_ = fs.forEachRackShard(func(ri int) error {
+			span := fs.rackSpan[ri]
+			for i := span[0]; i < span[1]; i++ {
+				sh := fs.byPos[i]
+				if sh.muted {
+					continue // dead agent: no read, no rng draw
+				}
+				v, err := sh.sensor.Read()
+				fs.sampleOK[i] = err == nil
+				fs.sampleVal[i] = v
+				fs.sampleUtil[i], fs.sampleMem[i] = sh.host.Loads()
+			}
+			return nil
+		})
+	}
 	for i, sh := range fs.byPos {
-		id := fs.order[i]
 		if sh.muted {
 			continue // dead agent: host runs on, telemetry goes dark
 		}
-		v, err := sh.sensor.Read()
-		if err != nil {
-			continue // transient sensor failure: the sample is simply lost
+		var v, util, mem float64
+		if parallel {
+			if !fs.sampleOK[i] {
+				continue // transient sensor failure: the sample is simply lost
+			}
+			v, util, mem = fs.sampleVal[i], fs.sampleUtil[i], fs.sampleMem[i]
+		} else {
+			var err error
+			if v, err = sh.sensor.Read(); err != nil {
+				continue // transient sensor failure: the sample is simply lost
+			}
+			util, mem = sh.host.Loads()
 		}
 		emit(Reading{
-			HostID:  id,
+			HostID:  fs.order[i],
 			AtS:     t,
 			TempC:   v,
-			Util:    sh.host.Utilization(),
-			MemFrac: sh.host.MemActiveFrac(),
+			Util:    util,
+			MemFrac: mem,
 		})
 	}
 }

@@ -1,0 +1,225 @@
+package fleet
+
+import (
+	"slices"
+	"strings"
+	"sync/atomic"
+)
+
+// The snapshot publication path is epoch-versioned and copy-on-read: every
+// round the controller fills one snapGen (a generation) and publishes it
+// with an atomic pointer swap. Readers borrow the published generation
+// without copying anything; the writer recycles a retired generation's maps
+// and slices in place — rewriting only what changed — once no reader can
+// still observe it. That turns the per-round snapshot clone (formerly the
+// warm round's dominant garbage: three O(hosts) maps plus two slices) into
+// zero allocations in steady state.
+//
+// Safety protocol (all sync/atomic, hence sequentially consistent):
+//
+//   - The writer mutates only generations obtained from writable(), which
+//     never returns the published generation and skips any retired
+//     generation with readers in flight (readers > 0) or one that was ever
+//     handed out unscoped (escaped).
+//   - A scoped reader (ViewSnapshot) loads the published pointer,
+//     increments the generation's reader count, and re-validates that the
+//     pointer is still published before touching the data; on failure it
+//     decrements and retries. If the writer observed readers == 0 after
+//     retiring a generation, any concurrent increment must re-validate
+//     after that observation — and the swap that retired the generation
+//     precedes the observation, so the re-validation sees a different
+//     published pointer and the reader backs off without reading.
+//   - An unscoped borrow (Hotspots) marks the generation escaped with the
+//     same load → mark → re-validate dance. An escaped generation is
+//     immutable forever: the writer drops it instead of recycling, paying
+//     one fresh generation on the next round. Scoped reads are therefore
+//     the hot-path API; unscoped borrows are safe at the cost the old
+//     deep-clone used to pay on every single read.
+type snapGen struct {
+	snap Snapshot
+	// readers counts in-flight scoped borrows (ViewSnapshot).
+	readers atomic.Int64
+	// escaped marks generations handed out unscoped (Hotspots): their maps
+	// now live in caller hands indefinitely and must never be rewritten.
+	escaped atomic.Bool
+}
+
+// snapStore owns the generation ring: the published generation (readable by
+// anyone), plus retired spares the writer recycles. All fields except
+// published are writer-owned (guarded by the controller's round lock).
+type snapStore struct {
+	published atomic.Pointer[snapGen]
+	spare     []*snapGen
+	// fresh counts generations allocated because no spare was recyclable
+	// (first rounds, escaped borrows, or a reader pinning every spare) —
+	// the observability hook for the zero-alloc steady-state contract.
+	fresh atomic.Int64
+}
+
+// writable returns a generation the writer may mutate, recycling a retired
+// spare when possible and allocating (counted) otherwise. Escaped spares
+// are dropped on sight — they can never be recycled.
+func (s *snapStore) writable(hosts int) *snapGen {
+	for i := 0; i < len(s.spare); {
+		g := s.spare[i]
+		if g.escaped.Load() {
+			s.spare[i] = s.spare[len(s.spare)-1]
+			s.spare[len(s.spare)-1] = nil
+			s.spare = s.spare[:len(s.spare)-1]
+			continue
+		}
+		if g.readers.Load() == 0 {
+			s.spare[i] = s.spare[len(s.spare)-1]
+			s.spare[len(s.spare)-1] = nil
+			s.spare = s.spare[:len(s.spare)-1]
+			return g
+		}
+		i++
+	}
+	s.fresh.Add(1)
+	return &snapGen{snap: Snapshot{
+		Predicted:   make(map[string]float64, hosts),
+		Uncertainty: make(map[string]float64, hosts),
+		Latest:      make(map[string]Reading, hosts),
+	}}
+}
+
+// publish swaps g in as the published generation and retires the previous
+// one into the spare ring.
+func (s *snapStore) publish(g *snapGen) {
+	if old := s.published.Swap(g); old != nil {
+		s.spare = append(s.spare, old)
+	}
+}
+
+// Hotspots returns the latest published snapshot WITHOUT copying: the
+// returned maps and slices are shared, immutable state — callers must treat
+// every field as read-only. The borrow is permanent (the generation is
+// retired from reuse), so per-round pollers that only need a bounded look
+// should prefer ViewSnapshot, which recycles.
+func (c *Controller) Hotspots() Snapshot {
+	for {
+		g := c.snaps.published.Load()
+		if g == nil {
+			return Snapshot{}
+		}
+		g.escaped.Store(true)
+		if c.snaps.published.Load() == g {
+			return g.snap
+		}
+	}
+}
+
+// ViewSnapshot runs read against the latest published snapshot without
+// copying it. The *Snapshot (including its maps and slices) is valid only
+// for the duration of the call and must be treated as read-only: retaining
+// or mutating any part of it is a data race with later rounds. This is the
+// zero-allocation read path the HTTP handlers use; for an unbounded borrow
+// use Hotspots.
+func (c *Controller) ViewSnapshot(read func(*Snapshot)) {
+	g := c.snaps.acquire()
+	if g == nil {
+		read(&Snapshot{})
+		return
+	}
+	// Deferred so a panicking callback (recovered by an HTTP server, say)
+	// still releases the generation instead of pinning it forever.
+	defer g.readers.Add(-1)
+	read(&g.snap)
+}
+
+// acquire pins the published generation for a scoped read (readers
+// incremented, pointer re-validated); the caller must decrement.
+func (s *snapStore) acquire() *snapGen {
+	for {
+		g := s.published.Load()
+		if g == nil {
+			return nil
+		}
+		g.readers.Add(1)
+		if s.published.Load() == g {
+			return g
+		}
+		g.readers.Add(-1)
+	}
+}
+
+// SnapshotGenerations reports how many snapshot generations were freshly
+// allocated (rather than recycled) since the controller was built. A warm
+// fleet whose readers all use ViewSnapshot plateaus at 2; every unscoped
+// Hotspots borrow adds at most one per round.
+func (c *Controller) SnapshotGenerations() int64 { return c.snaps.fresh.Load() }
+
+// publishedSnapshot is the writer-side borrow: callers must hold c.mu, which
+// excludes the only code (writable) that could recycle a retired generation
+// — the published one is immutable to everybody.
+func (c *Controller) publishedSnapshot() *Snapshot {
+	if g := c.snaps.published.Load(); g != nil {
+		return &g.snap
+	}
+	return nil
+}
+
+// sortHotspots orders the round's hotspots by descending margin, ties
+// broken by host id — the published determinism contract (matching
+// cluster.SortHotspots) — without allocating. Host ids are unique, so the
+// comparator is a total order and any sort yields the same result.
+func sortHotspots(out []Hotspot) {
+	slices.SortFunc(out, func(a, b Hotspot) int {
+		if a.MarginC != b.MarginC {
+			if a.MarginC > b.MarginC {
+				return -1
+			}
+			return 1
+		}
+		return strings.Compare(a.HostID, b.HostID)
+	})
+}
+
+// rewriteFloats makes m hold exactly one val(p) entry per non-stale
+// prediction, rewriting only entries whose value changed. Lingering keys
+// (membership shrank or hosts went stale) force one clear-and-refill pass;
+// map buckets survive clear, so neither path allocates once the map has
+// capacity.
+func rewriteFloats(m map[string]float64, preds []Prediction, val func(*Prediction) float64) {
+	n := 0
+	for i := range preds {
+		p := &preds[i]
+		if p.Stale {
+			continue
+		}
+		n++
+		v := val(p)
+		if cur, ok := m[p.HostID]; !ok || cur != v {
+			m[p.HostID] = v
+		}
+	}
+	if len(m) == n {
+		return
+	}
+	clear(m)
+	for i := range preds {
+		p := &preds[i]
+		if !p.Stale {
+			m[p.HostID] = val(p)
+		}
+	}
+}
+
+// rewriteLatest mirrors rewriteFloats for the latest-reading map.
+func rewriteLatest(m map[string]Reading, latest map[string]Reading) {
+	n := 0
+	for id, r := range latest {
+		n++
+		if cur, ok := m[id]; !ok || cur != r {
+			m[id] = r
+		}
+	}
+	if len(m) == n {
+		return
+	}
+	clear(m)
+	for id, r := range latest {
+		m[id] = r
+	}
+}

@@ -86,23 +86,28 @@ func (s *Server) handleFleetHotspots(w http.ResponseWriter, _ *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, errors.New("no fleet control plane attached"))
 		return
 	}
-	snap := s.fleet.Hotspots()
-	resp := FleetHotspotsResponse{
-		Round:      snap.Round,
-		SimTimeS:   snap.SimTimeS,
-		GapS:       snap.GapS,
-		ThresholdC: snap.ThresholdC,
-		StaleHosts: snap.StaleHosts,
-		Hotspots:   make([]FleetHotspot, len(snap.Hotspots)),
-	}
-	for i, h := range snap.Hotspots {
-		resp.Hotspots[i] = FleetHotspot{
-			HostID:         h.HostID,
-			PredictedTempC: h.PredictedTempC,
-			MarginC:        h.MarginC,
-			UncertaintyC:   h.UncertaintyC,
+	// Scoped zero-copy borrow: the snapshot (and its slices) is read-only
+	// and only valid inside the view, so everything serialized is copied
+	// into the response before the borrow ends.
+	var resp FleetHotspotsResponse
+	s.fleet.ViewSnapshot(func(snap *fleet.Snapshot) {
+		resp = FleetHotspotsResponse{
+			Round:      snap.Round,
+			SimTimeS:   snap.SimTimeS,
+			GapS:       snap.GapS,
+			ThresholdC: snap.ThresholdC,
+			StaleHosts: append([]string(nil), snap.StaleHosts...),
+			Hotspots:   make([]FleetHotspot, len(snap.Hotspots)),
 		}
-	}
+		for i, h := range snap.Hotspots {
+			resp.Hotspots[i] = FleetHotspot{
+				HostID:         h.HostID,
+				PredictedTempC: h.PredictedTempC,
+				MarginC:        h.MarginC,
+				UncertaintyC:   h.UncertaintyC,
+			}
+		}
+	})
 	writeJSON(w, http.StatusOK, resp)
 }
 

@@ -6,6 +6,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"vmtherm/internal/fleet"
 )
 
 // GET /metrics serves the service's own state in Prometheus text exposition
@@ -66,31 +68,36 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 				"Anchor miss-batch size fanned through the batch predictor last round.", "", float64(fanout))
 		}
 
-		snap := s.fleet.Hotspots()
-		writeMetric(&sb, "vmtherm_fleet_round", "gauge", "Last published control round.", "", float64(snap.Round))
-		hosts := make([]string, 0, len(snap.Latest))
-		for id := range snap.Latest {
-			hosts = append(hosts, id)
-		}
-		sort.Strings(hosts)
-		sb.WriteString("# HELP vmtherm_host_temp_celsius Newest sensed CPU temperature per host.\n# TYPE vmtherm_host_temp_celsius gauge\n")
-		for _, id := range hosts {
-			writeSample(&sb, "vmtherm_host_temp_celsius", hostLabel(id), snap.Latest[id].TempC)
-		}
-		sb.WriteString("# HELP vmtherm_host_util_ratio Newest CPU utilization per host.\n# TYPE vmtherm_host_util_ratio gauge\n")
-		for _, id := range hosts {
-			writeSample(&sb, "vmtherm_host_util_ratio", hostLabel(id), snap.Latest[id].Util)
-		}
-		sb.WriteString("# HELP vmtherm_host_mem_ratio Newest memory activity per host.\n# TYPE vmtherm_host_mem_ratio gauge\n")
-		for _, id := range hosts {
-			writeSample(&sb, "vmtherm_host_mem_ratio", hostLabel(id), snap.Latest[id].MemFrac)
-		}
-		sb.WriteString("# HELP vmtherm_host_predicted_temp_celsius Predicted temperature gap seconds ahead (stale hosts omitted).\n# TYPE vmtherm_host_predicted_temp_celsius gauge\n")
-		for _, id := range hosts {
-			if v, ok := snap.Predicted[id]; ok {
-				writeSample(&sb, "vmtherm_host_predicted_temp_celsius", hostLabel(id), v)
+		// Scoped zero-copy borrow: the whole exposition is rendered inside
+		// the view (into the local builder), so nothing from the snapshot
+		// outlives it and the generation recycles instead of being cloned
+		// per scrape.
+		s.fleet.ViewSnapshot(func(snap *fleet.Snapshot) {
+			writeMetric(&sb, "vmtherm_fleet_round", "gauge", "Last published control round.", "", float64(snap.Round))
+			hosts := make([]string, 0, len(snap.Latest))
+			for id := range snap.Latest {
+				hosts = append(hosts, id)
 			}
-		}
+			sort.Strings(hosts)
+			sb.WriteString("# HELP vmtherm_host_temp_celsius Newest sensed CPU temperature per host.\n# TYPE vmtherm_host_temp_celsius gauge\n")
+			for _, id := range hosts {
+				writeSample(&sb, "vmtherm_host_temp_celsius", hostLabel(id), snap.Latest[id].TempC)
+			}
+			sb.WriteString("# HELP vmtherm_host_util_ratio Newest CPU utilization per host.\n# TYPE vmtherm_host_util_ratio gauge\n")
+			for _, id := range hosts {
+				writeSample(&sb, "vmtherm_host_util_ratio", hostLabel(id), snap.Latest[id].Util)
+			}
+			sb.WriteString("# HELP vmtherm_host_mem_ratio Newest memory activity per host.\n# TYPE vmtherm_host_mem_ratio gauge\n")
+			for _, id := range hosts {
+				writeSample(&sb, "vmtherm_host_mem_ratio", hostLabel(id), snap.Latest[id].MemFrac)
+			}
+			sb.WriteString("# HELP vmtherm_host_predicted_temp_celsius Predicted temperature gap seconds ahead (stale hosts omitted).\n# TYPE vmtherm_host_predicted_temp_celsius gauge\n")
+			for _, id := range hosts {
+				if v, ok := snap.Predicted[id]; ok {
+					writeSample(&sb, "vmtherm_host_predicted_temp_celsius", hostLabel(id), v)
+				}
+			}
+		})
 	}
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")

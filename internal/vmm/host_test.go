@@ -227,6 +227,67 @@ func TestIncomingReservationHoldsCapacityWithoutLoad(t *testing.T) {
 	}
 }
 
+// TestLoadsMatchesSeparateSweeps: the combined single-walk Loads must be
+// bit-identical to Utilization + MemActiveFrac across every VM state the
+// two sweeps distinguish (running, migrating, pending, stopped, incoming
+// reservation) — it is the fleet tick's replacement for calling all three.
+func TestLoadsMatchesSeparateSweeps(t *testing.T) {
+	h := mustHost(t, "h1")
+	mk := func(id string, frac, memGB float64) *VM {
+		t.Helper()
+		vm := mustVM(t, id, 2, 8)
+		if err := vm.AddTask(Task{ID: id + "-t", Class: CPUBound, CPUFraction: frac, MemGB: memGB}); err != nil {
+			t.Fatal(err)
+		}
+		return vm
+	}
+	check := func(stage string) {
+		t.Helper()
+		util, mem := h.Loads()
+		if wu := h.Utilization(); util != wu {
+			t.Fatalf("%s: Loads util = %v, Utilization = %v", stage, util, wu)
+		}
+		if wm := h.MemActiveFrac(); mem != wm {
+			t.Fatalf("%s: Loads mem = %v, MemActiveFrac = %v", stage, mem, wm)
+		}
+	}
+	check("empty host")
+
+	running := mk("run", 0.7, 4)
+	pending := mk("pend", 1.0, 4)
+	migrating := mk("mig", 0.5, 4)
+	stopped := mk("stop", 1.0, 4)
+	incoming := mk("in", 1.0, 4)
+	for _, vm := range []*VM{running, pending, migrating, stopped} {
+		if err := h.Place(vm); err != nil {
+			t.Fatal(err)
+		}
+	}
+	check("all pending")
+	for _, vm := range []*VM{running, migrating, stopped, incoming} {
+		if err := vm.Start(0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := migrating.BeginMigration(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := stopped.Stop(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.PlaceIncoming(incoming); err != nil {
+		t.Fatal(err)
+	}
+	check("mixed states with reservation")
+	if util, _ := h.Loads(); util == 0 {
+		t.Fatal("mixed-state scenario produced zero utilization; comparison is vacuous")
+	}
+	if err := h.ConfirmIncoming("in"); err != nil {
+		t.Fatal(err)
+	}
+	check("reservation confirmed")
+}
+
 func TestMemActiveFrac(t *testing.T) {
 	h := mustHost(t, "h1") // 64 GB
 	vm := mustVM(t, "v1", 4, 32)
