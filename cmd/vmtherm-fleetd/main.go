@@ -306,7 +306,10 @@ func run() error {
 		}
 		next := 0
 		for i := 0; i < n/2 && next < len(arrivalStream); i++ {
-			ctl.Submit(arrivalStream[next])
+			if !ctl.Submit(arrivalStream[next]) {
+				log.Printf("admission queue refused seed VM %d/%d; stopping seeding", i, n/2)
+				break
+			}
 			next++
 		}
 		return finish(runLoop(ctx, ctl, loopOptions{
@@ -400,9 +403,13 @@ type loopOptions struct {
 	traceDone func() bool
 }
 
+// submitArrivals feeds the round's VM requests, stopping early when the
+// admission queue refuses one (the refused VM retries next round).
 func submitArrivals(ctl *vmtherm.FleetController, stream []vmtherm.VMSpec, next *int, n int) {
 	for a := 0; a < n && *next < len(stream); a++ {
-		ctl.Submit(stream[*next])
+		if !ctl.Submit(stream[*next]) {
+			return
+		}
 		*next++
 	}
 }
@@ -467,11 +474,11 @@ loop:
 		totalMoves += rep.AppliedMoves
 		totalPlaced += rep.Placements
 		speedup := opts.updateS / rep.Latency.Seconds()
-		line := fmt.Sprintf("round %3d t=%5.0fs | sessions %3d/%3d | telemetry %4d (drops %d, superseded %d) | stale %2d | anchors %3dh/%dm fan %d | hotspots %2d (max %.1f°C) | placed %d rejected %d | moves %d/%d | %6.1fms (ctl %.1fms) | %6.0f× realtime",
+		line := fmt.Sprintf("round %3d t=%5.0fs | sessions %3d/%3d | telemetry %4d (drops %d, superseded %d) | stale %2d | anchors %3dh/%dm fan %d | hotspots %2d (max %.1f°C) | placed %d queued %d rejected %d | moves %d/%d | %6.1fms (ctl %.1fms) | %6.0f× realtime",
 			rep.Round, rep.SimTimeS, rep.SessionsLive, rep.Hosts,
 			rep.TelemetryDrained, rep.DroppedTotal, rep.SupersededTotal, rep.StaleHosts,
 			rep.AnchorHits, rep.AnchorMisses, rep.AnchorFanout,
-			rep.Hotspots, rep.MaxPredictedC, rep.Placements, rep.Rejections,
+			rep.Hotspots, rep.MaxPredictedC, rep.Placements, rep.Queued, rep.Rejections,
 			rep.AppliedMoves, rep.ProposedMoves,
 			float64(rep.Latency.Microseconds())/1000,
 			float64(rep.ControlLatency.Microseconds())/1000, speedup)

@@ -13,6 +13,9 @@
 //
 //	stable   POST /v1/stable/batch with -batch feature rows per request
 //	dynamic  POST /v1/session/batch/predict over -batch pre-opened sessions
+//	place    placement storm: POST /v1/fleet/place/batch with -batch
+//	         unique VM requests per call (-batch 1 uses /v1/fleet/place);
+//	         requires predictd running with an attached fleet (-fleet)
 //
 // Usage:
 //
@@ -23,6 +26,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -50,7 +54,7 @@ func main() {
 func run() error {
 	var (
 		addr     = flag.String("addr", "http://127.0.0.1:8080", "predictd base URL")
-		mode     = flag.String("mode", "stable", "workload: stable | dynamic")
+		mode     = flag.String("mode", "stable", "workload: stable | dynamic | place")
 		batch    = flag.Int("batch", 64, "predictions per request")
 		rps      = flag.Float64("rps", 200, "target requests per second (open loop)")
 		duration = flag.Duration("duration", 10*time.Second, "measured window")
@@ -114,6 +118,15 @@ func run() error {
 			}
 			return nil
 		}
+	case "place":
+		// Salt the VM ids per run so back-to-back storms against one fleet
+		// don't collide as duplicate-id.
+		storm := &placeStorm{
+			client: client, ctx: ctx, batch: *batch,
+			prefix: fmt.Sprintf("storm-%x", time.Now().UnixNano()&0xffffff),
+		}
+		fire = storm.fire
+		defer storm.summarize(os.Stdout)
 	default:
 		return fmt.Errorf("unknown mode %q", *mode)
 	}
@@ -127,6 +140,105 @@ func run() error {
 		return fmt.Errorf("%d request errors", res.errors)
 	}
 	return nil
+}
+
+// placeStorm generates a placement storm of uniquely-named small VMs and
+// tallies the typed decisions. Admission outcomes (rejected, queued) are
+// expected under storm load and counted as results, not request errors —
+// but a rejection arriving without a RejectCode is a protocol bug and fails
+// the run.
+type placeStorm struct {
+	client *predictclient.Client
+	ctx    context.Context
+	batch  int
+	prefix string
+
+	seq            atomic.Int64
+	placed, queued atomic.Int64
+	missingCode    atomic.Int64
+	rejMu          sync.Mutex
+	rejected       int64
+	rejByCode      map[string]int64
+}
+
+func (p *placeStorm) nextReq() predictserver.FleetPlaceRequest {
+	return predictserver.FleetPlaceRequest{
+		ID: fmt.Sprintf("%s-%08d", p.prefix, p.seq.Add(1)), VCPUs: 1, MemoryGB: 2,
+		Tasks: []predictserver.FleetTaskSpec{{CPUFraction: 0.5, MemGB: 0.5}},
+	}
+}
+
+func (p *placeStorm) countRejection(code string) {
+	if code == "" {
+		p.missingCode.Add(1)
+	}
+	p.rejMu.Lock()
+	p.rejected++
+	if p.rejByCode == nil {
+		p.rejByCode = make(map[string]int64)
+	}
+	p.rejByCode[code]++
+	p.rejMu.Unlock()
+}
+
+func (p *placeStorm) fire() error {
+	if p.batch == 1 {
+		dec, err := p.client.FleetPlace(p.ctx, p.nextReq())
+		if err != nil {
+			var placeErr *predictclient.PlaceError
+			if errors.As(err, &placeErr) {
+				p.countRejection(placeErr.Code.String())
+				return nil
+			}
+			return err
+		}
+		switch dec.Status {
+		case "placed":
+			p.placed.Add(1)
+		case "queued":
+			p.queued.Add(1)
+		default:
+			p.countRejection(dec.RejectCode)
+		}
+		return nil
+	}
+	vms := make([]predictserver.FleetPlaceRequest, p.batch)
+	for i := range vms {
+		vms[i] = p.nextReq()
+	}
+	resp, err := p.client.FleetPlaceBatch(p.ctx, vms)
+	if err != nil {
+		return err
+	}
+	for _, r := range resp.Results {
+		switch r.Status {
+		case "placed":
+			p.placed.Add(1)
+		case "queued":
+			p.queued.Add(1)
+		default:
+			p.countRejection(r.RejectCode)
+		}
+	}
+	return nil
+}
+
+func (p *placeStorm) summarize(w *os.File) {
+	p.rejMu.Lock()
+	defer p.rejMu.Unlock()
+	fmt.Fprintf(w, "placements: placed=%d queued=%d rejected=%d\n",
+		p.placed.Load(), p.queued.Load(), p.rejected)
+	codes := make([]string, 0, len(p.rejByCode))
+	for c := range p.rejByCode {
+		codes = append(codes, c)
+	}
+	sort.Strings(codes)
+	for _, c := range codes {
+		fmt.Fprintf(w, "  reject_code %-12s %d\n", c, p.rejByCode[c])
+	}
+	if n := p.missingCode.Load(); n > 0 {
+		log.Fatalf("%d rejections arrived without a reject code (stringly-typed rejection)", n)
+	}
 }
 
 // syntheticRows builds batch-many plausible Eq. (2) feature rows by encoding

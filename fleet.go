@@ -26,10 +26,32 @@ type (
 	FleetHotspot = fleet.Hotspot
 	// FleetRoundReport carries one control round's metrics.
 	FleetRoundReport = fleet.RoundReport
-	// FleetPlacementDecision records one VM request's outcome.
+	// FleetPlacementDecision records one VM request's typed outcome.
 	FleetPlacementDecision = fleet.PlacementDecision
+	// FleetPlaceStatus classifies a placement decision (placed / queued /
+	// rejected).
+	FleetPlaceStatus = fleet.PlaceStatus
+	// FleetRejectCode is the typed reason a placement was refused.
+	FleetRejectCode = fleet.RejectCode
+	// FleetAdmissionPolicy bounds what the placement plane will accept
+	// (headroom budget, queue depth, per-round cap).
+	FleetAdmissionPolicy = fleet.AdmissionPolicy
 	// BatchCasePredictor predicts ψ_stable for many cases at once.
 	BatchCasePredictor = fleet.BatchCasePredictor
+)
+
+// Placement decision statuses and rejection codes.
+const (
+	FleetPlaced   = fleet.Placed
+	FleetQueued   = fleet.Queued
+	FleetRejected = fleet.Rejected
+
+	FleetRejectInfeasible  = fleet.RejectInfeasible
+	FleetRejectNoCapacity  = fleet.RejectNoCapacity
+	FleetRejectNoHeadroom  = fleet.RejectNoHeadroom
+	FleetRejectQueueFull   = fleet.RejectQueueFull
+	FleetRejectNoSubstrate = fleet.RejectNoSubstrate
+	FleetRejectDuplicateID = fleet.RejectDuplicateID
 )
 
 // DefaultFleetConfig is a 4-rack × 16-host fleet with the paper's dynamic

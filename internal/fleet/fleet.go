@@ -156,6 +156,10 @@ type Config struct {
 	// migration (a bounded set of hottest-first proposals is still derived
 	// each round for observability — see propose for the bound).
 	MaxMigrationsPerRound int
+	// Admission bounds what the placement plane accepts (headroom budget,
+	// queue depth, per-round placement cap); see AdmissionPolicy. The zero
+	// value preserves the legacy behaviour.
+	Admission AdmissionPolicy
 	// SourceAmbientC is δ_env assumed when synthesizing ψ_stable anchor
 	// cases for source-driven fleets (trace replay, scraping), where no
 	// datacenter model supplies per-slot inlet temperatures.
@@ -218,6 +222,7 @@ func DefaultConfig() Config {
 		UncertaintyPerSC:      0.05,
 		IngestBuffer:          0, // auto-sized per fleet shape; see the field doc
 		MaxMigrationsPerRound: 1,
+		Admission:             AdmissionPolicy{MaxQueueDepth: defaultQueueDepth},
 		SourceAmbientC:        22,
 		MaxHosts:              4096,
 		Seed:                  1,
@@ -315,8 +320,15 @@ func (c Config) withDefaults() Config {
 	if c.PhysWorkers == 0 {
 		c.PhysWorkers = min(runtime.GOMAXPROCS(0), 8)
 	}
+	if c.Admission.MaxQueueDepth == 0 {
+		c.Admission.MaxQueueDepth = defaultQueueDepth
+	}
 	return c
 }
+
+// defaultQueueDepth is the default pending-queue bound: deep enough that a
+// fleetd seeding pass (hosts/2 submissions at 16k hosts) never trips it.
+const defaultQueueDepth = 65536
 
 // Validate checks the configuration.
 func (c Config) Validate() error {
@@ -341,6 +353,15 @@ func (c Config) Validate() error {
 	}
 	if c.MaxMigrationsPerRound < 0 {
 		return fmt.Errorf("fleet: negative migration bound %d", c.MaxMigrationsPerRound)
+	}
+	if c.Admission.HeadroomBudgetC < 0 || math.IsNaN(c.Admission.HeadroomBudgetC) {
+		return fmt.Errorf("fleet: headroom budget %v invalid", c.Admission.HeadroomBudgetC)
+	}
+	if c.Admission.MaxQueueDepth < -1 {
+		return fmt.Errorf("fleet: queue depth %d < -1", c.Admission.MaxQueueDepth)
+	}
+	if c.Admission.MaxPlacementsPerRound < 0 {
+		return fmt.Errorf("fleet: negative placement cap %d", c.Admission.MaxPlacementsPerRound)
 	}
 	if c.MaxHosts < 1 {
 		return fmt.Errorf("fleet: max hosts %d < 1", c.MaxHosts)
@@ -450,15 +471,6 @@ type Snapshot struct {
 	StaleHosts []string
 }
 
-// PlacementDecision records one VM request's outcome.
-type PlacementDecision struct {
-	VMID             string
-	HostID           string
-	PredictedStableC float64
-	// Rejected carries the reason when no host could admit the VM.
-	Rejected string
-}
-
 // MigrationProposal asks to move a VM off a predicted hotspot.
 type MigrationProposal struct {
 	VMID       string
@@ -509,7 +521,10 @@ type RoundReport struct {
 	SourceError   string
 	Hotspots      int
 	MaxPredictedC float64
+	// Placements, Queued and Rejections count the round drain's typed
+	// placement decisions (Queued requests stay parked for the next round).
 	Placements    int
+	Queued        int
 	Rejections    int
 	ProposedMoves int
 	AppliedMoves  int
@@ -570,6 +585,21 @@ type Controller struct {
 	// it was built in (rankedRound); placements within one round share it.
 	rankedHosts []string
 	rankedRound int
+
+	// plan is the per-round placement working set (see placePlan); the
+	// wave* slices and pend index scratch are PlaceBatch's reusable
+	// buffers, and planHot the plan rebuild's hotspot-set scratch.
+	plan      placePlan
+	planHot   map[string]bool
+	waveCases []workload.Case
+	waveEntry []int
+	waveVMs   []waveVM
+	waveVals  []float64
+	pendIdx   []int
+	pendNext  []int
+	// oneSpec is PlaceNow's single-element batch scratch (zeroed after use
+	// so a parked spec is not retained twice).
+	oneSpec [1]workload.VMSpec
 
 	pendMu  sync.Mutex
 	pending []workload.VMSpec
@@ -709,11 +739,18 @@ func (c *Controller) Hosts() []string {
 	return out
 }
 
-// Submit queues a VM request for thermal-aware placement next round.
-func (c *Controller) Submit(spec workload.VMSpec) {
+// Submit queues a VM request for thermal-aware placement next round. It
+// reports false when the admission queue is at its depth bound (or queueing
+// is disabled) and the request was refused.
+func (c *Controller) Submit(spec workload.VMSpec) bool {
+	depth := c.cfg.Admission.MaxQueueDepth
 	c.pendMu.Lock()
+	defer c.pendMu.Unlock()
+	if depth < 0 || len(c.pending) >= depth {
+		return false
+	}
 	c.pending = append(c.pending, spec)
-	c.pendMu.Unlock()
+	return true
 }
 
 // Ingest offers an externally produced telemetry reading to the pipeline
@@ -804,11 +841,19 @@ func (c *Controller) LoadAnchorCache(r io.Reader) (int, error) {
 
 // PlaceNow synchronously places one VM with the thermal-aware policy against
 // the controller's current state and applies the decision. It is the
-// POST /v1/fleet/place path.
+// POST /v1/fleet/place path — a thin adapter over the batch engine, so
+// sequential single-VM calls within one round share the same placement plan
+// (ranking, hotspot flags, consumed headroom) a batch would.
 func (c *Controller) PlaceNow(spec workload.VMSpec) (PlacementDecision, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.placeLocked(spec)
+	c.oneSpec[0] = spec
+	decs, err := c.placeBatchLocked(c.oneSpec[:])
+	c.oneSpec[0] = workload.VMSpec{}
+	if err != nil {
+		return PlacementDecision{}, err
+	}
+	return decs[0], nil
 }
 
 // PlaceAt force-places a VM on a named host, bypassing the thermal policy —
@@ -971,21 +1016,29 @@ func (c *Controller) RunRound() (RoundReport, error) {
 	// round's, not last round's. From here on the generation is immutable.
 	c.snaps.publish(gen)
 
-	// 8. Placement of queued VM requests against the fresh hotspot map.
+	// 8. Placement of queued VM requests against the fresh hotspot map: one
+	// batch call amortizes the ranking, shortlist and anchor-case prediction
+	// across the whole drained queue. Requests the admission policy parks
+	// (headroom, per-round cap) re-enter c.pending for the next round.
 	c.pendMu.Lock()
 	queue := c.pending
 	c.pending = nil
 	c.pendMu.Unlock()
-	var placements, rejections int
-	for _, spec := range queue {
-		dec, err := c.placeLocked(spec)
+	var placements, queued, rejections int
+	if len(queue) > 0 {
+		decs, err := c.placeBatchLocked(queue)
 		if err != nil {
 			return RoundReport{}, err
 		}
-		if dec.Rejected == "" {
-			placements++
-		} else {
-			rejections++
+		for i := range decs {
+			switch decs[i].Status {
+			case Placed:
+				placements++
+			case Queued:
+				queued++
+			default:
+				rejections++
+			}
 		}
 	}
 
@@ -1027,6 +1080,7 @@ func (c *Controller) RunRound() (RoundReport, error) {
 		Hotspots:           len(hotspots),
 		MaxPredictedC:      maxPred,
 		Placements:         placements,
+		Queued:             queued,
 		Rejections:         rejections,
 		ProposedMoves:      len(proposals),
 		AppliedMoves:       applied,
@@ -1556,99 +1610,13 @@ func canAdmitVM(h *vmm.Host, cfg vmm.VMConfig) bool {
 	return h.PlacedMemGB()+cfg.MemoryGB <= hc.MemoryGB
 }
 
-// ErrNoCapacity is returned (inside PlacementDecision.Rejected) when no host
-// can admit a VM.
+// ErrNoCapacity is the RejectNoCapacity reason when no host can admit a VM.
 var ErrNoCapacity = errors.New("fleet: no host with capacity")
 
 // ErrNoSubstrate is returned for placement/migration operations on a
 // source-driven controller: real telemetry can be observed and predicted,
 // but there is no simulated fleet to mutate.
 var ErrNoSubstrate = errors.New("fleet: source-driven controller has no placement substrate")
-
-// placeLocked runs the thermal-aware placement policy for one VM: among
-// admitting hosts, choose the lowest predicted *post-placement* ψ_stable
-// (one batch prediction across all candidates), preferring hosts that are
-// not already predicted hotspots.
-func (c *Controller) placeLocked(spec workload.VMSpec) (PlacementDecision, error) {
-	if c.sim == nil {
-		return PlacementDecision{VMID: spec.ID, Rejected: ErrNoSubstrate.Error()}, nil
-	}
-	// Writer-side borrow of the published snapshot: placeLocked holds c.mu,
-	// which excludes generation recycling, and published generations are
-	// immutable — no escape or copy needed.
-	hot := make(map[string]bool)
-	if snap := c.publishedSnapshot(); snap != nil {
-		for _, h := range snap.Hotspots {
-			hot[h.HostID] = true
-		}
-	}
-
-	// At datacenter scale, building and predicting a post-placement case
-	// for every admitting host would make each placement O(fleet). Walk the
-	// hosts coolest-first (by current predicted temperature) and stop at a
-	// bounded candidate shortlist. This is a heuristic truncation: the
-	// policy minimizes predicted POST-placement temperature, which tracks
-	// the current ranking exactly on the homogeneous fleets the simulator
-	// builds (one HostShape per fleet) but could exclude a
-	// currently-warmer host with more headroom on heterogeneous hardware —
-	// revisit the rank when per-host-class shapes land. The ranking is
-	// derived once per round and shared by every placement in it; below
-	// the bound the walk degenerates to the old all-hosts pass.
-	const maxPlacementCandidates = 256
-	source := c.order
-	if len(c.order) > maxPlacementCandidates {
-		source = c.rankedByPredicted()
-	}
-	admitting := make([]string, 0, min(len(source), maxPlacementCandidates))
-	for _, id := range source {
-		if canAdmitVM(c.sim.hosts[id].host, spec.Config) {
-			admitting = append(admitting, id)
-			if len(admitting) == maxPlacementCandidates {
-				break
-			}
-		}
-	}
-	var cases []workload.Case
-	var candidates []string
-	for _, id := range admitting {
-		cse, ok, err := c.sim.hostCase(id, &spec)
-		if err != nil {
-			return PlacementDecision{}, err
-		}
-		if !ok {
-			continue
-		}
-		cases = append(cases, cse)
-		candidates = append(candidates, id)
-	}
-	if len(candidates) == 0 {
-		return PlacementDecision{VMID: spec.ID, Rejected: ErrNoCapacity.Error()}, nil
-	}
-	vals, err := c.predict(cases)
-	if err != nil {
-		return PlacementDecision{}, fmt.Errorf("fleet: placement predict: %w", err)
-	}
-	if len(vals) != len(candidates) {
-		return PlacementDecision{}, fmt.Errorf("fleet: %d predictions for %d candidates", len(vals), len(candidates))
-	}
-	bestID, bestTemp := "", math.Inf(1)
-	for pass := 0; pass < 2 && bestID == ""; pass++ {
-		for i, id := range candidates {
-			if pass == 0 && hot[id] {
-				continue // first pass avoids predicted hotspots entirely
-			}
-			if vals[i] < bestTemp {
-				bestID, bestTemp = id, vals[i]
-			}
-		}
-	}
-	if err := c.sim.place(bestID, spec); err != nil {
-		return PlacementDecision{VMID: spec.ID, Rejected: err.Error()}, nil
-	}
-	// The deployment changed: the host's session re-anchors next round.
-	c.eng.Delete(bestID)
-	return PlacementDecision{VMID: spec.ID, HostID: bestID, PredictedStableC: bestTemp}, nil
-}
 
 // SetTelemetryMuted simulates a monitoring-agent outage on one host: while
 // muted the host keeps running (and heating) but emits no telemetry, so the

@@ -113,8 +113,8 @@ func TestClosedLoopPredictsHotspotAheadOfMeasurement(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if dec.Rejected != "" {
-		t.Fatalf("placement rejected: %s", dec.Rejected)
+	if dec.Status != Placed {
+		t.Fatalf("placement %s (%s): %s", dec.Status, dec.Code, dec.Reason)
 	}
 	if dec.HostID == hot {
 		t.Fatalf("thermal-aware placement chose the hotspot %q", dec.HostID)
@@ -124,7 +124,7 @@ func TestClosedLoopPredictsHotspotAheadOfMeasurement(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if dup.Rejected == "" {
+	if dup.Status != Rejected || dup.Code != RejectDuplicateID {
 		t.Fatalf("duplicate VM id accepted: %+v", dup)
 	}
 }

@@ -466,36 +466,19 @@ func (fs *fleetSim) advance(dur float64, emit func(telemetry.Reading) bool) erro
 	return nil
 }
 
-// hostCase builds the workload.Case describing a host's current deployment
-// (plus an optional candidate VM) with the datacenter-model inlet as δ_env.
-// Hosts with no running VMs report ok=false: there is nothing to encode.
-func (fs *fleetSim) hostCase(id string, candidate *workload.VMSpec) (workload.Case, bool, error) {
-	sh, ok := fs.hosts[id]
-	if !ok {
-		return workload.Case{}, false, fmt.Errorf("fleet: unknown host %q", id)
-	}
-	inlet, err := fs.dc.InletTemp(sh.pos.Rack, sh.pos.Slot)
+// hostCaseAt builds the workload.Case describing a host's current
+// deployment (plus an optional candidate VM), priced from the per-tick rack
+// inlet cache: placement waves build hundreds of candidate cases per call,
+// and utilization cannot change between ticks, so the cached inlet is
+// identical to a fresh InletTemp sweep. In-round placements do shift rack
+// recirculation slightly until the next tick; that drift is below sensor
+// noise and deliberately ignored.
+func (fs *fleetSim) hostCaseAt(sh *simHost, candidate *workload.VMSpec) (workload.Case, error) {
+	inlet, err := fs.inletAt(sh)
 	if err != nil {
-		return workload.Case{}, false, err
+		return workload.Case{}, err
 	}
-	c, err := cluster.HostStateCase(sh.host, fs.cfg.FanCount, inlet, candidate)
-	if err != nil {
-		// The only expected failure is an empty host; anything else is a bug.
-		if candidate == nil && sh.host.NumVMs() == 0 {
-			return workload.Case{}, false, nil
-		}
-		return workload.Case{}, false, err
-	}
-	return c, true, nil
-}
-
-// inlet returns a host's current inlet temperature.
-func (fs *fleetSim) inlet(id string) (float64, error) {
-	sh, ok := fs.hosts[id]
-	if !ok {
-		return 0, fmt.Errorf("fleet: unknown host %q", id)
-	}
-	return fs.dc.InletTemp(sh.pos.Rack, sh.pos.Slot)
+	return cluster.HostStateCase(sh.host, fs.cfg.FanCount, inlet, candidate)
 }
 
 // inletAt returns a host's inlet temperature from the per-tick rack cache

@@ -196,7 +196,7 @@ func TestSourceDrivenControllerRejectsSubstrateOps(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if dec.Rejected == "" {
-		t.Fatal("source-driven placement not rejected")
+	if dec.Status != Rejected || dec.Code != RejectNoSubstrate {
+		t.Fatalf("source-driven placement not rejected with no-substrate: %+v", dec)
 	}
 }

@@ -15,6 +15,7 @@ import (
 	"strings"
 	"time"
 
+	"vmtherm/internal/fleet"
 	"vmtherm/internal/predictserver"
 	"vmtherm/internal/telemetry"
 )
@@ -147,11 +148,84 @@ func (c *Client) FleetHotspots(ctx context.Context) (*predictserver.FleetHotspot
 	return &out, nil
 }
 
+// PlaceError is a typed placement rejection from the single-VM endpoint: it
+// carries the fleet's RejectCode alongside the HTTP-level APIError it wraps,
+// so callers can switch on Code instead of parsing flattened strings.
+// errors.As finds both *PlaceError and (via Unwrap) *APIError.
+type PlaceError struct {
+	*APIError
+	// Code is the typed rejection code (RejectNone if the server sent an
+	// unknown string).
+	Code fleet.RejectCode
+	// Reason is the human-readable rejection reason.
+	Reason string
+}
+
+// Error implements error.
+func (e *PlaceError) Error() string {
+	return fmt.Sprintf("predictclient: placement rejected (%s): %s", e.Code, e.Reason)
+}
+
+// Unwrap exposes the underlying HTTP error.
+func (e *PlaceError) Unwrap() error { return e.APIError }
+
 // FleetPlace asks the control plane to place one VM with the thermal-aware
-// policy. A 409 APIError means no host could admit the VM.
+// policy. A placed VM answers with status "placed", an admission-queued one
+// with "queued" (HTTP 202); rejections come back as a *PlaceError carrying
+// the typed RejectCode.
 func (c *Client) FleetPlace(ctx context.Context, req predictserver.FleetPlaceRequest) (*predictserver.FleetPlaceResponse, error) {
+	raw, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/fleet/place", bytes.NewReader(raw))
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := c.http.Do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		_ = resp.Body.Close()
+	}()
+	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+		var body struct {
+			Error      string `json:"error"`
+			RejectCode string `json:"reject_code"`
+		}
+		msg := resp.Status
+		if err := json.NewDecoder(resp.Body).Decode(&body); err == nil && body.Error != "" {
+			msg = body.Error
+		}
+		apiErr := &APIError{StatusCode: resp.StatusCode, Message: msg}
+		if body.RejectCode != "" {
+			return nil, &PlaceError{
+				APIError: apiErr,
+				Code:     fleet.ParseRejectCode(body.RejectCode),
+				Reason:   msg,
+			}
+		}
+		return nil, apiErr
+	}
 	var out predictserver.FleetPlaceResponse
-	if err := c.postJSON(ctx, "/v1/fleet/place", req, &out); err != nil {
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// FleetPlaceBatch places a whole queue of VM requests in one
+// admission-controlled call. The response carries one typed decision per
+// requested VM in request order (Count-expanded replicas in suffix order);
+// per-item rejections are data, not errors.
+func (c *Client) FleetPlaceBatch(ctx context.Context, vms []predictserver.FleetPlaceRequest) (*predictserver.FleetPlaceBatchResponse, error) {
+	var out predictserver.FleetPlaceBatchResponse
+	err := c.postJSON(ctx, "/v1/fleet/place/batch",
+		predictserver.FleetPlaceBatchRequest{VMs: vms}, &out)
+	if err != nil {
 		return nil, err
 	}
 	return &out, nil

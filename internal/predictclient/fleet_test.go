@@ -89,17 +89,65 @@ func TestFleetPlaceRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if dec.HostID == "" || dec.HostID == "r0-h0" {
-		t.Fatalf("placed on %q", dec.HostID)
+	if dec.Status != "placed" || dec.HostID == "" || dec.HostID == "r0-h0" {
+		t.Fatalf("placed on %q (status %q)", dec.HostID, dec.Status)
 	}
 
-	// No capacity anywhere → 409 APIError.
+	// A shape that can never fit → typed PlaceError (422, infeasible) that
+	// still unwraps to the plain APIError.
 	_, err = client.FleetPlace(context.Background(), predictserver.FleetPlaceRequest{
 		ID: "huge", VCPUs: 4096, MemoryGB: 4096,
 	})
+	var placeErr *PlaceError
+	if !errors.As(err, &placeErr) || placeErr.Code != fleet.RejectInfeasible {
+		t.Fatalf("impossible placement: got %v, want PlaceError{infeasible}", err)
+	}
 	var apiErr *APIError
-	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusConflict {
-		t.Fatalf("impossible placement: got %v, want 409 APIError", err)
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("PlaceError does not unwrap to a 422 APIError: %v", err)
+	}
+	// A duplicate id → 409 duplicate-id.
+	_, err = client.FleetPlace(context.Background(), predictserver.FleetPlaceRequest{
+		ID: "tenant-9", VCPUs: 2, MemoryGB: 4,
+	})
+	if !errors.As(err, &placeErr) || placeErr.Code != fleet.RejectDuplicateID ||
+		placeErr.StatusCode != http.StatusConflict {
+		t.Fatalf("duplicate placement: got %v, want PlaceError{duplicate-id, 409}", err)
+	}
+}
+
+// TestFleetPlaceBatchRoundTrip drives the batch endpoint end to end: a
+// Count-expanded storm comes back as per-item typed decisions in request
+// order, and every rejection carries a RejectCode.
+func TestFleetPlaceBatchRoundTrip(t *testing.T) {
+	client := fleetTestServer(t)
+	resp, err := client.FleetPlaceBatch(context.Background(), []predictserver.FleetPlaceRequest{
+		{ID: "batch-a", VCPUs: 1, MemoryGB: 2, Count: 3,
+			Tasks: []predictserver.FleetTaskSpec{{CPUFraction: 0.4, MemGB: 0.5}}},
+		{ID: "batch-huge", VCPUs: 4096, MemoryGB: 4096},
+		{ID: "batch-b", VCPUs: 1, MemoryGB: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != 5 {
+		t.Fatalf("got %d results, want 5 (count expansion)", len(resp.Results))
+	}
+	wantIDs := []string{"batch-a-000", "batch-a-001", "batch-a-002", "batch-huge", "batch-b"}
+	for i, r := range resp.Results {
+		if r.VMID != wantIDs[i] {
+			t.Fatalf("result %d vm_id %q, want %q", i, r.VMID, wantIDs[i])
+		}
+		if r.Status == "rejected" && r.RejectCode == "" {
+			t.Fatalf("stringly-typed rejection: %+v", r)
+		}
+	}
+	if resp.Results[3].Status != "rejected" || resp.Results[3].RejectCode != "infeasible" {
+		t.Fatalf("huge replica decision = %+v", resp.Results[3])
+	}
+	if resp.Placed != 4 || resp.Rejected != 1 || resp.Queued != 0 {
+		t.Fatalf("totals placed/queued/rejected = %d/%d/%d, want 4/0/1",
+			resp.Placed, resp.Queued, resp.Rejected)
 	}
 }
 

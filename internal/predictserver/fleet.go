@@ -37,19 +37,46 @@ type FleetTaskSpec struct {
 	MemGB       float64 `json:"mem_gb"`
 }
 
-// FleetPlaceRequest asks the control plane to place one VM thermally.
+// FleetPlaceRequest asks the control plane to place a VM thermally. The
+// same shape serves both endpoints: the batch endpoint additionally honours
+// Count — one request expands into Count identical replicas with id
+// suffixes — while the single-VM endpoint refuses Count > 1.
 type FleetPlaceRequest struct {
 	ID       string          `json:"id"`
 	VCPUs    int             `json:"vcpus"`
 	MemoryGB float64         `json:"memory_gb"`
-	Tasks    []FleetTaskSpec `json:"tasks"`
+	Tasks    []FleetTaskSpec `json:"tasks,omitempty"`
+	// Count replicates the request (batch endpoint only); 0 means 1.
+	Count int `json:"count,omitempty"`
 }
 
-// FleetPlaceResponse reports where the VM landed.
+// FleetPlaceResponse is one typed placement decision: status "placed"
+// (host_id + predicted_stable_c set), "queued" (parked for the next round),
+// or "rejected" (reject_code + reason set). Both endpoints serve it; the
+// single-VM endpoint additionally maps rejections onto HTTP statuses.
 type FleetPlaceResponse struct {
 	VMID             string  `json:"vm_id"`
-	HostID           string  `json:"host_id"`
-	PredictedStableC float64 `json:"predicted_stable_c"`
+	Status           string  `json:"status"`
+	HostID           string  `json:"host_id,omitempty"`
+	PredictedStableC float64 `json:"predicted_stable_c,omitempty"`
+	RejectCode       string  `json:"reject_code,omitempty"`
+	Reason           string  `json:"reason,omitempty"`
+}
+
+// FleetPlaceBatchRequest carries one placement storm: every VM is
+// validated, then the whole queue is placed in one admission-controlled
+// batch decision.
+type FleetPlaceBatchRequest struct {
+	VMs []FleetPlaceRequest `json:"vms"`
+}
+
+// FleetPlaceBatchResponse returns one decision per requested VM, in request
+// order (Count-expanded replicas in suffix order), plus status totals.
+type FleetPlaceBatchResponse struct {
+	Results  []FleetPlaceResponse `json:"results"`
+	Placed   int                  `json:"placed"`
+	Queued   int                  `json:"queued"`
+	Rejected int                  `json:"rejected"`
 }
 
 // FleetReading is one telemetry reading pushed by an external monitoring
@@ -111,6 +138,53 @@ func (s *Server) handleFleetHotspots(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// rejectStatus maps typed rejection codes onto HTTP statuses for the
+// single-VM endpoint: 422 for requests that can never succeed, 429 for
+// back-pressure, 409 for everything the current fleet state refuses.
+func rejectStatus(code fleet.RejectCode) int {
+	switch code {
+	case fleet.RejectInfeasible:
+		return http.StatusUnprocessableEntity
+	case fleet.RejectQueueFull:
+		return http.StatusTooManyRequests
+	default: // no-capacity, no-headroom, no-substrate, duplicate-id
+		return http.StatusConflict
+	}
+}
+
+// placeResponse converts a typed decision to its wire form.
+func placeResponse(dec fleet.PlacementDecision) FleetPlaceResponse {
+	return FleetPlaceResponse{
+		VMID:             dec.VMID,
+		Status:           dec.Status.String(),
+		HostID:           dec.HostID,
+		PredictedStableC: dec.PredictedStableC,
+		RejectCode:       dec.Code.String(),
+		Reason:           dec.Reason,
+	}
+}
+
+// countPlace feeds the vmtherm_place_*_total counters.
+func (s *Server) countPlace(decs []fleet.PlacementDecision) {
+	var placed, queued, rejected int64
+	for i := range decs {
+		switch decs[i].Status {
+		case fleet.Placed:
+			placed++
+		case fleet.Queued:
+			queued++
+		default:
+			rejected++
+		}
+	}
+	s.metrics.placePlaced.Add(placed)
+	s.metrics.placeQueued.Add(queued)
+	s.metrics.placeRejected.Add(rejected)
+}
+
+// handleFleetPlace is the single-VM placement path — a thin adapter over
+// the batch engine: one decision, with rejections mapped onto HTTP statuses
+// and a structured {"error", "reject_code"} body.
 func (s *Server) handleFleetPlace(w http.ResponseWriter, r *http.Request) {
 	if s.fleet == nil {
 		writeError(w, http.StatusServiceUnavailable, errors.New("no fleet control plane attached"))
@@ -121,25 +195,106 @@ func (s *Server) handleFleetPlace(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	if req.Count > 1 {
+		writeError(w, http.StatusUnprocessableEntity,
+			fmt.Errorf("count %d on the single-VM endpoint; use /v1/fleet/place/batch", req.Count))
+		return
+	}
 	spec, err := req.toSpec()
 	if err != nil {
 		writeError(w, http.StatusUnprocessableEntity, err)
 		return
 	}
-	dec, err := s.fleet.PlaceNow(spec)
+	decs, err := s.fleet.PlaceBatch([]workload.VMSpec{spec})
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
-	if dec.Rejected != "" {
-		writeError(w, http.StatusConflict, errors.New(dec.Rejected))
+	dec := decs[0]
+	s.countPlace(decs)
+	switch dec.Status {
+	case fleet.Placed:
+		writeJSON(w, http.StatusOK, placeResponse(dec))
+	case fleet.Queued:
+		writeJSON(w, http.StatusAccepted, placeResponse(dec))
+	default:
+		writeJSON(w, rejectStatus(dec.Code), map[string]string{
+			"error":       dec.Reason,
+			"reject_code": dec.Code.String(),
+			"vm_id":       dec.VMID,
+		})
+	}
+}
+
+// handleFleetPlaceBatch places a whole queue in one admission-controlled
+// call. The batch itself always answers 200 with per-item typed decisions
+// (a storm is not an error); only malformed requests fail the whole batch,
+// validated up front so nothing is placed before the rejection.
+func (s *Server) handleFleetPlaceBatch(w http.ResponseWriter, r *http.Request) {
+	if s.fleet == nil {
+		writeError(w, http.StatusServiceUnavailable, errors.New("no fleet control plane attached"))
 		return
 	}
-	writeJSON(w, http.StatusOK, FleetPlaceResponse{
-		VMID:             dec.VMID,
-		HostID:           dec.HostID,
-		PredictedStableC: dec.PredictedStableC,
-	})
+	var req FleetPlaceBatchRequest
+	if !decodeBatch(w, r, &req) {
+		return
+	}
+	total := 0
+	for i := range req.VMs {
+		n := req.VMs[i].Count
+		if n < 1 {
+			n = 1
+		}
+		total += n
+	}
+	if total > MaxBatchItems {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("batch of %d placements exceeds limit %d", total, MaxBatchItems))
+		return
+	}
+	specs := make([]workload.VMSpec, 0, total)
+	for i := range req.VMs {
+		item := req.VMs[i]
+		n := item.Count
+		if n < 1 {
+			n = 1
+		}
+		if n > 1 && item.ID == "" {
+			writeError(w, http.StatusUnprocessableEntity, fmt.Errorf("vms[%d]: placement request missing id", i))
+			return
+		}
+		for k := 0; k < n; k++ {
+			if item.Count > 1 {
+				item.ID = fmt.Sprintf("%s-%03d", req.VMs[i].ID, k)
+			}
+			spec, err := item.toSpec()
+			if err != nil {
+				writeError(w, http.StatusUnprocessableEntity, fmt.Errorf("vms[%d]: %w", i, err))
+				return
+			}
+			specs = append(specs, spec)
+		}
+	}
+	decs, err := s.fleet.PlaceBatch(specs)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.countPlace(decs)
+	s.metrics.placeBatchSize.Store(int64(len(specs)))
+	resp := FleetPlaceBatchResponse{Results: make([]FleetPlaceResponse, len(decs))}
+	for i := range decs {
+		resp.Results[i] = placeResponse(decs[i])
+		switch decs[i].Status {
+		case fleet.Placed:
+			resp.Placed++
+		case fleet.Queued:
+			resp.Queued++
+		default:
+			resp.Rejected++
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // handleFleetIngest is the push path for real monitoring agents: readings

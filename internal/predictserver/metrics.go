@@ -21,6 +21,10 @@ import (
 //	vmtherm_sessions                        live dynamic sessions (gauge)
 //	vmtherm_items_total{kind=...}           served work items (counter):
 //	                                        stable | observe | predict | ingest
+//	vmtherm_place_placed_total              placement decisions by status
+//	vmtherm_place_queued_total              (counter; fleet-attached servers
+//	vmtherm_place_rejected_total            only)
+//	vmtherm_place_batch_size                last placement batch size (gauge)
 //	vmtherm_ingest_received_total           fleet pipeline counters (counter;
 //	vmtherm_ingest_dropped_total            fleet-attached servers only)
 //	vmtherm_ingest_superseded_total
@@ -47,6 +51,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	writeSample(&sb, "vmtherm_items_total", `kind="ingest"`, float64(s.metrics.ingestItems.Load()))
 
 	if s.fleet != nil {
+		writeMetric(&sb, "vmtherm_place_placed_total", "counter",
+			"Placement decisions that landed a VM (single + batch endpoints).", "", float64(s.metrics.placePlaced.Load()))
+		writeMetric(&sb, "vmtherm_place_queued_total", "counter",
+			"Placement decisions parked on the admission queue.", "", float64(s.metrics.placeQueued.Load()))
+		writeMetric(&sb, "vmtherm_place_rejected_total", "counter",
+			"Placement decisions refused with a typed reject code.", "", float64(s.metrics.placeRejected.Load()))
+		writeMetric(&sb, "vmtherm_place_batch_size", "gauge",
+			"Size of the last placement batch served.", "", float64(s.metrics.placeBatchSize.Load()))
+
 		received, dropped, superseded := s.fleet.IngestStats()
 		writeMetric(&sb, "vmtherm_ingest_received_total", "counter",
 			"Telemetry readings accepted by the fleet ingest pipeline.", "", float64(received))

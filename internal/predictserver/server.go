@@ -82,6 +82,12 @@ type serverMetrics struct {
 	observeItems atomic.Int64 // session observations served (single + batch)
 	predictItems atomic.Int64 // session predictions served (single + batch)
 	ingestItems  atomic.Int64 // readings accepted via POST /v1/fleet/ingest
+	// Placement decisions served (single + batch endpoints), by status, and
+	// the size of the last batch served (gauge).
+	placePlaced    atomic.Int64
+	placeQueued    atomic.Int64
+	placeRejected  atomic.Int64
+	placeBatchSize atomic.Int64
 }
 
 // Option customizes a Server.
@@ -141,6 +147,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/session/{id}", s.handleDeleteSession)
 	mux.HandleFunc("GET /v1/fleet/hotspots", s.handleFleetHotspots)
 	mux.HandleFunc("POST /v1/fleet/place", s.handleFleetPlace)
+	mux.HandleFunc("POST /v1/fleet/place/batch", s.handleFleetPlaceBatch)
 	mux.HandleFunc("POST /v1/fleet/ingest", s.handleFleetIngest)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
