@@ -16,12 +16,20 @@
 //	place    placement storm: POST /v1/fleet/place/batch with -batch
 //	         unique VM requests per call (-batch 1 uses /v1/fleet/place);
 //	         requires predictd running with an attached fleet (-fleet)
+//	slo      SLO-driven capacity profile (internal/sloharness): step load
+//	         up per endpoint through warm-up/measure/cool-down phases
+//	         until the declared tail-latency SLO breaks, and report the
+//	         max sustainable RPS. -inprocess profiles a self-contained
+//	         server (trained fast model + simulated fleet) — what CI runs;
+//	         otherwise -addr is profiled. Writes capacity.json (-out) and
+//	         a CAPACITY.md report (-report).
 //
 // Usage:
 //
 //	vmtherm-train -fast -out model.svm
 //	vmtherm-predictd -model model.svm -addr :8080 &
 //	vmtherm-loadgen -addr http://127.0.0.1:8080 -mode stable -batch 64 -rps 200 -duration 10s
+//	vmtherm-loadgen -mode slo -inprocess -endpoints stable,place -batch 16 -out capacity.json
 package main
 
 import (
@@ -54,7 +62,7 @@ func main() {
 func run() error {
 	var (
 		addr     = flag.String("addr", "http://127.0.0.1:8080", "predictd base URL")
-		mode     = flag.String("mode", "stable", "workload: stable | dynamic | place")
+		mode     = flag.String("mode", "stable", "workload: stable | dynamic | place | slo")
 		batch    = flag.Int("batch", 64, "predictions per request")
 		rps      = flag.Float64("rps", 200, "target requests per second (open loop)")
 		duration = flag.Duration("duration", 10*time.Second, "measured window")
@@ -62,9 +70,13 @@ func run() error {
 		senders  = flag.Int("senders", 32, "concurrent sender goroutines")
 		seed     = flag.Int64("seed", 1, "feature-generation seed")
 	)
+	slo := registerSLOFlags()
 	flag.Parse()
 	if *batch <= 0 || *rps <= 0 || *senders <= 0 {
 		return fmt.Errorf("batch, rps and senders must be positive")
+	}
+	if *mode == "slo" {
+		return runSLO(slo, *addr, *batch, *senders, *seed)
 	}
 
 	client, err := predictclient.New(*addr,

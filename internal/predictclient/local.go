@@ -1,0 +1,106 @@
+package predictclient
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// NewLocal creates a client whose requests are served by handler directly,
+// in process, with no sockets — the transport the SLO capacity harness and
+// CI use so profiling measures the serving path, not loopback networking
+// flake. All Client methods work unchanged.
+func NewLocal(handler http.Handler, opts ...Option) (*Client, error) {
+	if handler == nil {
+		return nil, fmt.Errorf("predictclient: nil handler")
+	}
+	local := &http.Client{Transport: localTransport{h: handler}}
+	return New("http://in-process", append([]Option{WithHTTPClient(local)}, opts...)...)
+}
+
+// WithTimingHook observes every request the client issues: method, URL
+// path, wall-clock duration, and the transport error (nil on any HTTP
+// response, including non-2xx). The hook wraps the transport, so it sees
+// exactly what left the client — the per-endpoint timing tap the capacity
+// harness and dashboards build on. It must be safe for concurrent calls.
+func WithTimingHook(hook func(method, path string, d time.Duration, err error)) Option {
+	return func(c *Client) {
+		if hook == nil {
+			return
+		}
+		base := c.http.Transport
+		if base == nil {
+			base = http.DefaultTransport
+		}
+		// Copy the http.Client so a shared/injected client is not mutated.
+		hooked := *c.http
+		hooked.Transport = timingTransport{base: base, hook: hook}
+		c.http = &hooked
+	}
+}
+
+// timingTransport times each round trip and forwards to the hook.
+type timingTransport struct {
+	base http.RoundTripper
+	hook func(method, path string, d time.Duration, err error)
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t timingTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	start := time.Now()
+	resp, err := t.base.RoundTrip(req)
+	t.hook(req.Method, req.URL.Path, time.Since(start), err)
+	return resp, err
+}
+
+// localTransport serves round trips by calling the handler synchronously.
+type localTransport struct {
+	h http.Handler
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t localTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	rec := &responseRecorder{header: make(http.Header), status: http.StatusOK}
+	t.h.ServeHTTP(rec, req)
+	return &http.Response{
+		StatusCode:    rec.status,
+		Status:        fmt.Sprintf("%d %s", rec.status, http.StatusText(rec.status)),
+		Proto:         req.Proto,
+		ProtoMajor:    req.ProtoMajor,
+		ProtoMinor:    req.ProtoMinor,
+		Header:        rec.header,
+		Body:          io.NopCloser(bytes.NewReader(rec.body.Bytes())),
+		ContentLength: int64(rec.body.Len()),
+		Request:       req,
+	}, nil
+}
+
+// responseRecorder is a minimal in-memory http.ResponseWriter (the stdlib
+// recorder lives in net/http/httptest, which does not belong in production
+// imports).
+type responseRecorder struct {
+	header      http.Header
+	body        bytes.Buffer
+	status      int
+	wroteHeader bool
+}
+
+// Header implements http.ResponseWriter.
+func (r *responseRecorder) Header() http.Header { return r.header }
+
+// WriteHeader implements http.ResponseWriter.
+func (r *responseRecorder) WriteHeader(status int) {
+	if r.wroteHeader {
+		return
+	}
+	r.status = status
+	r.wroteHeader = true
+}
+
+// Write implements http.ResponseWriter.
+func (r *responseRecorder) Write(p []byte) (int, error) {
+	r.wroteHeader = true
+	return r.body.Write(p)
+}

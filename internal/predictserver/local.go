@@ -1,0 +1,127 @@
+package predictserver
+
+import (
+	"context"
+	"fmt"
+
+	"vmtherm/internal/core"
+	"vmtherm/internal/dataset"
+	"vmtherm/internal/fleet"
+	"vmtherm/internal/workload"
+)
+
+// LocalStackConfig shapes a self-contained in-process service: a fast
+// stable model trained on simulated experiments, a simulated fleet control
+// plane, and a Server wired to both. It exists for the SLO capacity
+// harness (`vmtherm-loadgen -mode slo`) and CI, where profiling must
+// exercise the real serving path without a separately launched daemon or
+// network flake. Zero values take the documented defaults.
+type LocalStackConfig struct {
+	// Racks × HostsPerRack is the simulated fleet shape (default 4 × 16).
+	Racks, HostsPerRack int
+	// TrainCases is how many simulated experiments train the fast stable
+	// model (default 24, the vmtherm-fleetd default).
+	TrainCases int
+	// Admission is the placement admission policy under test — part of
+	// the capacity knob matrix.
+	Admission fleet.AdmissionPolicy
+	// PhysWorkers shards the simulated physics per rack; Workers sizes the
+	// server's batch worker pool (0 = defaults).
+	PhysWorkers, Workers int
+	// PrimeRounds runs this many control rounds before the stack is
+	// handed out (default 3) so /v1/fleet/hotspots serves a populated
+	// snapshot and sessions are calibrated.
+	PrimeRounds int
+	// Seed drives training-case generation and the simulated fleet.
+	Seed int64
+}
+
+func (c LocalStackConfig) withDefaults() LocalStackConfig {
+	if c.Racks == 0 {
+		c.Racks = 4
+	}
+	if c.HostsPerRack == 0 {
+		c.HostsPerRack = 16
+	}
+	if c.TrainCases == 0 {
+		c.TrainCases = 24
+	}
+	if c.PrimeRounds == 0 {
+		c.PrimeRounds = 3
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// LocalStack is the assembled in-process service.
+type LocalStack struct {
+	Server *Server
+	Fleet  *fleet.Controller
+	Model  *core.StablePredictor
+}
+
+// NewLocalStack trains the model, builds the fleet and assembles the
+// server. The fleet's anchor path runs the same trained model through
+// fleet.StableBatchPredictor — the production wiring, not a synthetic
+// stand-in — so capacity numbers cover real prediction cost.
+func NewLocalStack(ctx context.Context, cfg LocalStackConfig) (*LocalStack, error) {
+	cfg = cfg.withDefaults()
+
+	cases, err := workload.GenerateCases(workload.DefaultGenOptions(), cfg.Seed, "slo-train", cfg.TrainCases)
+	if err != nil {
+		return nil, fmt.Errorf("predictserver: generating training cases: %w", err)
+	}
+	recs, err := dataset.Build(ctx, cases, dataset.DefaultBuildOptions(cfg.Seed))
+	if err != nil {
+		return nil, fmt.Errorf("predictserver: building training dataset: %w", err)
+	}
+	model, err := core.TrainStable(ctx, recs, core.FastStableConfig())
+	if err != nil {
+		return nil, fmt.Errorf("predictserver: training stable model: %w", err)
+	}
+
+	fcfg := fleet.DefaultConfig()
+	fcfg.Racks = cfg.Racks
+	fcfg.HostsPerRack = cfg.HostsPerRack
+	fcfg.Admission = cfg.Admission
+	fcfg.PhysWorkers = cfg.PhysWorkers
+	fcfg.Seed = cfg.Seed
+	ctl, err := fleet.New(fcfg, fleet.StableBatchPredictor(model, fcfg.HorizonS))
+	if err != nil {
+		return nil, fmt.Errorf("predictserver: building fleet: %w", err)
+	}
+	for i := 0; i < cfg.PrimeRounds; i++ {
+		if _, err := ctl.RunRound(); err != nil {
+			return nil, fmt.Errorf("predictserver: priming round %d: %w", i, err)
+		}
+	}
+
+	opts := []Option{WithFleet(ctl)}
+	if cfg.Workers > 0 {
+		opts = append(opts, WithWorkers(cfg.Workers))
+	}
+	srv, err := New(model, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return &LocalStack{Server: srv, Fleet: ctl, Model: model}, nil
+}
+
+// RunRounds advances the control plane n rounds — profiling scenarios that
+// want the queue drained or the snapshot refreshed between steps call this
+// explicitly, keeping round cost out of the measured window by default.
+func (ls *LocalStack) RunRounds(n int) error {
+	for i := 0; i < n; i++ {
+		if _, err := ls.Fleet.RunRound(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close releases the server's worker pool.
+func (ls *LocalStack) Close() {
+	ls.Server.Close()
+}

@@ -131,26 +131,55 @@ func (s *Server) Close() {
 	s.pool.close()
 }
 
+// route is one registered endpoint: the exact mux pattern plus its handler.
+type route struct {
+	pattern string
+	handler http.HandlerFunc
+}
+
+// routes is the single authoritative endpoint table: Handler registers
+// from it and RoutePatterns exposes it, so the served surface and the
+// documented one (docs/API.md, checked by test) cannot drift apart.
+func (s *Server) routes() []route {
+	return []route{
+		{"GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+			writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+		}},
+		{"POST /v1/predict/stable", s.handleStable},
+		{"POST /v1/stable/batch", s.handleStableBatch},
+		{"POST /v1/session", s.handleCreateSession},
+		{"POST /v1/session/{id}/observe", s.handleObserve},
+		{"GET /v1/session/{id}/predict", s.handlePredict},
+		{"POST /v1/session/batch/observe", s.handleObserveBatch},
+		{"POST /v1/session/batch/predict", s.handlePredictBatch},
+		{"DELETE /v1/session/{id}", s.handleDeleteSession},
+		{"GET /v1/fleet/hotspots", s.handleFleetHotspots},
+		{"POST /v1/fleet/place", s.handleFleetPlace},
+		{"POST /v1/fleet/place/batch", s.handleFleetPlaceBatch},
+		{"POST /v1/fleet/ingest", s.handleFleetIngest},
+		{"GET /metrics", s.handleMetrics},
+	}
+}
+
 // Handler returns the HTTP routes.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
-	})
-	mux.HandleFunc("POST /v1/predict/stable", s.handleStable)
-	mux.HandleFunc("POST /v1/stable/batch", s.handleStableBatch)
-	mux.HandleFunc("POST /v1/session", s.handleCreateSession)
-	mux.HandleFunc("POST /v1/session/{id}/observe", s.handleObserve)
-	mux.HandleFunc("GET /v1/session/{id}/predict", s.handlePredict)
-	mux.HandleFunc("POST /v1/session/batch/observe", s.handleObserveBatch)
-	mux.HandleFunc("POST /v1/session/batch/predict", s.handlePredictBatch)
-	mux.HandleFunc("DELETE /v1/session/{id}", s.handleDeleteSession)
-	mux.HandleFunc("GET /v1/fleet/hotspots", s.handleFleetHotspots)
-	mux.HandleFunc("POST /v1/fleet/place", s.handleFleetPlace)
-	mux.HandleFunc("POST /v1/fleet/place/batch", s.handleFleetPlaceBatch)
-	mux.HandleFunc("POST /v1/fleet/ingest", s.handleFleetIngest)
-	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	for _, r := range s.routes() {
+		mux.HandleFunc(r.pattern, r.handler)
+	}
 	return mux
+}
+
+// RoutePatterns lists every registered "METHOD /path" pattern in
+// registration order — the contract docs/API.md is tested against and the
+// docs-check CI step greps.
+func (s *Server) RoutePatterns() []string {
+	rs := s.routes()
+	out := make([]string, len(rs))
+	for i, r := range rs {
+		out[i] = r.pattern
+	}
+	return out
 }
 
 // StableRequest asks for a ψ_stable prediction.

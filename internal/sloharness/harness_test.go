@@ -1,0 +1,172 @@
+package sloharness
+
+import (
+	"context"
+	"math"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// kneeTarget is the synthetic latency model the tentpole requires: fast
+// below a known RPS knee, slow above it. Rate-awareness stands in for the
+// queueing collapse a real saturated server exhibits.
+type kneeTarget struct {
+	kneeRPS    float64
+	fast, slow time.Duration
+	rate       atomic.Uint64
+}
+
+func (k *kneeTarget) Name() string        { return "synthetic-knee" }
+func (k *kneeTarget) SetRate(rps float64) { k.rate.Store(math.Float64bits(rps)) }
+
+func (k *kneeTarget) Fire(context.Context) error {
+	d := k.fast
+	if math.Float64frombits(k.rate.Load()) > k.kneeRPS {
+		d = k.slow
+	}
+	time.Sleep(d)
+	return nil
+}
+
+// TestStepControllerFindsKnee: with a knee at 500 RPS, a 64→2048 geometric
+// ramp brackets it at [256, 512] and three bisection steps tighten the
+// bracket to 32 RPS — the harness must converge to within that final step.
+func TestStepControllerFindsKnee(t *testing.T) {
+	target := &kneeTarget{kneeRPS: 500, fast: 100 * time.Microsecond, slow: 50 * time.Millisecond}
+	cfg := Config{
+		SLO:      SLO{Quantile: 0.99, Limit: 10 * time.Millisecond},
+		StartRPS: 64, MaxRPS: 2048, Growth: 2, Refine: 3,
+		Warmup: 30 * time.Millisecond, Measure: 200 * time.Millisecond, Cooldown: 20 * time.Millisecond,
+		Senders: 64,
+		// Low-rate steps see only ~a dozen completions in the short test
+		// window; loosen the throughput gate so discretization noise cannot
+		// mask the latency knee this test is about.
+		MinAchievedFrac: 0.75,
+	}
+	p, err := Run(context.Background(), cfg, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ramp 64, 128, 256 sustain; 512 violates; bisection refines in (256, 512).
+	finalStep := (512.0 - 256.0) / 8 // (Growth−1)·lastGood / 2^Refine
+	if p.MaxSustainableRPS > target.kneeRPS {
+		t.Fatalf("reported capacity %.0f exceeds the knee %.0f", p.MaxSustainableRPS, target.kneeRPS)
+	}
+	if gap := target.kneeRPS - p.MaxSustainableRPS; gap > finalStep {
+		t.Fatalf("capacity %.0f is %.0f below the knee — not within one %.0f-RPS step",
+			p.MaxSustainableRPS, gap, finalStep)
+	}
+	if len(p.Steps) != 4+cfg.Refine {
+		t.Fatalf("recorded %d steps, want 4 ramp + %d refine", len(p.Steps), cfg.Refine)
+	}
+	for i, s := range p.Steps[:3] {
+		if !s.Sustainable {
+			t.Fatalf("ramp step %d (%.0f RPS) unexpectedly violated: %s", i, s.TargetRPS, s.Violation)
+		}
+	}
+	if s := p.Steps[3]; s.Sustainable || s.Violation != "latency" {
+		t.Fatalf("step at 512 RPS: sustainable=%v violation=%q, want latency violation", s.Sustainable, s.Violation)
+	}
+	for _, s := range p.Steps[4:] {
+		if !s.Refining {
+			t.Fatalf("post-bracket step at %.0f RPS not marked refining", s.TargetRPS)
+		}
+	}
+	if p.Endpoint != "synthetic-knee" || p.SLOLabel == "" {
+		t.Fatalf("profile metadata not populated: %+v", p)
+	}
+}
+
+// fixedCapacityTarget models a server whose concurrency × service time caps
+// throughput: latency stays flat, but offered load beyond the capacity
+// cannot be achieved — the throughput gate must catch it.
+type fixedCapacityTarget struct{ service time.Duration }
+
+func (f *fixedCapacityTarget) Name() string { return "fixed-capacity" }
+func (f *fixedCapacityTarget) Fire(context.Context) error {
+	time.Sleep(f.service)
+	return nil
+}
+
+func TestThroughputShortfallViolates(t *testing.T) {
+	// 2 senders × 20 ms service ⇒ 100 RPS capacity. The latency SLO is
+	// deliberately loose so only the achieved-throughput gate can fail.
+	target := &fixedCapacityTarget{service: 20 * time.Millisecond}
+	cfg := Config{
+		SLO:      SLO{Quantile: 0.99, Limit: time.Second},
+		StartRPS: 16, MaxRPS: 1024, Growth: 4, Refine: 1,
+		Warmup: 60 * time.Millisecond, Measure: 400 * time.Millisecond, Cooldown: 20 * time.Millisecond,
+		Senders: 2,
+	}
+	p, err := Run(context.Background(), cfg, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.MaxSustainableRPS != 64 {
+		t.Fatalf("capacity %.0f, want 64 (last offered rate under the 100 RPS ceiling)", p.MaxSustainableRPS)
+	}
+	var sawThroughput bool
+	for _, s := range p.Steps {
+		if !s.Sustainable {
+			if s.Violation != "throughput" {
+				t.Fatalf("step %.0f violated %q, want throughput", s.TargetRPS, s.Violation)
+			}
+			sawThroughput = true
+		}
+	}
+	if !sawThroughput {
+		t.Fatal("no step hit the throughput gate")
+	}
+}
+
+type erroringTarget struct{}
+
+func (erroringTarget) Name() string               { return "erroring" }
+func (erroringTarget) Fire(context.Context) error { return context.DeadlineExceeded }
+
+func TestAllErrorsMeansZeroCapacity(t *testing.T) {
+	cfg := Config{
+		SLO:      SLO{Quantile: 0.99, Limit: time.Second},
+		StartRPS: 50, MaxRPS: 200, Growth: 2, Refine: 2,
+		Warmup: 10 * time.Millisecond, Measure: 100 * time.Millisecond, Cooldown: 10 * time.Millisecond,
+		Senders: 4,
+	}
+	p, err := Run(context.Background(), cfg, erroringTarget{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.MaxSustainableRPS != 0 {
+		t.Fatalf("capacity %.0f for an always-erroring target, want 0", p.MaxSustainableRPS)
+	}
+	if len(p.Steps) != 1 || p.Steps[0].Violation != "errors" {
+		t.Fatalf("steps %+v, want a single errors-violating step (no refinement without a sustainable bracket)", p.Steps)
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	bad := []Config{
+		{SLO: SLO{Quantile: 1.5, Limit: time.Millisecond}},
+		{SLO: SLO{Quantile: 0.99, Limit: time.Millisecond}, StartRPS: 100, MaxRPS: 50},
+		{SLO: SLO{Quantile: 0.99, Limit: time.Millisecond}, Growth: 0.5},
+	}
+	for i, cfg := range bad {
+		if _, err := Run(context.Background(), cfg, erroringTarget{}); err == nil {
+			t.Fatalf("config %d accepted, want validation error", i)
+		}
+	}
+}
+
+func TestRunHonorsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg := Config{
+		SLO:      SLO{Quantile: 0.99, Limit: time.Second},
+		StartRPS: 10, MaxRPS: 20, Growth: 2,
+		Warmup: 10 * time.Millisecond, Measure: 50 * time.Millisecond, Cooldown: 10 * time.Millisecond,
+		Senders: 2,
+	}
+	if _, err := Run(ctx, cfg, &fixedCapacityTarget{service: time.Millisecond}); err == nil {
+		t.Fatal("cancelled run returned no error")
+	}
+}

@@ -1,0 +1,161 @@
+package sloharness
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"vmtherm/internal/predictclient"
+	"vmtherm/internal/predictserver"
+)
+
+// The four serving endpoints the harness profiles. Target names double as
+// the endpoint column of capacity reports, so they are the route paths.
+const (
+	EndpointStableBatch = "/v1/stable/batch"
+	EndpointIngest      = "/v1/fleet/ingest"
+	EndpointHotspots    = "/v1/fleet/hotspots"
+	EndpointPlaceBatch  = "/v1/fleet/place/batch"
+)
+
+// StableTarget profiles POST /v1/stable/batch with a fixed set of feature
+// rows per request.
+type StableTarget struct {
+	Client *predictclient.Client
+	Rows   [][]float64
+}
+
+// Name implements Target.
+func (t *StableTarget) Name() string { return EndpointStableBatch }
+
+// Fire implements Target.
+func (t *StableTarget) Fire(ctx context.Context) error {
+	_, err := t.Client.PredictStableBatch(ctx, t.Rows)
+	return err
+}
+
+// IngestTarget profiles POST /v1/fleet/ingest: each request pushes Batch
+// readings cycling over Hosts with monotonically advancing timestamps, the
+// traffic shape of a fleet of monitoring agents. Readings refused at the
+// full bounded buffer are back-pressure, not errors — the endpoint's
+// admission path is exactly what is being profiled.
+type IngestTarget struct {
+	Client *predictclient.Client
+	Hosts  []string
+	Batch  int
+	// SampleS spaces consecutive timestamps (default 5 s).
+	SampleS float64
+
+	seq atomic.Int64
+}
+
+// Name implements Target.
+func (t *IngestTarget) Name() string { return EndpointIngest }
+
+// Fire implements Target.
+func (t *IngestTarget) Fire(ctx context.Context) error {
+	if len(t.Hosts) == 0 || t.Batch <= 0 {
+		return errors.New("sloharness: ingest target needs hosts and a positive batch")
+	}
+	sampleS := t.SampleS
+	if sampleS == 0 {
+		sampleS = 5
+	}
+	readings := make([]predictserver.FleetReading, t.Batch)
+	for i := range readings {
+		n := t.seq.Add(1)
+		readings[i] = predictserver.FleetReading{
+			HostID:  t.Hosts[int(n)%len(t.Hosts)],
+			AtS:     float64(n) * sampleS / float64(len(t.Hosts)),
+			TempC:   45 + float64(n%20),
+			Util:    0.3 + float64(n%7)*0.1,
+			MemFrac: 0.4,
+		}
+	}
+	_, err := t.Client.FleetIngest(ctx, readings)
+	return err
+}
+
+// HotspotsTarget profiles GET /v1/fleet/hotspots — the poll a thermal-aware
+// scheduler issues every round.
+type HotspotsTarget struct {
+	Client *predictclient.Client
+}
+
+// Name implements Target.
+func (t *HotspotsTarget) Name() string { return EndpointHotspots }
+
+// Fire implements Target.
+func (t *HotspotsTarget) Fire(ctx context.Context) error {
+	_, err := t.Client.FleetHotspots(ctx)
+	return err
+}
+
+// PlaceTarget profiles the placement plane with uniquely-named VM requests.
+// Batch > 1 drives POST /v1/fleet/place/batch; Batch == 1 drives the
+// single-VM endpoint. Typed admission outcomes (queued, rejected) are
+// served decisions and count as successes — under storm load the fleet
+// running out of capacity is expected; only transport or protocol failures
+// are errors.
+type PlaceTarget struct {
+	Client *predictclient.Client
+	Batch  int
+	// Prefix salts VM ids so repeated steps against one fleet don't
+	// collide as duplicate-id.
+	Prefix string
+
+	seq atomic.Int64
+	// Placed, Queued, Rejected tally the typed outcomes across the run.
+	Placed, Queued, Rejected atomic.Int64
+}
+
+// Name implements Target.
+func (t *PlaceTarget) Name() string { return EndpointPlaceBatch }
+
+func (t *PlaceTarget) next() predictserver.FleetPlaceRequest {
+	return predictserver.FleetPlaceRequest{
+		ID: fmt.Sprintf("%s-%010d", t.Prefix, t.seq.Add(1)), VCPUs: 1, MemoryGB: 2,
+		Tasks: []predictserver.FleetTaskSpec{{CPUFraction: 0.5, MemGB: 0.5}},
+	}
+}
+
+func (t *PlaceTarget) count(status string) {
+	switch status {
+	case "placed":
+		t.Placed.Add(1)
+	case "queued":
+		t.Queued.Add(1)
+	default:
+		t.Rejected.Add(1)
+	}
+}
+
+// Fire implements Target.
+func (t *PlaceTarget) Fire(ctx context.Context) error {
+	if t.Batch == 1 {
+		dec, err := t.Client.FleetPlace(ctx, t.next())
+		if err != nil {
+			var placeErr *predictclient.PlaceError
+			if errors.As(err, &placeErr) {
+				t.Rejected.Add(1)
+				return nil
+			}
+			return err
+		}
+		t.count(dec.Status)
+		return nil
+	}
+	vms := make([]predictserver.FleetPlaceRequest, t.Batch)
+	for i := range vms {
+		vms[i] = t.next()
+	}
+	resp, err := t.Client.FleetPlaceBatch(ctx, vms)
+	if err != nil {
+		return err
+	}
+	for _, r := range resp.Results {
+		t.count(r.Status)
+	}
+	return nil
+}
