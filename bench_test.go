@@ -797,3 +797,181 @@ func BenchmarkAblationSensorNoise(b *testing.B) {
 		b.ReportMetric(res.MSEs[4], "MSE-sigma1.6")
 	}
 }
+
+// BenchmarkStreamObserve measures the engine's event-driven hot path at
+// 1024 warm sessions, batch 1024 readings per op: "observe" is the
+// per-arrival ObserveBatch apply (inline calibration when Δ_update has
+// elapsed), "predict-fresh" the synchronous observe+predict behind
+// `predict: true` ingest, "predict-one" the lock-striped Δ_gap-ahead read.
+// The warm paths are allocation-free (pinned by
+// TestStreamObserveZeroAllocWarm) — the B/op column must stay 0.
+func BenchmarkStreamObserve(b *testing.B) {
+	const hosts = 1024
+	build := func(b *testing.B) (*engine.Engine, []telemetry.Reading) {
+		b.Helper()
+		eng, err := engine.New(engine.DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		readings := make([]telemetry.Reading, hosts)
+		for i := range readings {
+			id := fmt.Sprintf("r%02d-h%03d", i/64, i%64)
+			if err := eng.Create(id, engine.SessionParams{
+				Phi0: 25 + float64(i%30), StableC: 40 + float64(i%40),
+			}); err != nil {
+				b.Fatal(err)
+			}
+			readings[i] = telemetry.Reading{
+				HostID: id, AtS: 0,
+				TempC: 25 + float64(i%30), Util: float64(i%101) / 100, MemFrac: 0.4,
+			}
+		}
+		return eng, readings
+	}
+	advance := func(readings []telemetry.Reading, now float64) {
+		for i := range readings {
+			readings[i].AtS = now
+			readings[i].TempC = 25 + float64((int(now)+i)%30)
+		}
+	}
+
+	b.Run("observe", func(b *testing.B) {
+		eng, readings := build(b)
+		now := 0.0
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			now += 5 // sampling interval: calibration fires every 3rd pass
+			advance(readings, now)
+			if st := eng.ObserveBatch(readings, nil); st.Applied != hosts {
+				b.Fatalf("stream stats %+v, want %d applied", st, hosts)
+			}
+		}
+		if d := b.Elapsed().Seconds(); d > 0 {
+			b.ReportMetric(float64(hosts*b.N)/d, "readings/s")
+		}
+	})
+	b.Run("predict-fresh", func(b *testing.B) {
+		eng, readings := build(b)
+		now := 0.0
+		var st engine.StreamStats
+		var p engine.Prediction
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			now += 5
+			advance(readings, now)
+			for j := range readings {
+				if !eng.PredictFresh(readings[j], nil, &st, &p) {
+					b.Fatalf("host %s deferred", readings[j].HostID)
+				}
+			}
+		}
+		if d := b.Elapsed().Seconds(); d > 0 {
+			b.ReportMetric(float64(hosts*b.N)/d, "preds/s")
+		}
+	})
+	b.Run("predict-one", func(b *testing.B) {
+		eng, readings := build(b)
+		eng.ObserveBatch(readings, nil)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for j := range readings {
+				if _, err := eng.PredictOne(readings[j].HostID, 5); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		if d := b.Elapsed().Seconds(); d > 0 {
+			b.ReportMetric(float64(hosts*b.N)/d, "preds/s")
+		}
+	})
+}
+
+// BenchmarkIngestPush measures the fleet telemetry push path at 1024 hosts,
+// batch 256 readings per op — the cost behind one /v1/fleet/ingest request
+// minus HTTP. "buffered" pushes into the bounded pipeline only (the
+// round-based path, with the drain map pre-sized from the host count);
+// "streamed" additionally applies every reading on arrival (observe →
+// calibrate → live hotspot index); "predict" also returns the synchronous
+// Δ_gap-ahead prediction per reading. Untimed control rounds drain the
+// pipeline before it fills, so drops never contaminate the measurement.
+func BenchmarkIngestPush(b *testing.B) {
+	const hosts = 1024
+	const batch = 256
+	for _, sub := range []struct {
+		name               string
+		streaming, predict bool
+	}{
+		{"buffered", false, false},
+		{"streamed", true, false},
+		{"predict", true, true},
+	} {
+		b.Run(sub.name, func(b *testing.B) {
+			cfg := vmtherm.DefaultFleetConfig()
+			cfg.MaxHosts = hosts
+			cfg.IngestBuffer = 1 << 16
+			cfg.StreamingIngest = sub.streaming
+			base := make([]vmtherm.FleetReading, hosts)
+			for i := range base {
+				base[i] = vmtherm.FleetReading{
+					HostID:  fmt.Sprintf("a%02d-h%03d", i/64, i%64),
+					AtS:     float64(i) * 15.0 / hosts,
+					TempC:   30 + float64(i%40),
+					Util:    float64(i%101) / 100,
+					MemFrac: float64(i%53) / 52,
+				}
+			}
+			src, err := vmtherm.NewTraceSource(base, vmtherm.TraceOptions{Loop: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			ctl, err := vmtherm.NewFleetWithSource(cfg, src, vmtherm.FleetSyntheticPredictor(75))
+			if err != nil {
+				b.Fatal(err)
+			}
+			// Two rounds: discover the population, then warm every session.
+			for r := 0; r < 2; r++ {
+				if _, err := ctl.RunRound(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			readings := make([]vmtherm.FleetReading, batch)
+			results := make([]vmtherm.FleetIngestResult, batch)
+			seq, buffered := 0, 0
+			wantOutcome := vmtherm.FleetIngestBuffered
+			if sub.streaming {
+				wantOutcome = vmtherm.FleetIngestStreamed
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if buffered+batch > cfg.IngestBuffer/2 {
+					b.StopTimer()
+					if _, err := ctl.RunRound(); err != nil {
+						b.Fatal(err)
+					}
+					buffered = 0
+					b.StartTimer()
+				}
+				for j := range readings {
+					r := base[seq%hosts]
+					r.AtS = 30 + float64(seq)*15.0/hosts
+					readings[j] = r
+					seq++
+				}
+				if n := ctl.IngestBatch(readings, sub.predict, results); n != batch {
+					b.Fatalf("accepted %d/%d readings", n, batch)
+				}
+				buffered += batch
+				if results[0].Outcome != wantOutcome {
+					b.Fatalf("outcome %v, want %v", results[0].Outcome, wantOutcome)
+				}
+			}
+			if d := b.Elapsed().Seconds(); d > 0 {
+				b.ReportMetric(float64(batch*b.N)/d, "readings/s")
+			}
+		})
+	}
+}

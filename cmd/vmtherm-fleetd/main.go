@@ -87,6 +87,7 @@ func run() error {
 		anchorFile  = flag.String("anchor-cache-file", "", "persist the anchor cache here on exit and warm from it on start (pair the file with the model that produced it)")
 		physWorkers = flag.Int("phys-workers", 0, "worker pool sharding the simulated physics tick per rack (0 = min(GOMAXPROCS, 8), 1 = serial; results are bit-identical either way)")
 		record      = flag.String("record", "", "tee the live telemetry stream to a trace CSV replayable with -source trace")
+		streaming   = flag.Bool("streaming", false, "event-driven ingest: apply pushed readings on arrival (per-arrival calibration, live hotspot index, predict: true on /v1/fleet/ingest); rounds keep running and reconcile")
 	)
 	flag.Parse()
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -144,6 +145,7 @@ func run() error {
 		cfg.AnchorQuantMem = 2 * *anchorQuant
 	}
 	cfg.PhysWorkers = *physWorkers
+	cfg.StreamingIngest = *streaming
 	cfg.Seed = *seed
 
 	var ctl *vmtherm.FleetController
@@ -482,6 +484,10 @@ loop:
 			rep.AppliedMoves, rep.ProposedMoves,
 			float64(rep.Latency.Microseconds())/1000,
 			float64(rep.ControlLatency.Microseconds())/1000, speedup)
+		if ctl.StreamingEnabled() {
+			line += fmt.Sprintf(" | stream %d (+%d inline, %d deferred) drift %d",
+				rep.StreamApplied, rep.StreamCreated, rep.StreamDeferred, rep.StreamHotDrift)
+		}
 		if rep.SourceError != "" {
 			line += " | SOURCE ERROR: " + rep.SourceError
 		}

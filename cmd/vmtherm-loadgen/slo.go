@@ -46,6 +46,8 @@ type sloFlags struct {
 	workers     *int
 	physWorkers *int
 	ingestHosts *int
+	streaming   *bool
+	arrivals    *string
 }
 
 func registerSLOFlags() *sloFlags {
@@ -73,6 +75,8 @@ func registerSLOFlags() *sloFlags {
 		workers:     flag.Int("workers", 0, "in-process server batch worker pool (0 = GOMAXPROCS)"),
 		physWorkers: flag.Int("phys-workers", 0, "in-process fleet physics workers (0 = default)"),
 		ingestHosts: flag.Int("slo-ingest-hosts", 256, "distinct host ids the ingest profile cycles over when the fleet's own hosts are unknown (remote mode)"),
+		streaming:   flag.Bool("streaming", false, "enable streaming ingest on the in-process stack (required for the freshness endpoint; control rounds keep ticking in the background during ingest/freshness profiles)"),
+		arrivals:    flag.String("arrivals", "fixed", "dispatch schedule for every profiled step: fixed|poisson|uniform (poisson/uniform offer the same mean rate with realistic burstiness)"),
 	}
 }
 
@@ -81,10 +85,11 @@ func registerSLOFlags() *sloFlags {
 // (one ranking + shortlist + batched ψ_stable per request), 10 ms for
 // ingest (bounded-buffer admission), 5 ms for the snapshot read.
 var defaultSLOLimits = map[string]time.Duration{
-	"stable":   5 * time.Millisecond,
-	"ingest":   10 * time.Millisecond,
-	"hotspots": 5 * time.Millisecond,
-	"place":    20 * time.Millisecond,
+	"stable":    5 * time.Millisecond,
+	"ingest":    10 * time.Millisecond,
+	"hotspots":  5 * time.Millisecond,
+	"place":     20 * time.Millisecond,
+	"freshness": 5 * time.Millisecond,
 }
 
 // runSLO profiles every requested endpoint × batch combination and writes
@@ -111,6 +116,7 @@ func runSLO(f *sloFlags, addr string, batch int, senders int, seed int64) error 
 			Admission:    admission,
 			PhysWorkers:  *f.physWorkers,
 			Workers:      *f.workers,
+			Streaming:    *f.streaming,
 			Seed:         seed,
 		})
 		if err != nil {
@@ -154,7 +160,10 @@ func runSLO(f *sloFlags, addr string, batch int, senders int, seed int64) error 
 		}
 		limit, ok := defaultSLOLimits[ep]
 		if !ok {
-			return fmt.Errorf("unknown endpoint %q (want stable|ingest|hotspots|place)", ep)
+			return fmt.Errorf("unknown endpoint %q (want stable|ingest|hotspots|place|freshness)", ep)
+		}
+		if ep == "freshness" && *f.inprocess && !*f.streaming {
+			return fmt.Errorf("the freshness endpoint needs -streaming on the in-process stack")
 		}
 		if *f.limit > 0 {
 			limit = *f.limit
@@ -172,10 +181,26 @@ func runSLO(f *sloFlags, addr string, batch int, senders int, seed int64) error 
 				SLO:      sloharness.SLO{Quantile: *f.quantile, Limit: limit},
 				StartRPS: *f.startRPS, MaxRPS: *f.maxRPS, Growth: *f.growth, Refine: *f.refine,
 				Warmup: *f.warmup, Measure: *f.measure, Cooldown: *f.cooldown,
-				Senders: senders,
+				Senders:  senders,
+				Arrivals: *f.arrivals, ArrivalSeed: seed,
 			}
 			fmt.Printf("profiling %s batch=%d under %s...\n", target.Name(), b, cfg.SLO.Label())
+			// Streaming push profiles run with the control loop ticking in
+			// the background — the production shape, where rounds keep
+			// draining the bounded pipeline and reconciling the live
+			// hotspot index underneath the event-driven path. Without the
+			// drain the pipeline fills and back-pressure, not latency,
+			// bounds the measurement.
+			var stopDrain func() error
+			if stack != nil && *f.streaming && (ep == "ingest" || ep == "freshness") {
+				stopDrain = drainRounds(stack, 25*time.Millisecond)
+			}
 			profile, err := sloharness.Run(ctx, cfg, target)
+			if stopDrain != nil {
+				if derr := stopDrain(); derr != nil && err == nil {
+					err = derr
+				}
+			}
 			if err != nil {
 				return err
 			}
@@ -237,6 +262,18 @@ func buildTarget(client *predictclient.Client, stack *predictserver.LocalStack, 
 			}
 		}
 		return &sloharness.IngestTarget{Client: client, Hosts: hosts, Batch: batch}, batch, nil
+	case "freshness":
+		var hosts []string
+		if stack != nil {
+			hosts = stack.Fleet.Hosts()
+		}
+		if len(hosts) == 0 {
+			hosts = make([]string, *f.ingestHosts)
+			for i := range hosts {
+				hosts[i] = fmt.Sprintf("slo-h-%04d", i)
+			}
+		}
+		return &sloharness.FreshnessTarget{Client: client, Hosts: hosts, Batch: batch}, batch, nil
 	case "hotspots":
 		return &sloharness.HotspotsTarget{Client: client}, 1, nil
 	case "place":
@@ -268,7 +305,40 @@ func profileKnobs(f *sloFlags, ep string, batch int) map[string]string {
 	if *f.physWorkers > 0 {
 		knobs["phys_workers"] = strconv.Itoa(*f.physWorkers)
 	}
+	if *f.streaming {
+		knobs["streaming"] = "1"
+	}
+	if *f.arrivals != "" && *f.arrivals != sloharness.ArrivalsFixed {
+		knobs["arrivals"] = *f.arrivals
+	}
 	return knobs
+}
+
+// drainRounds runs control rounds on a background ticker until the
+// returned stop function is called; stop reports the first round error.
+func drainRounds(stack *predictserver.LocalStack, every time.Duration) (stop func() error) {
+	done := make(chan struct{})
+	errCh := make(chan error, 1)
+	go func() {
+		defer close(errCh)
+		ticker := time.NewTicker(every)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-ticker.C:
+				if err := stack.RunRounds(1); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}
+	}()
+	return func() error {
+		close(done)
+		return <-errCh
+	}
 }
 
 func parseBatches(spec string, fallback int) ([]int, error) {

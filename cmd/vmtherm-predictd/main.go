@@ -94,6 +94,7 @@ func run() error {
 		anchorQuant = flag.Float64("anchor-quant", 0, "anchor cache utilization bucket width (0 = default 0.01; mem buckets are 2×; bounded by ReanchorEpsC so cache error cannot trigger re-anchors)")
 		anchorFile  = flag.String("anchor-cache-file", "", "persist the anchor cache here on exit and warm from it on start (pair the file with -model)")
 		physWorkers = flag.Int("phys-workers", 0, "worker pool sharding the simulated physics tick per rack (0 = min(GOMAXPROCS, 8), 1 = serial; sim source)")
+		streaming   = flag.Bool("streaming", false, "event-driven ingest: apply pushed readings on arrival (per-arrival calibration, live hotspot index, predict: true on /v1/fleet/ingest); rounds keep running and reconcile")
 	)
 	flag.Parse()
 
@@ -129,6 +130,7 @@ func run() error {
 			cfg.AnchorQuantMem = 2 * *anchorQuant
 		}
 		cfg.PhysWorkers = *physWorkers
+		cfg.StreamingIngest = *streaming
 		cfg.Seed = *seed
 		predict := vmtherm.FleetStablePredictor(model, 1800)
 

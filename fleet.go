@@ -38,6 +38,12 @@ type (
 	FleetAdmissionPolicy = fleet.AdmissionPolicy
 	// BatchCasePredictor predicts ψ_stable for many cases at once.
 	BatchCasePredictor = fleet.BatchCasePredictor
+	// FleetIngestResult is the per-reading outcome of a streaming push
+	// (Controller.IngestBatch): buffered, streamed, deferred, or dropped,
+	// plus the synchronous prediction when one was requested.
+	FleetIngestResult = fleet.IngestResult
+	// FleetIngestOutcome classifies one pushed reading's fate.
+	FleetIngestOutcome = fleet.IngestOutcome
 )
 
 // Placement decision statuses and rejection codes.
@@ -52,6 +58,11 @@ const (
 	FleetRejectQueueFull   = fleet.RejectQueueFull
 	FleetRejectNoSubstrate = fleet.RejectNoSubstrate
 	FleetRejectDuplicateID = fleet.RejectDuplicateID
+
+	FleetIngestBuffered = fleet.IngestBuffered
+	FleetIngestStreamed = fleet.IngestStreamed
+	FleetIngestDeferred = fleet.IngestDeferred
+	FleetIngestDropped  = fleet.IngestDropped
 )
 
 // DefaultFleetConfig is a 4-rack × 16-host fleet with the paper's dynamic

@@ -159,6 +159,11 @@ type session struct {
 	pred     *core.DynamicPredictor
 	stable   float64
 	anchorAt float64
+	// lastAtS is the engine-time instant of the newest telemetry observed
+	// into this session (the anchor instant until the first observe). The
+	// streaming path reads it to compute staleness without a latest-reading
+	// map; guarded by mu like the predictor.
+	lastAtS float64
 }
 
 // localT converts engine time to session-local curve time.
@@ -169,6 +174,9 @@ func (s *session) observe(t, tempC float64) float64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.pred.Observe(s.localT(t), tempC)
+	if t > s.lastAtS {
+		s.lastAtS = t
+	}
 	return s.pred.Gamma()
 }
 
@@ -316,7 +324,7 @@ func (e *Engine) build(p SessionParams) (*session, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &session{pred: pred, stable: p.StableC, anchorAt: p.AnchorAtS}, nil
+	return &session{pred: pred, stable: p.StableC, anchorAt: p.AnchorAtS, lastAtS: p.AnchorAtS}, nil
 }
 
 // Observe feeds one measurement φ(t) into a session and returns the current

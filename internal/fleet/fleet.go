@@ -185,6 +185,12 @@ type Config struct {
 	// fan-outs (cold rounds, mass re-anchors) across cores (default
 	// min(GOMAXPROCS, 8); 1 forces sequential fan-out).
 	AnchorWorkers int
+	// StreamingIngest applies pushed readings on arrival — observe,
+	// calibrate, predict, and update an incremental hotspot index — instead
+	// of parking them in the pipeline until the next round. The pipeline and
+	// the batch round still run (and reconcile the index every round); see
+	// stream.go. Off by default: round-driven deployments pay nothing.
+	StreamingIngest bool
 	// PhysWorkers bounds the worker pool the simulated-physics tick shards
 	// racks across (default min(GOMAXPROCS, 8); 1 forces the serial tick).
 	// Results are bit-identical for every worker count: racks advance
@@ -528,6 +534,17 @@ type RoundReport struct {
 	Rejections    int
 	ProposedMoves int
 	AppliedMoves  int
+	// StreamApplied, StreamCreated and StreamDeferred count what the
+	// streaming ingest path did since the previous round boundary (readings
+	// applied on arrival, sessions created inline from warm anchors,
+	// readings deferred to this round); StreamHotDrift counts hotspot-index
+	// entries this round's full recompute had to correct at reconciliation.
+	// All zero — and omitted from JSON, so round-driven traces are
+	// byte-stable — when streaming ingest is off.
+	StreamApplied  int64 `json:",omitempty"`
+	StreamCreated  int64 `json:",omitempty"`
+	StreamDeferred int64 `json:",omitempty"`
+	StreamHotDrift int   `json:",omitempty"`
 }
 
 // Controller runs the closed loop. Create with New (simulated fleet) or
@@ -615,6 +632,12 @@ type Controller struct {
 	// atomic pointer swap; retired generations recycled in place).
 	snaps snapStore
 
+	// stream is the streaming-ingest machinery (nil unless
+	// Config.StreamingIngest); hotUpdatedNano is the wall-clock instant the
+	// served hotspot set last refreshed, for the staleness gauge.
+	stream         *streamState
+	hotUpdatedNano atomic.Int64
+
 	round int
 }
 
@@ -640,7 +663,7 @@ func New(cfg Config, predict BatchCasePredictor) (*Controller, error) {
 	if err != nil {
 		return nil, err
 	}
-	c, err := newController(cfg, &simSource{fs: fs}, predict)
+	c, err := newController(cfg, &simSource{fs: fs}, predict, cfg.Racks*cfg.HostsPerRack)
 	if err != nil {
 		return nil, err
 	}
@@ -674,7 +697,7 @@ func NewWithSource(cfg Config, src telemetry.Source, predict BatchCasePredictor)
 	if src == nil {
 		return nil, errors.New("fleet: nil telemetry source")
 	}
-	return newController(cfg, src, predict)
+	return newController(cfg, src, predict, cfg.MaxHosts)
 }
 
 // anchorRef binds one host to the miss-batch case its anchor comes from.
@@ -684,7 +707,11 @@ type anchorRef struct {
 }
 
 // newController wires the shared state; callers attach sim/order as needed.
-func newController(cfg Config, src telemetry.Source, predict BatchCasePredictor) (*Controller, error) {
+// hostHint is the expected steady-state host population (the fleet shape,
+// or the MaxHosts bound for discovered populations): the per-round maps the
+// ingest drain fills are pre-sized from it so a cold start does not rehash
+// its way up to the full population on the first rounds.
+func newController(cfg Config, src telemetry.Source, predict BatchCasePredictor, hostHint int) (*Controller, error) {
 	if predict == nil {
 		return nil, errors.New("fleet: nil predictor")
 	}
@@ -692,15 +719,21 @@ func newController(cfg Config, src telemetry.Source, predict BatchCasePredictor)
 	if err != nil {
 		return nil, err
 	}
+	if hostHint < 0 {
+		hostHint = 0
+	}
 	c := &Controller{
 		cfg:       cfg,
 		predict:   predict,
 		src:       src,
 		eng:       eng,
-		latest:    make(map[string]Reading),
+		latest:    make(map[string]Reading, hostHint),
 		missByKey: make(map[anchorcache.Key]int),
-		anchorBuf: make(map[string]float64),
-		ingest:    newIngestPipeline(cfg.IngestBuffer),
+		anchorBuf: make(map[string]float64, hostHint),
+		ingest:    newIngestPipeline(cfg.IngestBuffer, hostHint),
+	}
+	if cfg.StreamingIngest {
+		c.stream = newStreamState(c)
 	}
 	push := c.ingest.push
 	c.emit.Store(&push)
@@ -1000,6 +1033,16 @@ func (c *Controller) RunRound() (RoundReport, error) {
 	}
 	predicted, hotspots := snap.Predicted, snap.Hotspots
 
+	// 5b. Streaming reconciliation: fold the authoritative recompute into
+	// the incremental hotspot index, counting every entry the streaming
+	// path had let drift. After this the index and the snapshot agree
+	// bit-for-bit (until the next push moves the index ahead again).
+	var sd streamDelta
+	if c.stream != nil {
+		sd = c.stream.roundDelta()
+		sd.drift = c.stream.idx.reconcile(snap.Hotspots, c.stream.reconSeen)
+	}
+
 	// 6. Reconciliation: apply last round's still-valid proposals, bounded
 	// per round, then derive fresh proposals from this round's map.
 	// Source-driven fleets have no substrate to act on; both passes no-op.
@@ -1015,6 +1058,7 @@ func (c *Controller) RunRound() (RoundReport, error) {
 	// predicted hotspots by consulting the published map, which must be this
 	// round's, not last round's. From here on the generation is immutable.
 	c.snaps.publish(gen)
+	c.hotUpdatedNano.Store(time.Now().UnixNano())
 
 	// 8. Placement of queued VM requests against the fresh hotspot map: one
 	// batch call amortizes the ranking, shortlist and anchor-case prediction
@@ -1084,6 +1128,10 @@ func (c *Controller) RunRound() (RoundReport, error) {
 		Rejections:         rejections,
 		ProposedMoves:      len(proposals),
 		AppliedMoves:       applied,
+		StreamApplied:      sd.applied,
+		StreamCreated:      sd.created,
+		StreamDeferred:     sd.deferred,
+		StreamHotDrift:     sd.drift,
 	}, nil
 }
 

@@ -1,0 +1,328 @@
+package fleet
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// streamGridConfig is a source-driven config with streaming ingest on: the
+// population is discovered purely from pushed readings.
+func streamGridConfig() Config {
+	cfg := DefaultConfig()
+	cfg.StreamingIngest = true
+	cfg.MaxMigrationsPerRound = 0
+	cfg.Seed = 7
+	return cfg
+}
+
+// TestStreamHotspotIndexMatchesRoundRecompute is the reconciliation
+// property test: over randomized push interleavings — random hosts (known
+// and never-seen), random utilizations, random batch sizes, predict flag
+// on and off — the incrementally maintained hotspot index must be
+// bit-identical to the batch round's full recompute at every round
+// boundary.
+func TestStreamHotspotIndexMatchesRoundRecompute(t *testing.T) {
+	for _, seed := range []int64{1, 2, 42} {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			src := &gridSource{}
+			c, err := NewWithSource(streamGridConfig(), src, syntheticStable)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(seed))
+			const hostPool = 96
+			var totalDrift int64
+			for round := 0; round < 15; round++ {
+				n := rng.Intn(64)
+				readings := make([]Reading, n)
+				for i := range readings {
+					util := rng.Float64()
+					readings[i] = Reading{
+						HostID:  fmt.Sprintf("h%03d", rng.Intn(hostPool)),
+						AtS:     src.now + rng.Float64()*c.cfg.UpdateEveryS,
+						TempC:   30 + 45*util,
+						Util:    util,
+						MemFrac: 0.5,
+					}
+				}
+				results := make([]IngestResult, len(readings))
+				c.IngestBatch(readings, rng.Intn(2) == 0, results)
+				for i, res := range results {
+					if res.Outcome == IngestDropped || res.Outcome == IngestBuffered {
+						t.Fatalf("round %d reading %d: outcome %d on a streaming controller", round, i, res.Outcome)
+					}
+				}
+				rep, err := c.RunRound()
+				if err != nil {
+					t.Fatal(err)
+				}
+				totalDrift += int64(rep.StreamHotDrift)
+
+				live := c.StreamHotspotsInto(nil)
+				c.ViewSnapshot(func(s *Snapshot) {
+					if len(live) != len(s.Hotspots) {
+						t.Fatalf("round %d: index has %d hotspots, recompute %d", round, len(live), len(s.Hotspots))
+					}
+					for i := range live {
+						if live[i] != s.Hotspots[i] {
+							t.Fatalf("round %d hotspot %d: index %+v != recompute %+v", round, i, live[i], s.Hotspots[i])
+						}
+					}
+				})
+			}
+			applied, created, deferred, _ := c.StreamTotals()
+			if applied == 0 || deferred == 0 {
+				t.Fatalf("interleaving too tame: applied %d deferred %d", applied, deferred)
+			}
+			if totalDrift == 0 {
+				t.Fatal("no drift ever reconciled; the property test exercised nothing")
+			}
+			t.Logf("seed %d: applied %d created %d deferred %d drift %d", seed, applied, created, deferred, totalDrift)
+		})
+	}
+}
+
+// TestStreamHotspotIndexMatchesRoundsSimFleet runs the same boundary
+// equality on a simulated fleet (round-driven telemetry, interleaved
+// pushes for the fleet's own hosts): the index must track the recompute
+// even though sim fleets never create sessions inline.
+func TestStreamHotspotIndexMatchesRoundsSimFleet(t *testing.T) {
+	cfg := testConfig()
+	cfg.StreamingIngest = true
+	c, err := New(cfg, syntheticStable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seedHotHost(t, c)
+	rng := rand.New(rand.NewSource(3))
+	hosts := c.Hosts()
+	for round := 0; round < 20; round++ {
+		n := rng.Intn(8)
+		readings := make([]Reading, n)
+		for i := range readings {
+			readings[i] = Reading{
+				HostID: hosts[rng.Intn(len(hosts))],
+				AtS:    c.src.NowS() + rng.Float64()*cfg.UpdateEveryS,
+				TempC:  35 + rng.Float64()*40,
+			}
+		}
+		results := make([]IngestResult, len(readings))
+		c.IngestBatch(readings, false, results)
+		if _, err := c.RunRound(); err != nil {
+			t.Fatal(err)
+		}
+		live := c.StreamHotspotsInto(nil)
+		c.ViewSnapshot(func(s *Snapshot) {
+			if len(live) != len(s.Hotspots) {
+				t.Fatalf("round %d: index %d != recompute %d hotspots", round, len(live), len(s.Hotspots))
+			}
+			for i := range live {
+				if live[i] != s.Hotspots[i] {
+					t.Fatalf("round %d hotspot %d: %+v != %+v", round, i, live[i], s.Hotspots[i])
+				}
+			}
+		})
+	}
+	// A pushed reading for a host the sim does not own defers (no inline
+	// create against a fingerprint-keyed cache), and the drain discards it.
+	results := make([]IngestResult, 1)
+	c.IngestBatch([]Reading{{HostID: "foreign", AtS: c.src.NowS(), TempC: 50}}, false, results)
+	if results[0].Outcome != IngestDeferred {
+		t.Fatalf("foreign host outcome = %d, want deferred", results[0].Outcome)
+	}
+}
+
+// TestStreamingIngestFreshness: a pushed reading must be visible in the
+// hotspot index (and in the synchronous prediction) immediately — no round
+// in between.
+func TestStreamingIngestFreshness(t *testing.T) {
+	cfg := testConfig()
+	cfg.StreamingIngest = true
+	cfg.ThresholdC = 40
+	c, err := New(cfg, syntheticStable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.RunRound(); err != nil { // builds sessions
+		t.Fatal(err)
+	}
+	host := c.Hosts()[0]
+	// Timestamp the push one Δ_update past the round's last sample so the
+	// per-arrival calibration actually fires (observes inside the schedule
+	// are deliberate no-ops — that is the idempotency the two paths share).
+	now := c.src.NowS() + cfg.UpdateEveryS
+
+	// A scorching reading: the Δ_gap-ahead prediction must cross the (low)
+	// threshold and appear in the index before any round runs.
+	results := make([]IngestResult, 1)
+	c.IngestBatch([]Reading{{HostID: host, AtS: now, TempC: 90}}, true, results)
+	if results[0].Outcome != IngestStreamed {
+		t.Fatalf("outcome = %d, want streamed", results[0].Outcome)
+	}
+	p := results[0].Pred
+	if p.HostID != host || p.TempC <= cfg.ThresholdC {
+		t.Fatalf("synchronous prediction %+v did not cross threshold %v", p, cfg.ThresholdC)
+	}
+	live := c.StreamHotspotsInto(nil)
+	found := false
+	for _, h := range live {
+		if h.HostID == host {
+			found = true
+			if h.PredictedTempC != p.TempC {
+				t.Fatalf("index temp %v != synchronous prediction %v", h.PredictedTempC, p.TempC)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("pushed hotspot %s not in live index %+v", host, live)
+	}
+	if c.HotspotStalenessS() > 60 {
+		t.Fatalf("hotspot staleness %v implausible", c.HotspotStalenessS())
+	}
+	if _, _, _, preds := c.StreamTotals(); preds != 1 {
+		t.Fatalf("predictions total = %d, want 1", preds)
+	}
+}
+
+// TestStreamingOffIsInert: without StreamingIngest the batch surfaces are
+// untouched — IngestBatch only buffers, totals stay zero, the live index
+// is empty, and RoundReport carries no stream fields (the golden-trace
+// byte-stability this rides on is pinned by TestTraceReplayGolden).
+func TestStreamingOffIsInert(t *testing.T) {
+	c, err := New(testConfig(), syntheticStable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.StreamingEnabled() {
+		t.Fatal("streaming reported enabled")
+	}
+	results := make([]IngestResult, 2)
+	host := c.Hosts()[0]
+	acc := c.IngestBatch([]Reading{
+		{HostID: host, AtS: 0, TempC: 50},
+		{HostID: "nobody", AtS: 0, TempC: 50},
+	}, true, results)
+	if acc != 2 {
+		t.Fatalf("accepted %d, want 2", acc)
+	}
+	for i, res := range results {
+		if res.Outcome != IngestBuffered {
+			t.Fatalf("reading %d outcome = %d, want buffered", i, res.Outcome)
+		}
+	}
+	rep, err := c.RunRound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.StreamApplied != 0 || rep.StreamDeferred != 0 || rep.StreamHotDrift != 0 {
+		t.Fatalf("stream fields leaked into a non-streaming report: %+v", rep)
+	}
+	if a, cr, de, pr := c.StreamTotals(); a != 0 || cr != 0 || de != 0 || pr != 0 {
+		t.Fatal("stream totals nonzero")
+	}
+	if got := c.StreamHotspotsInto(nil); len(got) != 0 {
+		t.Fatalf("live index nonempty: %+v", got)
+	}
+}
+
+// TestStreamingRoundReportCounters: per-round deltas land in the report —
+// applied for owned hosts, deferred for foreign ones, and drift when the
+// recompute corrects streamed entries.
+func TestStreamingRoundReportCounters(t *testing.T) {
+	cfg := testConfig()
+	cfg.StreamingIngest = true
+	cfg.ThresholdC = 40
+	c, err := New(cfg, syntheticStable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.RunRound(); err != nil {
+		t.Fatal(err)
+	}
+	hosts := c.Hosts()
+	// Past the last calibration (so the pushes calibrate) AND slightly ahead
+	// of the next round's clock: the round re-evaluates the prediction at
+	// its own (clamped) now, which differs from the push instant — exactly
+	// the drift reconciliation must correct.
+	at := c.src.NowS() + cfg.UpdateEveryS + 5
+	readings := []Reading{
+		{HostID: hosts[0], AtS: at, TempC: 95},
+		{HostID: hosts[1], AtS: at, TempC: 96},
+		{HostID: "foreign", AtS: at, TempC: 50},
+	}
+	results := make([]IngestResult, len(readings))
+	c.IngestBatch(readings, false, results)
+	rep, err := c.RunRound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.StreamApplied != 2 || rep.StreamDeferred != 1 {
+		t.Fatalf("report applied %d deferred %d, want 2/1", rep.StreamApplied, rep.StreamDeferred)
+	}
+	if rep.StreamHotDrift == 0 {
+		t.Fatal("scorching pushes produced no reconciliation drift")
+	}
+	// Next round with no pushes: deltas reset.
+	rep, err = c.RunRound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.StreamApplied != 0 || rep.StreamDeferred != 0 {
+		t.Fatalf("deltas did not reset: %+v", rep)
+	}
+}
+
+// TestStreamingConcurrentWithRounds hammers IngestBatch + StreamHotspotsInto
+// concurrently with RunRound on a streaming sim fleet — the -race guard for
+// the index/reconcile locking and the TryLock warm-anchor path.
+func TestStreamingConcurrentWithRounds(t *testing.T) {
+	cfg := testConfig()
+	cfg.StreamingIngest = true
+	c, err := New(cfg, syntheticStable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.RunRound(); err != nil {
+		t.Fatal(err)
+	}
+	hosts := c.Hosts()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			readings := make([]Reading, 4)
+			results := make([]IngestResult, len(readings))
+			var buf []Hotspot
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for j := range readings {
+					readings[j] = Reading{
+						HostID: hosts[rng.Intn(len(hosts))],
+						AtS:    float64(i),
+						TempC:  35 + rng.Float64()*50,
+					}
+				}
+				c.IngestBatch(readings, i%2 == 0, results)
+				buf = c.StreamHotspotsInto(buf[:0])
+				c.ViewSnapshot(func(*Snapshot) {})
+			}
+		}(w)
+	}
+	for round := 0; round < 15; round++ {
+		if _, err := c.RunRound(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -245,6 +245,21 @@ func (c *Client) FleetIngest(ctx context.Context, readings []predictserver.Fleet
 	return &out, nil
 }
 
+// FleetIngestPredict is the synchronous-predictive ingest call: the same
+// push as FleetIngest, but the response carries one Δ_gap-ahead prediction
+// per reading in request order — arrival and prediction collapse into one
+// round-trip. Requires a streaming-ingest server (predict against a
+// round-based server answers 409).
+func (c *Client) FleetIngestPredict(ctx context.Context, readings []predictserver.FleetReading) (*predictserver.FleetIngestResponse, error) {
+	var out predictserver.FleetIngestResponse
+	err := c.postJSON(ctx, "/v1/fleet/ingest",
+		predictserver.FleetIngestRequest{Readings: readings, Predict: true}, &out)
+	if err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
 // Metrics fetches and parses the service's Prometheus exposition endpoint —
 // the typed view of GET /metrics for Go consumers (dashboards and tests);
 // scrapers consume the endpoint directly via telemetry.ScrapeSource.

@@ -201,3 +201,56 @@ func TestFleetIngestAndMetrics(t *testing.T) {
 		t.Fatal("metrics missing fleet round gauge")
 	}
 }
+
+// TestFleetIngestPredictRoundTrip: the synchronous-predictive push — one
+// round-trip carries the reading in and the fresh prediction back, and the
+// 409 against a round-based server is a typed APIError.
+func TestFleetIngestPredictRoundTrip(t *testing.T) {
+	cfg := fleet.DefaultConfig()
+	cfg.Racks = 1
+	cfg.HostsPerRack = 4
+	cfg.ThresholdC = 70
+	cfg.MaxMigrationsPerRound = 0
+	cfg.StreamingIngest = true
+	cfg.Seed = 29
+	ctl, err := fleet.New(cfg, fleet.SyntheticStablePredictor(75))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 3; round++ {
+		if _, err := ctl.RunRound(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	client, _ := testServerWithFleet(t, ctl)
+	ctx := context.Background()
+
+	// Past the calibration schedule so the arrival calibrates first.
+	at := ctl.Hotspots().SimTimeS + cfg.UpdateEveryS + 1
+	resp, err := client.FleetIngestPredict(ctx, []predictserver.FleetReading{
+		{HostID: "r0-h1", AtS: at, TempC: 55, Util: 0.6, MemFrac: 0.3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Accepted != 1 || resp.Streamed != 1 {
+		t.Fatalf("predictive ingest accounting = %+v", resp)
+	}
+	if len(resp.Predictions) != 1 {
+		t.Fatalf("got %d predictions, want 1", len(resp.Predictions))
+	}
+	p := resp.Predictions[0]
+	if p.HostID != "r0-h1" || p.Outcome != "streamed" || p.PredictedTempC <= 0 {
+		t.Fatalf("prediction = %+v", p)
+	}
+
+	// Against a round-based server the same call is a 409.
+	plain := fleetTestServer(t)
+	_, err = plain.FleetIngestPredict(ctx, []predictserver.FleetReading{
+		{HostID: "r0-h0", AtS: 1, TempC: 40},
+	})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusConflict {
+		t.Fatalf("predict without streaming: got %v, want 409 APIError", err)
+	}
+}

@@ -23,10 +23,13 @@ type FleetHotspot struct {
 // FleetHotspotsResponse is the control plane's published snapshot: the
 // Δ_gap-ahead hotspot map a thermal-aware scheduler polls each round.
 type FleetHotspotsResponse struct {
-	Round      int            `json:"round"`
-	SimTimeS   float64        `json:"sim_time_s"`
-	GapS       float64        `json:"gap_s"`
-	ThresholdC float64        `json:"threshold_c"`
+	Round      int     `json:"round"`
+	SimTimeS   float64 `json:"sim_time_s"`
+	GapS       float64 `json:"gap_s"`
+	ThresholdC float64 `json:"threshold_c"`
+	// Streaming marks the hotspot list as the live incremental index
+	// (updated per pushed reading) rather than the last round's recompute.
+	Streaming  bool           `json:"streaming,omitempty"`
 	Hotspots   []FleetHotspot `json:"hotspots"`
 	StaleHosts []string       `json:"stale_hosts,omitempty"`
 }
@@ -90,16 +93,37 @@ type FleetReading struct {
 }
 
 // FleetIngestRequest carries one batch of readings into the fleet pipeline.
+// With Predict set (streaming-ingest servers only), the 200 carries one
+// synchronous Δ_gap-ahead prediction per reading — the arrival→prediction
+// round-trip collapses into the ingest request itself.
 type FleetIngestRequest struct {
 	Readings []FleetReading `json:"readings"`
+	Predict  bool           `json:"predict,omitempty"`
+}
+
+// FleetIngestPrediction is one reading's synchronous prediction: either
+// predicted values (outcome "streamed") or the reason none was produced —
+// "deferred" (no session yet; the next round will create one) or "dropped"
+// (pipeline back-pressure; the reading was lost).
+type FleetIngestPrediction struct {
+	HostID         string  `json:"host_id"`
+	Outcome        string  `json:"outcome"`
+	PredictedTempC float64 `json:"predicted_temp_c,omitempty"`
+	UncertaintyC   float64 `json:"uncertainty_c,omitempty"`
 }
 
 // FleetIngestResponse reports per-batch ingest accounting: Dropped counts
 // readings refused at the full bounded buffer (back-pressure the agent
-// should see, not a silent loss).
+// should see, not a silent loss); Streamed and Deferred count what the
+// streaming path did on arrival (streaming-ingest servers only); and
+// Predictions — present only when the request asked — parallels the
+// request's readings.
 type FleetIngestResponse struct {
-	Accepted int `json:"accepted"`
-	Dropped  int `json:"dropped"`
+	Accepted    int                     `json:"accepted"`
+	Dropped     int                     `json:"dropped"`
+	Streamed    int                     `json:"streamed,omitempty"`
+	Deferred    int                     `json:"deferred,omitempty"`
+	Predictions []FleetIngestPrediction `json:"predictions,omitempty"`
 }
 
 // WithFleet attaches a fleet control plane, enabling the /v1/fleet
@@ -115,7 +139,11 @@ func (s *Server) handleFleetHotspots(w http.ResponseWriter, _ *http.Request) {
 	}
 	// Scoped zero-copy borrow: the snapshot (and its slices) is read-only
 	// and only valid inside the view, so everything serialized is copied
-	// into the response before the borrow ends.
+	// into the response before the borrow ends. On streaming-ingest servers
+	// the hotspot list itself comes from the live incremental index — it
+	// reflects a pushed reading immediately — while the round metadata
+	// still describes the last published round.
+	streaming := s.fleet.StreamingEnabled()
 	var resp FleetHotspotsResponse
 	s.fleet.ViewSnapshot(func(snap *fleet.Snapshot) {
 		resp = FleetHotspotsResponse{
@@ -123,18 +151,23 @@ func (s *Server) handleFleetHotspots(w http.ResponseWriter, _ *http.Request) {
 			SimTimeS:   snap.SimTimeS,
 			GapS:       snap.GapS,
 			ThresholdC: snap.ThresholdC,
+			Streaming:  streaming,
 			StaleHosts: append([]string(nil), snap.StaleHosts...),
-			Hotspots:   make([]FleetHotspot, len(snap.Hotspots)),
 		}
-		for i, h := range snap.Hotspots {
-			resp.Hotspots[i] = FleetHotspot{
-				HostID:         h.HostID,
-				PredictedTempC: h.PredictedTempC,
-				MarginC:        h.MarginC,
-				UncertaintyC:   h.UncertaintyC,
+		if !streaming {
+			resp.Hotspots = make([]FleetHotspot, len(snap.Hotspots))
+			for i, h := range snap.Hotspots {
+				resp.Hotspots[i] = FleetHotspot(h)
 			}
 		}
 	})
+	if streaming {
+		live := s.fleet.StreamHotspotsInto(nil)
+		resp.Hotspots = make([]FleetHotspot, len(live))
+		for i, h := range live {
+			resp.Hotspots[i] = FleetHotspot(h)
+		}
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -299,7 +332,11 @@ func (s *Server) handleFleetPlaceBatch(w http.ResponseWriter, r *http.Request) {
 
 // handleFleetIngest is the push path for real monitoring agents: readings
 // enter the same bounded pipeline the simulator and scrape sources feed,
-// and the next control round consumes them.
+// and the next control round consumes them. On streaming-ingest servers
+// each accepted reading is additionally applied on arrival (observe →
+// calibrate → hotspot index), and `predict: true` turns the request
+// synchronous-predictive: the 200 answers with one Δ_gap-ahead prediction
+// per reading.
 func (s *Server) handleFleetIngest(w http.ResponseWriter, r *http.Request) {
 	if s.fleet == nil {
 		writeError(w, http.StatusServiceUnavailable, errors.New("no fleet control plane attached"))
@@ -314,6 +351,11 @@ func (s *Server) handleFleetIngest(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("batch of %d readings exceeds limit %d", len(req.Readings), MaxBatchItems))
 		return
 	}
+	if req.Predict && !s.fleet.StreamingEnabled() {
+		writeError(w, http.StatusConflict,
+			errors.New("predict requires streaming ingest (start the fleet with -streaming)"))
+		return
+	}
 	// Validate the whole batch before ingesting anything: a mid-batch
 	// rejection after partial ingest would make the agent retry readings
 	// the loop already consumed.
@@ -323,18 +365,44 @@ func (s *Server) handleFleetIngest(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	var resp FleetIngestResponse
-	for _, rd := range req.Readings {
-		if s.fleet.Ingest(fleet.Reading{
+	readings := make([]fleet.Reading, len(req.Readings))
+	for i, rd := range req.Readings {
+		readings[i] = fleet.Reading{
 			HostID:  rd.HostID,
 			AtS:     rd.AtS,
 			TempC:   rd.TempC,
 			Util:    rd.Util,
 			MemFrac: rd.MemFrac,
-		}) {
-			resp.Accepted++
-		} else {
-			resp.Dropped++
+		}
+	}
+	results := make([]fleet.IngestResult, len(readings))
+	var resp FleetIngestResponse
+	resp.Accepted = s.fleet.IngestBatch(readings, req.Predict, results)
+	resp.Dropped = len(readings) - resp.Accepted
+	if req.Predict {
+		resp.Predictions = make([]FleetIngestPrediction, len(results))
+	}
+	for i := range results {
+		outcome := ""
+		switch results[i].Outcome {
+		case fleet.IngestStreamed:
+			resp.Streamed++
+			outcome = "streamed"
+		case fleet.IngestDeferred:
+			resp.Deferred++
+			outcome = "deferred"
+		case fleet.IngestDropped:
+			outcome = "dropped"
+		case fleet.IngestBuffered:
+			outcome = "buffered"
+		}
+		if req.Predict {
+			p := FleetIngestPrediction{HostID: readings[i].HostID, Outcome: outcome}
+			if results[i].Outcome == fleet.IngestStreamed {
+				p.PredictedTempC = results[i].Pred.TempC
+				p.UncertaintyC = results[i].Pred.UncertaintyC
+			}
+			resp.Predictions[i] = p
 		}
 	}
 	s.metrics.ingestItems.Add(int64(resp.Accepted))

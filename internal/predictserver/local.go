@@ -32,6 +32,10 @@ type LocalStackConfig struct {
 	// handed out (default 3) so /v1/fleet/hotspots serves a populated
 	// snapshot and sessions are calibrated.
 	PrimeRounds int
+	// Streaming enables event-driven ingest (fleet.Config.StreamingIngest):
+	// pushed readings apply on arrival and /v1/fleet/ingest accepts
+	// predict: true.
+	Streaming bool
 	// Seed drives training-case generation and the simulated fleet.
 	Seed int64
 }
@@ -87,6 +91,7 @@ func NewLocalStack(ctx context.Context, cfg LocalStackConfig) (*LocalStack, erro
 	fcfg.HostsPerRack = cfg.HostsPerRack
 	fcfg.Admission = cfg.Admission
 	fcfg.PhysWorkers = cfg.PhysWorkers
+	fcfg.StreamingIngest = cfg.Streaming
 	fcfg.Seed = cfg.Seed
 	ctl, err := fleet.New(fcfg, fleet.StableBatchPredictor(model, fcfg.HorizonS))
 	if err != nil {

@@ -28,6 +28,12 @@ import (
 //	vmtherm_ingest_received_total           fleet pipeline counters (counter;
 //	vmtherm_ingest_dropped_total            fleet-attached servers only)
 //	vmtherm_ingest_superseded_total
+//	vmtherm_ingest_stream_applied_total     streaming-ingest counters (counter;
+//	vmtherm_ingest_stream_created_total     fleet-attached servers — flat zero
+//	vmtherm_ingest_stream_deferred_total    unless streaming is enabled)
+//	vmtherm_ingest_stream_predictions_total
+//	vmtherm_hotspot_staleness_seconds       seconds since the served hotspot
+//	                                        set was last refreshed (gauge)
 //	vmtherm_anchor_cache_hits_total         ψ_stable anchor cache counters
 //	vmtherm_anchor_cache_misses_total       (counter; fleet-attached servers
 //	vmtherm_anchor_cache_evictions_total    with the cache enabled)
@@ -67,6 +73,18 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 			"Telemetry readings dropped at the full ingest buffer.", "", float64(dropped))
 		writeMetric(&sb, "vmtherm_ingest_superseded_total", "counter",
 			"Drained readings superseded by newer ones before use.", "", float64(superseded))
+
+		applied, created, deferred, predictions := s.fleet.StreamTotals()
+		writeMetric(&sb, "vmtherm_ingest_stream_applied_total", "counter",
+			"Pushed readings applied to their session on arrival (streaming ingest).", "", float64(applied))
+		writeMetric(&sb, "vmtherm_ingest_stream_created_total", "counter",
+			"Sessions created inline from the warm anchor cache on arrival.", "", float64(created))
+		writeMetric(&sb, "vmtherm_ingest_stream_deferred_total", "counter",
+			"Pushed readings deferred to the next batch round (no session, no warm anchor).", "", float64(deferred))
+		writeMetric(&sb, "vmtherm_ingest_stream_predictions_total", "counter",
+			"Synchronous predictions returned on the ingest path (predict: true).", "", float64(predictions))
+		writeMetric(&sb, "vmtherm_hotspot_staleness_seconds", "gauge",
+			"Seconds since the served hotspot set was last refreshed (per-arrival in streaming mode, per-round otherwise).", "", s.fleet.HotspotStalenessS())
 
 		if cacheStats, fanout, enabled := s.fleet.AnchorCacheStats(); enabled {
 			writeMetric(&sb, "vmtherm_anchor_cache_hits_total", "counter",

@@ -3,8 +3,23 @@ package sloharness
 import (
 	"context"
 	"fmt"
+	"math"
+	"math/rand"
 	"sync"
 	"time"
+)
+
+// Arrival-schedule shapes for Config.Arrivals.
+const (
+	// ArrivalsFixed spaces requests exactly 1/rate apart (the default).
+	ArrivalsFixed = "fixed"
+	// ArrivalsPoisson draws exponential inter-arrival gaps with mean
+	// 1/rate — the memoryless superposition of many independent
+	// monitoring agents, which bursts where a fixed schedule never does.
+	ArrivalsPoisson = "poisson"
+	// ArrivalsUniform draws gaps uniformly on [0, 2/rate): mildly bursty,
+	// bounded worst case.
+	ArrivalsUniform = "uniform"
 )
 
 // SLO declares the tail-latency constraint a step must satisfy to count as
@@ -71,6 +86,15 @@ type Config struct {
 	// HistWidth.
 	HistWidth   time.Duration
 	HistBuckets int
+
+	// Arrivals shapes each step's dispatch schedule: ArrivalsFixed
+	// (default), ArrivalsPoisson, or ArrivalsUniform. All three offer the
+	// same mean rate; the randomized schedules stress queueing with
+	// realistic burstiness at identical throughput.
+	Arrivals string
+	// ArrivalSeed seeds the randomized schedules (default 1), keeping
+	// profiles reproducible run to run.
+	ArrivalSeed int64
 }
 
 func (c Config) withDefaults() Config {
@@ -116,6 +140,12 @@ func (c Config) withDefaults() Config {
 	if c.HistBuckets == 0 {
 		c.HistBuckets = DefaultHistBuckets
 	}
+	if c.Arrivals == "" {
+		c.Arrivals = ArrivalsFixed
+	}
+	if c.ArrivalSeed == 0 {
+		c.ArrivalSeed = 1
+	}
 	return c
 }
 
@@ -137,6 +167,12 @@ func (c Config) validate() error {
 	}
 	if c.Senders < 1 {
 		return fmt.Errorf("sloharness: senders %d < 1", c.Senders)
+	}
+	switch c.Arrivals {
+	case ArrivalsFixed, ArrivalsPoisson, ArrivalsUniform:
+	default:
+		return fmt.Errorf("sloharness: unknown arrival schedule %q (want %s|%s|%s)",
+			c.Arrivals, ArrivalsFixed, ArrivalsPoisson, ArrivalsUniform)
 	}
 	return nil
 }
@@ -253,7 +289,7 @@ func runStep(ctx context.Context, cfg Config, target Target, rps float64, refini
 	if ra, ok := target.(RateAware); ok {
 		ra.SetRate(rps)
 	}
-	interval := time.Duration(float64(time.Second) / rps)
+	offsetAt := arrivalSchedule(cfg, rps)
 	type job struct{ measured bool }
 	jobs := make(chan job, cfg.Senders)
 
@@ -298,7 +334,7 @@ dispatch:
 			dispatchErr = err
 			break
 		}
-		scheduled := start.Add(time.Duration(i) * interval)
+		scheduled := start.Add(offsetAt(i))
 		if scheduled.After(end) {
 			break
 		}
@@ -333,6 +369,32 @@ dispatch:
 		doneInWindow += doneCounts[i]
 	}
 	return scoreStep(cfg, rps, refining, hist, errors, doneInWindow), nil
+}
+
+// arrivalSchedule maps dispatch index → offset from step start under the
+// configured arrival shape. Randomized schedules accumulate nondecreasing
+// offsets (the index is ignored — the dispatcher calls in order) and are
+// deterministic in (ArrivalSeed, rate), so a repeated step replays the
+// same burst pattern.
+func arrivalSchedule(cfg Config, rps float64) func(i int) time.Duration {
+	interval := float64(time.Second) / rps
+	switch cfg.Arrivals {
+	case ArrivalsPoisson, ArrivalsUniform:
+		rng := rand.New(rand.NewSource(cfg.ArrivalSeed ^ int64(math.Float64bits(rps))))
+		uniform := cfg.Arrivals == ArrivalsUniform
+		var at float64
+		return func(int) time.Duration {
+			if uniform {
+				at += rng.Float64() * 2 * interval
+			} else {
+				at += rng.ExpFloat64() * interval
+			}
+			return time.Duration(at)
+		}
+	default:
+		step := time.Duration(interval)
+		return func(i int) time.Duration { return time.Duration(i) * step }
+	}
 }
 
 // scoreStep applies the three sustainability gates to one merged window.

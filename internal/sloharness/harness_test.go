@@ -170,3 +170,62 @@ func TestRunHonorsCancellation(t *testing.T) {
 		t.Fatal("cancelled run returned no error")
 	}
 }
+
+// TestArrivalSchedules: randomized schedules must be nondecreasing, hit the
+// configured mean rate, and replay identically for the same seed and rate.
+func TestArrivalSchedules(t *testing.T) {
+	const rps = 1000.0
+	interval := float64(time.Second) / rps
+	for _, mode := range []string{ArrivalsPoisson, ArrivalsUniform} {
+		cfg := Config{Arrivals: mode, ArrivalSeed: 7}
+		next := arrivalSchedule(cfg, rps)
+		replay := arrivalSchedule(cfg, rps)
+		const n = 20000
+		var prev, last time.Duration
+		for i := 0; i < n; i++ {
+			at := next(i)
+			if at < prev {
+				t.Fatalf("%s: offset %v at i=%d went backwards from %v", mode, at, i, prev)
+			}
+			if r := replay(i); r != at {
+				t.Fatalf("%s: schedule not deterministic at i=%d: %v vs %v", mode, i, at, r)
+			}
+			prev, last = at, at
+		}
+		mean := float64(last) / n
+		if mean < 0.9*interval || mean > 1.1*interval {
+			t.Fatalf("%s: mean gap %v, want ≈%v", mode, time.Duration(mean), time.Duration(interval))
+		}
+	}
+	// Fixed stays exact.
+	next := arrivalSchedule(Config{Arrivals: ArrivalsFixed}, rps)
+	if next(10) != 10*time.Duration(interval) {
+		t.Fatalf("fixed schedule drifted: %v", next(10))
+	}
+}
+
+func TestRunRejectsBadArrivals(t *testing.T) {
+	_, err := Run(context.Background(), Config{Arrivals: "bursty"}, &fixedCapacityTarget{})
+	if err == nil {
+		t.Fatal("unknown arrival schedule accepted")
+	}
+}
+
+// TestPoissonArrivalsRun: a whole profiling run under Poisson dispatch
+// still finds capacity on a fast target.
+func TestPoissonArrivalsRun(t *testing.T) {
+	cfg := Config{
+		SLO:      SLO{Quantile: 0.99, Limit: 50 * time.Millisecond},
+		StartRPS: 64, MaxRPS: 256, Growth: 2, Refine: 1,
+		Warmup: 50 * time.Millisecond, Measure: 300 * time.Millisecond, Cooldown: 50 * time.Millisecond,
+		Senders:  8,
+		Arrivals: ArrivalsPoisson,
+	}
+	p, err := Run(context.Background(), cfg, &fixedCapacityTarget{service: time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.MaxSustainableRPS < 64 {
+		t.Fatalf("fast target unsustainable under poisson arrivals: %+v", p)
+	}
+}

@@ -17,6 +17,10 @@ const (
 	EndpointIngest      = "/v1/fleet/ingest"
 	EndpointHotspots    = "/v1/fleet/hotspots"
 	EndpointPlaceBatch  = "/v1/fleet/place/batch"
+	// EndpointFreshness is the synchronous-predictive ingest profile: the
+	// same route as EndpointIngest with predict: true, where the measured
+	// request latency IS the arrival→prediction-visible delay.
+	EndpointFreshness = "/v1/fleet/ingest?predict=true"
 )
 
 // StableTarget profiles POST /v1/stable/batch with a fixed set of feature
@@ -75,6 +79,58 @@ func (t *IngestTarget) Fire(ctx context.Context) error {
 	}
 	_, err := t.Client.FleetIngest(ctx, readings)
 	return err
+}
+
+// FreshnessTarget profiles the streaming freshness SLO: each request is a
+// synchronous-predictive ingest (predict: true) over Batch readings, so
+// the harness's measured latency is exactly how long an arriving reading
+// takes to become a served prediction. A reading that comes back without a
+// streamed prediction (deferred or dropped) is a target error — the
+// freshness path was not exercised — so the harness's error gate doubles
+// as a "predictions actually flowed" gate. Requires a streaming-ingest
+// server whose Hosts already have sessions (prime the fleet first).
+type FreshnessTarget struct {
+	Client *predictclient.Client
+	Hosts  []string
+	Batch  int
+	// SampleS spaces consecutive timestamps (default 5 s).
+	SampleS float64
+
+	seq atomic.Int64
+}
+
+// Name implements Target.
+func (t *FreshnessTarget) Name() string { return EndpointFreshness }
+
+// Fire implements Target.
+func (t *FreshnessTarget) Fire(ctx context.Context) error {
+	if len(t.Hosts) == 0 || t.Batch <= 0 {
+		return errors.New("sloharness: freshness target needs hosts and a positive batch")
+	}
+	sampleS := t.SampleS
+	if sampleS == 0 {
+		sampleS = 5
+	}
+	readings := make([]predictserver.FleetReading, t.Batch)
+	for i := range readings {
+		n := t.seq.Add(1)
+		readings[i] = predictserver.FleetReading{
+			HostID:  t.Hosts[int(n)%len(t.Hosts)],
+			AtS:     float64(n) * sampleS / float64(len(t.Hosts)),
+			TempC:   45 + float64(n%20),
+			Util:    0.3 + float64(n%7)*0.1,
+			MemFrac: 0.4,
+		}
+	}
+	resp, err := t.Client.FleetIngestPredict(ctx, readings)
+	if err != nil {
+		return err
+	}
+	if resp.Streamed != len(readings) {
+		return fmt.Errorf("sloharness: %d/%d readings returned fresh predictions (deferred %d, dropped %d)",
+			resp.Streamed, len(readings), resp.Deferred, resp.Dropped)
+	}
+	return nil
 }
 
 // HotspotsTarget profiles GET /v1/fleet/hotspots — the poll a thermal-aware
