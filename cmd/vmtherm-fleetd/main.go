@@ -45,6 +45,7 @@ import (
 
 	"vmtherm"
 	"vmtherm/internal/predictserver"
+	"vmtherm/internal/scenario"
 )
 
 func main() {
@@ -88,6 +89,8 @@ func run() error {
 		physWorkers = flag.Int("phys-workers", 0, "worker pool sharding the simulated physics tick per rack (0 = min(GOMAXPROCS, 8), 1 = serial; results are bit-identical either way)")
 		record      = flag.String("record", "", "tee the live telemetry stream to a trace CSV replayable with -source trace")
 		streaming   = flag.Bool("streaming", false, "event-driven ingest: apply pushed readings on arrival (per-arrival calibration, live hotspot index, predict: true on /v1/fleet/ingest); rounds keep running and reconcile")
+		scenarioArg = flag.String("scenario", "", "run a scripted thermal emergency: a built-in name (see docs/SCENARIOS.md) or a JSON spec file; sim source only, exits non-zero when the run fails its grade")
+		scenarioOut = flag.String("scenario-out", "", "write the graded scenario report as JSON here (requires -scenario)")
 	)
 	flag.Parse()
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -289,6 +292,39 @@ func run() error {
 		return runErr
 	}
 
+	if *scenarioArg != "" {
+		// A scripted thermal emergency: the scenario engine seeds its own
+		// baseline load and owns the timeline, so the usual arrival stream
+		// and hotseed are skipped — determinism is the whole point.
+		if *source != "sim" {
+			return fmt.Errorf("-scenario requires -source sim (got %q)", *source)
+		}
+		spec, err := scenario.Load(*scenarioArg)
+		if err != nil {
+			return err
+		}
+		runner, err := scenario.New(spec, ctl)
+		if err != nil {
+			return err
+		}
+		// The spec owns the round budget: a truncated timeline would grade a
+		// half-run emergency, so -rounds is ignored in scenario mode.
+		log.Printf("scenario %s: %s (%d rounds, onset round %d)",
+			spec.Name, spec.Description, spec.Rounds, spec.Onset())
+		return finish(runLoop(ctx, ctl, loopOptions{
+			rounds:      spec.Rounds,
+			pace:        *pace,
+			updateS:     cfg.UpdateEveryS,
+			addr:        *addr,
+			model:       model,
+			scenario:    runner,
+			scenarioOut: *scenarioOut,
+		}))
+	}
+	if *scenarioOut != "" {
+		return errors.New("-scenario-out requires -scenario")
+	}
+
 	if *source == "sim" {
 		// An optional adversarial seed: pile heavy VMs onto one machine so
 		// the proactive loop (flag from prediction → propose → migrate) is
@@ -403,6 +439,11 @@ type loopOptions struct {
 	arrivals func(round int)
 	// traceDone, when set, reports replay exhaustion (trace source).
 	traceDone func() bool
+	// scenario, when set, owns the round loop: each round applies the due
+	// faults before running, and the run ends with a graded report
+	// (written to scenarioOut when set; a failed grade fails the process).
+	scenario    *scenario.Runner
+	scenarioOut string
 }
 
 // submitArrivals feeds the round's VM requests, stopping early when the
@@ -423,7 +464,11 @@ func runLoop(ctx context.Context, ctl *vmtherm.FleetController, opts loopOptions
 		if opts.model == nil {
 			return fmt.Errorf("-addr requires a stable model (drop -synthetic)")
 		}
-		srv, err := predictserver.New(opts.model, predictserver.WithFleet(ctl))
+		sopts := []predictserver.Option{predictserver.WithFleet(ctl)}
+		if opts.scenario != nil {
+			sopts = append(sopts, predictserver.WithScenario(opts.scenario.Status))
+		}
+		srv, err := predictserver.New(opts.model, sopts...)
 		if err != nil {
 			return err
 		}
@@ -467,7 +512,11 @@ loop:
 		if opts.arrivals != nil {
 			opts.arrivals(round)
 		}
-		rep, err := ctl.RunRound()
+		runRound := ctl.RunRound
+		if opts.scenario != nil {
+			runRound = opts.scenario.Step
+		}
+		rep, err := runRound()
 		if err != nil {
 			return err
 		}
@@ -488,8 +537,18 @@ loop:
 			line += fmt.Sprintf(" | stream %d (+%d inline, %d deferred) drift %d",
 				rep.StreamApplied, rep.StreamCreated, rep.StreamDeferred, rep.StreamHotDrift)
 		}
+		if opts.scenario != nil {
+			st := opts.scenario.Status()
+			line += fmt.Sprintf(" | scn %s %d/%d faults %d", st.Name, st.Round, st.TotalRounds, st.FaultsActive)
+			if st.Contained {
+				line += " contained"
+			}
+		}
 		if rep.SourceError != "" {
 			line += " | SOURCE ERROR: " + rep.SourceError
+		}
+		if n := len(rep.RecentErrors); n > 0 {
+			line += fmt.Sprintf(" | errs %d (last: %s)", n, rep.RecentErrors[n-1])
 		}
 		fmt.Println(line)
 		if opts.pace {
@@ -510,6 +569,23 @@ loop:
 		log.Printf("OK: a %.0fs calibration interval is sustainable in real time at this fleet size", opts.updateS)
 	} else if !opts.pace {
 		log.Printf("WARNING: control loop slower than real time at this fleet size")
+	}
+	if opts.scenario != nil {
+		grade := opts.scenario.Report()
+		if opts.scenarioOut != "" {
+			if err := os.WriteFile(opts.scenarioOut, grade.JSON(), 0o644); err != nil {
+				return fmt.Errorf("writing scenario report: %w", err)
+			}
+			log.Printf("scenario report written to %s", opts.scenarioOut)
+		}
+		log.Printf("scenario %s: flagged r%d, crossed r%d (lead %d), contained %v in %d rounds, %d/%d migrations, %d rejected readings, fp rate %.2f",
+			grade.Name, grade.FirstFlagRound, grade.MeasuredCrossRound, grade.PredictedLeadRounds,
+			grade.Contained, grade.ContainmentRounds, grade.MigrationsApplied, grade.MigrationBudget,
+			grade.ReadingsRejected, grade.FalsePositiveRate)
+		if !grade.Passed {
+			return fmt.Errorf("scenario %s FAILED its grade: %v", grade.Name, grade.Failures)
+		}
+		log.Printf("scenario %s PASSED", grade.Name)
 	}
 	return nil
 }

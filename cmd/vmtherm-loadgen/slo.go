@@ -14,6 +14,7 @@ import (
 	"vmtherm/internal/fleet"
 	"vmtherm/internal/predictclient"
 	"vmtherm/internal/predictserver"
+	"vmtherm/internal/scenario"
 	"vmtherm/internal/sloharness"
 )
 
@@ -48,6 +49,11 @@ type sloFlags struct {
 	ingestHosts *int
 	streaming   *bool
 	arrivals    *string
+
+	// Scenario-under-load: a scripted thermal emergency plays against the
+	// in-process fleet while the profiler drives serving load.
+	scenario    *string
+	scenarioOut *string
 }
 
 func registerSLOFlags() *sloFlags {
@@ -77,6 +83,9 @@ func registerSLOFlags() *sloFlags {
 		ingestHosts: flag.Int("slo-ingest-hosts", 256, "distinct host ids the ingest profile cycles over when the fleet's own hosts are unknown (remote mode)"),
 		streaming:   flag.Bool("streaming", false, "enable streaming ingest on the in-process stack (required for the freshness endpoint; control rounds keep ticking in the background during ingest/freshness profiles)"),
 		arrivals:    flag.String("arrivals", "fixed", "dispatch schedule for every profiled step: fixed|poisson|uniform (poisson/uniform offer the same mean rate with realistic burstiness)"),
+
+		scenario:    flag.String("scenario", "", "thermal-emergency scenario (builtin name or JSON file) to play against the in-process fleet while profiling — serving capacity under emergency (requires -inprocess)"),
+		scenarioOut: flag.String("scenario-out", "", "write the scenario's graded report JSON here (requires -scenario)"),
 	}
 }
 
@@ -146,6 +155,24 @@ func runSLO(f *sloFlags, addr string, batch int, senders int, seed int64) error 
 		host = addr
 	}
 
+	var emergency *scenario.Runner
+	if *f.scenario != "" {
+		if stack == nil {
+			return fmt.Errorf("-scenario needs -inprocess: the emergency is injected into the simulated fleet")
+		}
+		spec, err := scenario.Load(*f.scenario)
+		if err != nil {
+			return err
+		}
+		emergency, err = scenario.New(spec, stack.Fleet)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("scenario %s: %d-round emergency timeline plays under load\n", spec.Name, spec.Rounds)
+	} else if *f.scenarioOut != "" {
+		return fmt.Errorf("-scenario-out requires -scenario")
+	}
+
 	batches, err := parseBatches(*f.batches, batch)
 	if err != nil {
 		return err
@@ -190,10 +217,12 @@ func runSLO(f *sloFlags, addr string, batch int, senders int, seed int64) error 
 			// draining the bounded pipeline and reconciling the live
 			// hotspot index underneath the event-driven path. Without the
 			// drain the pipeline fills and back-pressure, not latency,
-			// bounds the measurement.
+			// bounds the measurement. A scenario keeps the ticker on for
+			// every profile: the emergency timeline must advance while the
+			// measured load runs, or there is no "under load" in the grade.
 			var stopDrain func() error
-			if stack != nil && *f.streaming && (ep == "ingest" || ep == "freshness") {
-				stopDrain = drainRounds(stack, 25*time.Millisecond)
+			if stack != nil && (emergency != nil || (*f.streaming && (ep == "ingest" || ep == "freshness"))) {
+				stopDrain = drainRounds(stack, emergency, 25*time.Millisecond)
 			}
 			profile, err := sloharness.Run(ctx, cfg, target)
 			if stopDrain != nil {
@@ -213,10 +242,34 @@ func runSLO(f *sloFlags, addr string, batch int, senders int, seed int64) error 
 			if stack != nil {
 				// Drain queued placements and refresh the snapshot between
 				// profiles so one endpoint's leftovers don't skew the next.
-				if err := stack.RunRounds(2); err != nil {
+				if err := advanceRounds(stack, emergency, 2); err != nil {
 					return err
 				}
 			}
+		}
+	}
+
+	if emergency != nil {
+		// Run out whatever the load phases didn't cover — a half-played
+		// timeline would grade a half-run emergency.
+		for !emergency.Done() {
+			if _, err := emergency.Step(); err != nil {
+				return err
+			}
+		}
+		grade := emergency.Report()
+		fmt.Printf("scenario %s under load: flagged r%d, crossed r%d (lead %d), contained %v in %d rounds, %d/%d migrations, fp rate %.2f\n",
+			grade.Name, grade.FirstFlagRound, grade.MeasuredCrossRound, grade.PredictedLeadRounds,
+			grade.Contained, grade.ContainmentRounds, grade.MigrationsApplied, grade.MigrationBudget,
+			grade.FalsePositiveRate)
+		if *f.scenarioOut != "" {
+			if err := os.WriteFile(*f.scenarioOut, grade.JSON(), 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", *f.scenarioOut)
+		}
+		if !grade.Passed {
+			return fmt.Errorf("scenario %s FAILED its grade under load: %v", grade.Name, grade.Failures)
 		}
 	}
 
@@ -311,12 +364,35 @@ func profileKnobs(f *sloFlags, ep string, batch int) map[string]string {
 	if *f.arrivals != "" && *f.arrivals != sloharness.ArrivalsFixed {
 		knobs["arrivals"] = *f.arrivals
 	}
+	if *f.scenario != "" {
+		// A distinct baseline key: capacity measured while an emergency
+		// plays is not comparable to clean-fleet capacity.
+		knobs["scenario"] = *f.scenario
+	}
 	return knobs
+}
+
+// advanceRounds moves the control plane n rounds forward — through the
+// scenario runner while its timeline has rounds left (so grading sees
+// them), plain rounds after.
+func advanceRounds(stack *predictserver.LocalStack, emergency *scenario.Runner, n int) error {
+	for i := 0; i < n; i++ {
+		if emergency != nil && !emergency.Done() {
+			if _, err := emergency.Step(); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := stack.RunRounds(1); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // drainRounds runs control rounds on a background ticker until the
 // returned stop function is called; stop reports the first round error.
-func drainRounds(stack *predictserver.LocalStack, every time.Duration) (stop func() error) {
+func drainRounds(stack *predictserver.LocalStack, emergency *scenario.Runner, every time.Duration) (stop func() error) {
 	done := make(chan struct{})
 	errCh := make(chan error, 1)
 	go func() {
@@ -328,7 +404,7 @@ func drainRounds(stack *predictserver.LocalStack, every time.Duration) (stop fun
 			case <-done:
 				return
 			case <-ticker.C:
-				if err := stack.RunRounds(1); err != nil {
+				if err := advanceRounds(stack, emergency, 1); err != nil {
 					errCh <- err
 					return
 				}

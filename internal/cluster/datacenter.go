@@ -131,6 +131,13 @@ func (dc *Datacenter) Racks() []*Rack {
 // CRAC returns the cooling configuration.
 func (dc *Datacenter) CRAC() CRAC { return dc.crac }
 
+// SetCRAC replaces the cooling state without re-validating it. Validate
+// bounds the *configured* envelope; emergency dynamics (a failed CRAC whose
+// supply air runs away past 35 °C, a setpoint excursion below 5 °C) live
+// outside it by definition, and the coupling loop that drives those states
+// owns their plausibility.
+func (dc *Datacenter) SetCRAC(c CRAC) { dc.crac = c }
+
 // InletTemp computes slot i of rack r's inlet air temperature: CRAC supply
 // plus the slot's static offset plus recirculation proportional to rack
 // utilization. This is each server's δ_env.

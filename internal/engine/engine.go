@@ -150,6 +150,12 @@ func (c Config) Validate() error {
 // ErrNoSession is returned for operations on an unknown session id.
 var ErrNoSession = errors.New("engine: no such session")
 
+// ErrImplausibleReading is returned when an observed temperature fails the
+// telemetry plausibility bounds (NaN, ±Inf, below −40 °C, above 150 °C):
+// calibrating on it would corrupt the session's γ for every prediction
+// that follows.
+var ErrImplausibleReading = errors.New("engine: implausible temperature reading")
+
 // session is one host's dynamic prediction state: an Eq. (3) curve anchored
 // at (anchorAt, φ(anchorAt)) with the ψ_stable the batch model last
 // predicted for the host's deployment, the online calibrator, and the mutex
@@ -328,8 +334,12 @@ func (e *Engine) build(p SessionParams) (*session, error) {
 }
 
 // Observe feeds one measurement φ(t) into a session and returns the current
-// calibration γ.
+// calibration γ. Implausible temperatures are refused with
+// ErrImplausibleReading before they can touch the calibrator.
 func (e *Engine) Observe(id string, atS, tempC float64) (float64, error) {
+	if telemetry.ClassifyTemp(tempC) != telemetry.RejectNone {
+		return 0, ErrImplausibleReading
+	}
 	s, ok := e.get(id)
 	if !ok {
 		return 0, ErrNoSession

@@ -34,12 +34,19 @@ type StreamStats struct {
 	// and no warm anchor (or an unusable one). The readings are not lost —
 	// callers keep them flowing into the round pipeline.
 	Deferred int
+	// Rejected counts readings refused for implausible temperatures (NaN,
+	// ±Inf, outside the telemetry plausibility bounds): one poisoned
+	// observation would corrupt a session's γ for every prediction after
+	// it, so the engine is the last line of defense even when an upstream
+	// pipeline already filters.
+	Rejected int
 }
 
 func (s *StreamStats) add(o StreamStats) {
 	s.Applied += o.Applied
 	s.Created += o.Created
 	s.Deferred += o.Deferred
+	s.Rejected += o.Rejected
 }
 
 // observeOne applies a single pushed reading: look the session up, create
@@ -54,6 +61,10 @@ func (s *StreamStats) add(o StreamStats) {
 // the batch round, which computes anchors from the authoritative
 // deployment state.
 func (e *Engine) observeOne(r telemetry.Reading, anchor AnchorLookup, st *StreamStats) *session {
+	if telemetry.ClassifyTemp(r.TempC) != telemetry.RejectNone {
+		st.Rejected++
+		return nil
+	}
 	sess, _ := e.get(r.HostID)
 	if sess == nil {
 		if anchor == nil {

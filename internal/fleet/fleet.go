@@ -524,7 +524,13 @@ type RoundReport struct {
 	DiscardedHosts int
 	// SourceError records a non-fatal source failure this round (live
 	// sources fail transiently; the loop degrades instead of aborting).
-	SourceError   string
+	SourceError string
+	// RecentErrors is a bounded ring of recent source/ingest failures
+	// ("round N: ..."), newest last: one round's SourceError vanishes with
+	// the next report, so without the ring a blackout that ended three
+	// rounds ago is undiagnosable from logs. Empty (and omitted from JSON,
+	// keeping round-driven traces byte-stable) on fleets that never erred.
+	RecentErrors  []string `json:",omitempty"`
 	Hotspots      int
 	MaxPredictedC float64
 	// Placements, Queued and Rejections count the round drain's typed
@@ -638,7 +644,27 @@ type Controller struct {
 	stream         *streamState
 	hotUpdatedNano atomic.Int64
 
+	// recentErrs is the bounded ring of recent source/ingest failures
+	// surfaced in RoundReport.RecentErrors (guarded by mu; nil until the
+	// first failure, so clean fleets never pay for it); lastRejected is the
+	// previous round's rejection total, for the per-round delta note.
+	recentErrs   []string
+	lastRejected int64
+
 	round int
+}
+
+// recentErrRing bounds the recent-error ring: enough to span a multi-round
+// outage in the stats line without turning reports into logs.
+const recentErrRing = 8
+
+// noteError records one failure in the recent-error ring (caller holds mu).
+func (c *Controller) noteError(msg string) {
+	if len(c.recentErrs) >= recentErrRing {
+		copy(c.recentErrs, c.recentErrs[1:])
+		c.recentErrs = c.recentErrs[:recentErrRing-1]
+	}
+	c.recentErrs = append(c.recentErrs, msg)
 }
 
 // New builds a controller over a freshly assembled simulated fleet.
@@ -798,6 +824,17 @@ func (c *Controller) IngestStats() (received, dropped, superseded int64) {
 	return c.ingest.stats()
 }
 
+// IngestRejected returns the cumulative per-reason counts of readings
+// refused for implausible temperatures (indexed by telemetry.RejectReason)
+// and their total. Safe to call concurrently with everything.
+func (c *Controller) IngestRejected() (byReason [telemetry.NumRejectReasons]int64, total int64) {
+	byReason = c.ingest.rejectedByReason()
+	for _, v := range byReason {
+		total += v
+	}
+	return byReason, total
+}
+
 // TeeTelemetry attaches an observer that sees every reading offered to the
 // ingest pipeline — source emissions and HTTP pushes alike. It is the
 // capture path behind `vmtherm-fleetd -record`, feeding a
@@ -932,6 +969,7 @@ func (c *Controller) RunRound() (RoundReport, error) {
 			return RoundReport{}, err
 		}
 		sourceErr = err.Error()
+		c.noteError(fmt.Sprintf("round %d: source: %s", c.round+1, sourceErr))
 	}
 	now := c.src.NowS()
 	ctrlStart := time.Now()
@@ -946,6 +984,10 @@ func (c *Controller) RunRound() (RoundReport, error) {
 	drained, newHosts := c.ingest.drainInto(c.latest)
 	if newHosts {
 		c.orderDirty = true
+	}
+	if _, rej := c.IngestRejected(); rej > c.lastRejected {
+		c.noteError(fmt.Sprintf("round %d: ingest: rejected %d implausible readings", c.round+1, rej-c.lastRejected))
+		c.lastRejected = rej
 	}
 	var discarded int
 	if c.sim != nil {
@@ -1121,6 +1163,7 @@ func (c *Controller) RunRound() (RoundReport, error) {
 		Evicted:            st.Evicted,
 		DiscardedHosts:     discarded,
 		SourceError:        sourceErr,
+		RecentErrors:       slices.Clone(c.recentErrs),
 		Hotspots:           len(hotspots),
 		MaxPredictedC:      maxPred,
 		Placements:         placements,

@@ -24,6 +24,12 @@ type ingestPipeline struct {
 	received   atomic.Int64
 	dropped    atomic.Int64
 	superseded atomic.Int64
+	// rejected counts readings refused at the door for implausible
+	// temperatures (NaN/±Inf/outside the plausibility bounds), per reason:
+	// one stuck sensor must never poison a session's calibration, and the
+	// refusal must be visible (vmtherm_ingest_rejected_total). Index 0
+	// (RejectNone) is unused.
+	rejected [telemetry.NumRejectReasons]atomic.Int64
 	// drainSeen marks hosts whose latest entry was written during the
 	// current drain, so supersessions within one round are counted. Owned by
 	// the draining goroutine (drains are serialized by the round lock) and
@@ -44,9 +50,16 @@ func newIngestPipeline(capacity, hostHint int) *ingestPipeline {
 	}
 }
 
-// push offers a reading; it reports false (and counts a drop) when the
-// buffer is full.
+// push offers a reading; it reports false when the reading was refused —
+// rejected for an implausible temperature (counted per reason) or dropped
+// because the buffer is full (counted as a drop). Validation lives here,
+// at the single choke point every producer path (simulator sweep, trace
+// replay, scrape, HTTP push) flows through.
 func (p *ingestPipeline) push(r Reading) bool {
+	if reason := telemetry.ClassifyTemp(r.TempC); reason != telemetry.RejectNone {
+		p.rejected[reason].Add(1)
+		return false
+	}
 	select {
 	case p.ch <- r:
 		p.received.Add(1)
@@ -55,6 +68,21 @@ func (p *ingestPipeline) push(r Reading) bool {
 		p.dropped.Add(1)
 		return false
 	}
+}
+
+// countRejected records a rejection decided by a caller that classified
+// the reading itself (the streaming batch path, which needs the typed
+// outcome before push would see the reading).
+func (p *ingestPipeline) countRejected(reason telemetry.RejectReason) {
+	p.rejected[reason].Add(1)
+}
+
+// rejectedByReason returns the cumulative per-reason rejection counters.
+func (p *ingestPipeline) rejectedByReason() (out [telemetry.NumRejectReasons]int64) {
+	for i := range out {
+		out[i] = p.rejected[i].Load()
+	}
+	return out
 }
 
 // drainInto moves every buffered reading into latest, keeping only the

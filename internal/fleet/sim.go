@@ -3,6 +3,7 @@ package fleet
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 
 	"vmtherm/internal/cluster"
@@ -42,6 +43,32 @@ type drivenTask struct {
 	prof   workload.Profile
 }
 
+// SensorFaultMode enumerates the ways a simulated temperature sensor can
+// lie: frozen at one value, silent, emitting NaN, or wildly biased. The
+// zero value is a healthy sensor.
+type SensorFaultMode uint8
+
+const (
+	// SensorHealthy is the zero value: readings pass through untouched.
+	SensorHealthy SensorFaultMode = iota
+	// SensorStuck freezes the sensor at the fault's ValueC.
+	SensorStuck
+	// SensorDropped silences the sensor (the host keeps heating).
+	SensorDropped
+	// SensorNaN makes the sensor emit NaN temperatures.
+	SensorNaN
+	// SensorBiased adds the fault's ValueC to every reading.
+	SensorBiased
+)
+
+// SensorFault describes one host's injected sensor misbehavior.
+type SensorFault struct {
+	Mode SensorFaultMode
+	// ValueC is the frozen reading (SensorStuck) or the additive bias
+	// (SensorBiased); ignored for the other modes.
+	ValueC float64
+}
+
 // simHost is one simulated machine of the fleet: capacity accounting
 // (vmm.Host), heat (thermal.Server), a noisy sensor, and the load profiles
 // driving its VMs' tasks over time.
@@ -55,7 +82,45 @@ type simHost struct {
 	// muted simulates a dead monitoring agent: the host keeps running and
 	// heating, but emits no telemetry.
 	muted bool
+	// fault corrupts this host's emitted readings without touching its
+	// physics: the sensor still reads (and draws noise) on schedule, the
+	// transform applies at the emission point only.
+	fault SensorFault
 }
+
+// cracDynamics is the inter-rack CRAC supply/return coupling loop, active
+// only once a scenario touches the cooling plant (the nil state is the
+// bit-identical constant-supply physics every non-scenario run keeps).
+// Each step the room's return-air temperature is the current supply plus
+// the exhaust rise at the fleet's mean utilization; the unit cools that
+// return stream by at most capacityFrac·maxCoolDeltaC, never below its
+// (possibly excursed) setpoint; and the supply relaxes toward that target
+// with a first-order lag. At full capacity the cooling delta exceeds any
+// reachable exhaust rise, so the steady state is exactly the setpoint; at
+// zero capacity the supply chases the return air and the room runs away.
+type cracDynamics struct {
+	setpointC      float64 // configured supply setpoint
+	setpointDeltaC float64 // scenario excursion added to the setpoint
+	capacityFrac   float64 // 1 = full cooling, 0 = failed CRAC
+	recircMult     float64 // multiplier on the configured recirculation
+	supplyC        float64 // current supply-air temperature (the state)
+	baseRecirc     float64 // configured RecircPerUtil
+	tauS           float64 // supply-air first-order lag
+	exhaustRiseC   float64 // return-air rise at 100% fleet utilization
+	maxCoolDeltaC  float64 // return→supply cooling delta at full capacity
+}
+
+// cracTauS is the supply-air lag: a failed CRAC heats the room over
+// minutes, not ticks, so the controller has a (bounded) window to act.
+const cracTauS = 60
+
+// cracExhaustRiseC and cracMaxCoolDeltaC shape the return loop: the
+// exhaust rise at full fleet utilization stays below the full-capacity
+// cooling delta, so a healthy CRAC always pins its setpoint.
+const (
+	cracExhaustRiseC  = 14
+	cracMaxCoolDeltaC = 25
+)
 
 // fleetSim is the simulated datacenter the controller closes its loop
 // against: racks of simHosts under one CRAC on a shared discrete-event
@@ -93,6 +158,14 @@ type fleetSim struct {
 	// per-host uniqueness, but migration addresses VMs by id fleet-wide, so
 	// duplicates (e.g. a retried placement request) must be rejected here.
 	vmHost map[string]string
+	// crac is the supply/return coupling state; nil until a scenario first
+	// touches the cooling plant, so unscripted runs never enter the
+	// coupling step and stay bit-identical to the pre-scenario physics.
+	crac *cracDynamics
+	// dark is a fleet-wide telemetry blackout: every host keeps running and
+	// heating, but the sensor sweep emits nothing (and, like muted hosts,
+	// performs no reads or rng draws while dark).
+	dark bool
 }
 
 // newFleetSim assembles Racks × HostsPerRack machines, all idle and at
@@ -254,6 +327,32 @@ func (fs *fleetSim) migrate(vmID, fromID, toID string) error {
 	return nil
 }
 
+// remove evicts a VM from the fleet entirely — the inverse of place, used
+// by scenarios to end a scripted load surge. The VM's driven-task records
+// are dropped so the tick loop stops driving it.
+func (fs *fleetSim) remove(vmID string) error {
+	hostID, ok := fs.vmHost[vmID]
+	if !ok {
+		return errNoSuchVM
+	}
+	sh := fs.hosts[hostID]
+	if err := sh.host.Remove(vmID); err != nil {
+		return err
+	}
+	kept := sh.driven[:0]
+	for _, d := range sh.driven {
+		if d.vm.ID() != vmID {
+			kept = append(kept, d)
+		}
+	}
+	for i := len(kept); i < len(sh.driven); i++ {
+		sh.driven[i] = drivenTask{} // release the removed VM
+	}
+	sh.driven = kept
+	delete(fs.vmHost, vmID)
+	return nil
+}
+
 // tick drives one simulation step: task loads from profiles, rack inlet
 // temperatures (recirculation couples hosts through rack utilization), and
 // thermal integration. The work partitions cleanly by rack — a rack's
@@ -264,7 +363,61 @@ func (fs *fleetSim) migrate(vmID, fromID, toID string) error {
 // results are bit-identical regardless of worker count or interleaving.
 func (fs *fleetSim) tick(dt float64) error {
 	t := fs.engine.Now()
-	return fs.forEachRackShard(func(ri int) error { return fs.tickRack(ri, t, dt) })
+	if err := fs.forEachRackShard(func(ri int) error { return fs.tickRack(ri, t, dt) }); err != nil {
+		return err
+	}
+	// Inter-rack coupling runs serially *between* rack advances: it reads
+	// the load sweep every shard just published and writes the CRAC state
+	// the next tick's shards will all read, so the shard pass itself never
+	// crosses a rack boundary. A nil receiver — every run that never
+	// scripted a CRAC fault — returns immediately, keeping the unscripted
+	// tick byte-identical to the pre-coupling physics.
+	fs.coupleCRAC(dt)
+	return nil
+}
+
+// coupleCRAC advances the CRAC supply/return loop one step; see
+// cracDynamics for the model. No-op until a scenario activates the plant.
+func (fs *fleetSim) coupleCRAC(dt float64) {
+	cd := fs.crac
+	if cd == nil {
+		return
+	}
+	var sum float64
+	for _, u := range fs.tickUtil {
+		sum += u
+	}
+	mean := sum / float64(len(fs.tickUtil))
+	returnC := cd.supplyC + cd.exhaustRiseC*mean
+	target := returnC - cd.capacityFrac*cd.maxCoolDeltaC
+	if sp := cd.setpointC + cd.setpointDeltaC; target < sp {
+		target = sp
+	}
+	cd.supplyC += (dt / cd.tauS) * (target - cd.supplyC)
+	fs.dc.SetCRAC(cluster.CRAC{
+		SupplyC:       cd.supplyC,
+		RecircPerUtil: cd.baseRecirc * cd.recircMult,
+	})
+}
+
+// cracState lazily activates the coupling loop, seeded from the configured
+// (so far constant) CRAC: the first scenario touch is the moment the plant
+// becomes dynamic.
+func (fs *fleetSim) cracState() *cracDynamics {
+	if fs.crac == nil {
+		c := fs.dc.CRAC()
+		fs.crac = &cracDynamics{
+			setpointC:     c.SupplyC,
+			capacityFrac:  1,
+			recircMult:    1,
+			supplyC:       c.SupplyC,
+			baseRecirc:    c.RecircPerUtil,
+			tauS:          cracTauS,
+			exhaustRiseC:  cracExhaustRiseC,
+			maxCoolDeltaC: cracMaxCoolDeltaC,
+		}
+	}
+	return fs.crac
 }
 
 // forEachRackShard runs fn once per rack — serially with one physics
@@ -374,6 +527,12 @@ const simParallelMinHosts = 1024
 // so the reading stream — and therefore ingest accounting, tee captures and
 // recorded traces — is byte-identical to the serial sweep.
 func (fs *fleetSim) sample(emit func(telemetry.Reading) bool) {
+	if fs.dark {
+		// Fleet-wide telemetry blackout: the hosts run on and keep heating,
+		// but the whole sweep — reads, rng draws, emission — goes dark,
+		// exactly like muting every agent at once.
+		return
+	}
 	t := fs.engine.Now()
 	parallel := fs.cfg.PhysWorkers > 1 && len(fs.byPos) >= simParallelMinHosts
 	if parallel {
@@ -410,6 +569,19 @@ func (fs *fleetSim) sample(emit func(telemetry.Reading) bool) {
 				continue // transient sensor failure: the sample is simply lost
 			}
 			util, mem = sh.host.Loads()
+		}
+		// Injected sensor faults corrupt the *emitted* value only: the read
+		// (and its rng draw) already happened on the healthy schedule, so
+		// clearing a fault restores the exact healthy reading stream.
+		switch sh.fault.Mode {
+		case SensorDropped:
+			continue
+		case SensorStuck:
+			v = sh.fault.ValueC
+		case SensorNaN:
+			v = math.NaN()
+		case SensorBiased:
+			v += sh.fault.ValueC
 		}
 		emit(Reading{
 			HostID:  fs.order[i],

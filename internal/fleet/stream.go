@@ -41,6 +41,10 @@ const (
 	// IngestDropped: the bounded pipeline was full; the reading was lost
 	// (and counted) without blocking the producer.
 	IngestDropped
+	// IngestRejected: the reading's temperature was implausible (NaN, ±Inf,
+	// or outside the telemetry plausibility bounds) and was refused — and
+	// counted per reason — before it could poison a session's calibration.
+	IngestRejected
 )
 
 // IngestResult is the per-reading outcome of IngestBatch.
@@ -266,6 +270,13 @@ func (c *Controller) IngestBatch(readings []Reading, wantPred bool, results []In
 	var es engine.StreamStats
 	var touched bool
 	for i := range readings {
+		if reason := telemetry.ClassifyTemp(readings[i].TempC); reason != telemetry.RejectNone {
+			// Classified here (not in push) so the caller gets the typed
+			// outcome; counted directly so the reading is tallied once.
+			c.ingest.countRejected(reason)
+			results[i] = IngestResult{Outcome: IngestRejected}
+			continue
+		}
 		if !emit(readings[i]) {
 			results[i] = IngestResult{Outcome: IngestDropped}
 			continue

@@ -119,8 +119,11 @@ type FleetIngestPrediction struct {
 // Predictions — present only when the request asked — parallels the
 // request's readings.
 type FleetIngestResponse struct {
-	Accepted    int                     `json:"accepted"`
-	Dropped     int                     `json:"dropped"`
+	Accepted int `json:"accepted"`
+	Dropped  int `json:"dropped"`
+	// Rejected counts readings refused as implausible (NaN, ±Inf, outside
+	// the plausibility bounds) before they could touch any session.
+	Rejected    int                     `json:"rejected,omitempty"`
 	Streamed    int                     `json:"streamed,omitempty"`
 	Deferred    int                     `json:"deferred,omitempty"`
 	Predictions []FleetIngestPrediction `json:"predictions,omitempty"`
@@ -378,7 +381,12 @@ func (s *Server) handleFleetIngest(w http.ResponseWriter, r *http.Request) {
 	results := make([]fleet.IngestResult, len(readings))
 	var resp FleetIngestResponse
 	resp.Accepted = s.fleet.IngestBatch(readings, req.Predict, results)
-	resp.Dropped = len(readings) - resp.Accepted
+	for i := range results {
+		if results[i].Outcome == fleet.IngestRejected {
+			resp.Rejected++
+		}
+	}
+	resp.Dropped = len(readings) - resp.Accepted - resp.Rejected
 	if req.Predict {
 		resp.Predictions = make([]FleetIngestPrediction, len(results))
 	}
@@ -395,6 +403,8 @@ func (s *Server) handleFleetIngest(w http.ResponseWriter, r *http.Request) {
 			outcome = "dropped"
 		case fleet.IngestBuffered:
 			outcome = "buffered"
+		case fleet.IngestRejected:
+			outcome = "rejected"
 		}
 		if req.Predict {
 			p := FleetIngestPrediction{HostID: readings[i].HostID, Outcome: outcome}

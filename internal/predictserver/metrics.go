@@ -8,7 +8,17 @@ import (
 	"strings"
 
 	"vmtherm/internal/fleet"
+	"vmtherm/internal/scenario"
+	"vmtherm/internal/telemetry"
 )
+
+// boolGauge renders a boolean as a 0/1 gauge value.
+func boolGauge(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
 
 // GET /metrics serves the service's own state in Prometheus text exposition
 // format, making vmtherm scrape-able by anything that speaks the format —
@@ -28,6 +38,12 @@ import (
 //	vmtherm_ingest_received_total           fleet pipeline counters (counter;
 //	vmtherm_ingest_dropped_total            fleet-attached servers only)
 //	vmtherm_ingest_superseded_total
+//	vmtherm_ingest_rejected_total{reason=...}  implausible readings refused
+//	                                        (nan | inf | too_cold | too_hot)
+//	vmtherm_scenario_active                 scenario engine gauges (flat zero
+//	vmtherm_scenario_round                  when no scenario is bound)
+//	vmtherm_scenario_faults_active
+//	vmtherm_scenario_contained
 //	vmtherm_ingest_stream_applied_total     streaming-ingest counters (counter;
 //	vmtherm_ingest_stream_created_total     fleet-attached servers — flat zero
 //	vmtherm_ingest_stream_deferred_total    unless streaming is enabled)
@@ -73,6 +89,29 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 			"Telemetry readings dropped at the full ingest buffer.", "", float64(dropped))
 		writeMetric(&sb, "vmtherm_ingest_superseded_total", "counter",
 			"Drained readings superseded by newer ones before use.", "", float64(superseded))
+
+		byReason, _ := s.fleet.IngestRejected()
+		sb.WriteString("# HELP vmtherm_ingest_rejected_total Telemetry readings rejected as implausible, by reason.\n# TYPE vmtherm_ingest_rejected_total counter\n")
+		for reason := telemetry.RejectNone + 1; reason < telemetry.NumRejectReasons; reason++ {
+			writeSample(&sb, "vmtherm_ingest_rejected_total",
+				`reason="`+reason.String()+`"`, float64(byReason[reason]))
+		}
+
+		// The scenario gauges are part of the stable exposition on every
+		// fleet-attached server: flat zero when no scenario engine is bound,
+		// so dashboards and alerts need no conditional scrape config.
+		var st scenario.Status
+		if s.scenario != nil {
+			st = s.scenario()
+		}
+		writeMetric(&sb, "vmtherm_scenario_active", "gauge",
+			"1 while a scripted thermal-emergency scenario is running.", "", boolGauge(st.Active))
+		writeMetric(&sb, "vmtherm_scenario_round", "gauge",
+			"Rounds completed by the running scenario.", "", float64(st.Round))
+		writeMetric(&sb, "vmtherm_scenario_faults_active", "gauge",
+			"Fault conditions currently injected by the scenario.", "", float64(st.FaultsActive))
+		writeMetric(&sb, "vmtherm_scenario_contained", "gauge",
+			"1 once a past emergency's hotspot set has returned to empty.", "", boolGauge(st.Contained))
 
 		applied, created, deferred, predictions := s.fleet.StreamTotals()
 		writeMetric(&sb, "vmtherm_ingest_stream_applied_total", "counter",

@@ -1,0 +1,27 @@
+package predictserver
+
+import (
+	"errors"
+	"net/http"
+
+	"vmtherm/internal/scenario"
+)
+
+// WithScenario attaches a thermal-emergency scenario status feed (normally
+// scenario.Runner.Status of the run fleetd is driving), enabling live
+// GET /v1/fleet/scenario responses and the vmtherm_scenario_* gauges.
+func WithScenario(status func() scenario.Status) Option {
+	return func(s *Server) { s.scenario = status }
+}
+
+// handleFleetScenario serves the live scenario status: which emergency is
+// scripted, how far along it is, how many faults are currently injected,
+// and whether the emergency is contained. Servers with no scenario bound
+// answer 503 — the same contract as the fleet endpoints without a fleet.
+func (s *Server) handleFleetScenario(w http.ResponseWriter, _ *http.Request) {
+	if s.scenario == nil {
+		writeError(w, http.StatusServiceUnavailable, errors.New("no scenario engine attached"))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.scenario())
+}

@@ -26,6 +26,7 @@ import (
 	"vmtherm/internal/core"
 	"vmtherm/internal/engine"
 	"vmtherm/internal/fleet"
+	"vmtherm/internal/scenario"
 )
 
 // MaxBatchItems caps the item count of one batch request. A datacenter
@@ -68,6 +69,9 @@ type Server struct {
 	// the Δ_gap-ahead hotspot map, thermal-aware placement, and telemetry
 	// ingest.
 	fleet *fleet.Controller
+	// scenario, when attached via WithScenario, feeds GET
+	// /v1/fleet/scenario and the vmtherm_scenario_* gauges.
+	scenario func() scenario.Status
 	// metrics are the /metrics exposition counters.
 	metrics serverMetrics
 	// scratch pools PredictScratch instances across batch requests so the
@@ -154,6 +158,7 @@ func (s *Server) routes() []route {
 		{"POST /v1/session/batch/predict", s.handlePredictBatch},
 		{"DELETE /v1/session/{id}", s.handleDeleteSession},
 		{"GET /v1/fleet/hotspots", s.handleFleetHotspots},
+		{"GET /v1/fleet/scenario", s.handleFleetScenario},
 		{"POST /v1/fleet/place", s.handleFleetPlace},
 		{"POST /v1/fleet/place/batch", s.handleFleetPlaceBatch},
 		{"POST /v1/fleet/ingest", s.handleFleetIngest},

@@ -1,0 +1,162 @@
+package scenario
+
+import "sort"
+
+// The built-in scenario library: five canonical thermal emergencies plus a
+// sensor-integrity drill, tuned for the default fleet shape (16-core
+// hosts, 18 °C supply, 65 °C threshold, 15 s rounds — see
+// fleet.DefaultConfig). Each seeds the same moderate baseline — one 6-vCPU
+// all-out VM per host, ~37 % utilization — so faults land on a working
+// datacenter with a realistic thermal margin (~12 °C below threshold at
+// the hottest rack slot) rather than an idle or saturated one.
+
+var baseline = Baseline{VMsPerHost: 1, VCPUs: 6, MemGB: 4}
+
+// builtins maps name → spec constructor (constructed per call so callers
+// may mutate their copy freely).
+var builtins = map[string]func() Spec{
+	"crac-failure":       cracFailure,
+	"setpoint-excursion": setpointExcursion,
+	"recirc-spike":       recircSpike,
+	"load-surge":         loadSurge,
+	"telemetry-blackout": telemetryBlackout,
+	"sensor-chaos":       sensorChaos,
+}
+
+// Builtin returns the named built-in scenario.
+func Builtin(name string) (Spec, bool) {
+	mk, ok := builtins[name]
+	if !ok {
+		return Spec{}, false
+	}
+	return mk(), true
+}
+
+// BuiltinNames lists the built-in scenarios, sorted.
+func BuiltinNames() []string {
+	names := make([]string, 0, len(builtins))
+	for n := range builtins {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// cracFailure: the flagship emergency. The CRAC loses all cooling capacity
+// at round 6 — its supply air chases the ever-hotter return stream, so the
+// whole room heats at roughly the return/supply gap per plant time
+// constant — and is repaired at round 20. The grade is the ISSUE's
+// acceptance bar: the predicted hotspot flag must strictly precede the
+// measured threshold crossing, and the hotspot set must return to empty
+// within 40 rounds of onset once cooling is restored.
+func cracFailure() Spec {
+	return Spec{
+		Name:        "crac-failure",
+		Description: "Full CRAC failure at round 6, repaired at round 20; room-wide runaway heating.",
+		Rounds:      56,
+		Baseline:    baseline,
+		Events: []Event{
+			{Round: 6, Fault: FaultCRACCapacity, Value: 0},
+			{Round: 20, Fault: FaultCRACCapacity, Value: 1},
+		},
+		Grade: Grade{RequireLead: true, ContainWithinRounds: 40, RequireReconverge: true},
+	}
+}
+
+// setpointExcursion: a fat-fingered (or attacked) BMS raises the supply
+// setpoint 16 °C at round 5; the excursion is reverted at round 20. The
+// supply relaxes toward the bad setpoint with the plant's lag, so only the
+// warmest rack slots cross — a partial, slow-onset emergency.
+func setpointExcursion() Spec {
+	return Spec{
+		Name:        "setpoint-excursion",
+		Description: "Supply setpoint +16 °C at round 5, reverted at round 20.",
+		Rounds:      52,
+		Baseline:    baseline,
+		Events: []Event{
+			{Round: 5, Fault: FaultCRACSetpoint, Value: 16},
+			{Round: 20, Fault: FaultCRACSetpoint, Value: 0},
+		},
+		Grade: Grade{ContainWithinRounds: 40, RequireReconverge: true},
+	}
+}
+
+// recircSpike: a hot-aisle containment breach couples exhaust back into
+// the inlets 8× more strongly from round 5 until it is sealed at round 18.
+// Unlike a setpoint excursion the inlet step is immediate — only the
+// servers' own thermal mass delays the crossing.
+func recircSpike() Spec {
+	return Spec{
+		Name:        "recirc-spike",
+		Description: "Recirculation ×8 (containment breach) at round 5, sealed at round 18.",
+		Rounds:      48,
+		Baseline:    baseline,
+		Events: []Event{
+			{Round: 5, Fault: FaultCRACRecirc, Value: 8},
+			{Round: 18, Fault: FaultCRACRecirc, Value: 1},
+		},
+		Grade: Grade{ContainWithinRounds: 36, RequireReconverge: true},
+	}
+}
+
+// loadSurge: every host of rack 0 receives two extra 6-vCPU all-out VMs at
+// round 5 — a correlated tenant burst that saturates the rack — and the
+// burst ends at round 16. The migration budget cannot drain a whole rack,
+// so grading measures how the controller spends its bounded budget and
+// how fast the rack cools once the surge ends.
+func loadSurge() Spec {
+	return Spec{
+		Name:        "load-surge",
+		Description: "Correlated surge: +2×6 vCPU on every rack-0 host at round 5, ending at round 16.",
+		Rounds:      48,
+		Baseline:    baseline,
+		Events: []Event{
+			{Round: 5, Fault: FaultLoadSurge, Rack: 0, Count: 2, Value: 6},
+			{Round: 16, Fault: FaultLoadSurgeEnd, Rack: 0},
+		},
+		Grade: Grade{RequireLead: true, ContainWithinRounds: 36, RequireReconverge: true},
+	}
+}
+
+// telemetryBlackout: the entire telemetry feed goes dark at round 4 and
+// returns at round 10 — six rounds (90 s) of silence, past the staleness
+// horizon, so every host degrades to stale. The grade is pure graceful
+// degradation: no panic, and every stale host re-fed by the final round.
+func telemetryBlackout() Spec {
+	return Spec{
+		Name:        "telemetry-blackout",
+		Description: "Fleet-wide telemetry blackout rounds 4–10; staleness degradation and reconvergence.",
+		Rounds:      24,
+		Baseline:    baseline,
+		Events: []Event{
+			{Round: 4, Fault: FaultBlackout, Value: 1},
+			{Round: 10, Fault: FaultBlackout, Value: 0},
+		},
+		Grade: Grade{RequireReconverge: true},
+	}
+}
+
+// sensorChaos: a sensor-integrity drill. From round 4 one sensor freezes,
+// one goes silent, one emits NaN, and one reports +120 °C of bias — the
+// last two implausible, so the ingest filter must reject them — until the
+// sensors are serviced at round 14. No thermal emergency occurs; the
+// grade is that poison was rejected and the starved hosts reconverge.
+func sensorChaos() Spec {
+	return Spec{
+		Name:        "sensor-chaos",
+		Description: "Stuck/silent/NaN/wildly-biased sensors rounds 4–14; poison rejected, hosts reconverge.",
+		Rounds:      28,
+		Baseline:    baseline,
+		Events: []Event{
+			{Round: 4, Fault: FaultSensor, Host: "r0-h0", Mode: "stuck", Value: 45},
+			{Round: 4, Fault: FaultSensor, Host: "r0-h1", Mode: "dropped"},
+			{Round: 4, Fault: FaultSensor, Host: "r0-h2", Mode: "nan"},
+			{Round: 4, Fault: FaultSensor, Host: "r0-h3", Mode: "bias", Value: 120},
+			{Round: 14, Fault: FaultSensor, Host: "r0-h0"},
+			{Round: 14, Fault: FaultSensor, Host: "r0-h1"},
+			{Round: 14, Fault: FaultSensor, Host: "r0-h2"},
+			{Round: 14, Fault: FaultSensor, Host: "r0-h3"},
+		},
+		Grade: Grade{RequireRejected: true, RequireReconverge: true},
+	}
+}

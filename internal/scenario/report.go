@@ -1,0 +1,142 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Report is one scenario run's grade card. All round numbers are 1-based;
+// zero means "never happened".
+type Report struct {
+	Name   string `json:"name"`
+	Rounds int    `json:"rounds"`
+	// FaultOnsetRound anchors the grading clock.
+	FaultOnsetRound int `json:"fault_onset_round"`
+	// FirstFlagRound is the first round (at or after onset) the predicted
+	// hotspot map flagged anything; MeasuredCrossRound the first round a
+	// measured die temperature actually exceeded the threshold. Their
+	// difference is the proactive window the paper's prediction creates.
+	FirstFlagRound      int `json:"first_flag_round"`
+	MeasuredCrossRound  int `json:"measured_cross_round"`
+	PredictedLeadRounds int `json:"predicted_lead_rounds"`
+	// Contained reports the hotspot set returned to empty and stayed there
+	// through the final round; ContainmentRounds is how many rounds that
+	// took from fault onset (0 when no hotspot ever formed).
+	Contained         bool `json:"contained"`
+	ContainmentRounds int  `json:"containment_rounds"`
+	LastHotRound      int  `json:"last_hot_round"`
+	PeakHotspots      int  `json:"peak_hotspots"`
+	// PeakMeasuredC is the hottest true die temperature the run reached.
+	PeakMeasuredC float64 `json:"peak_measured_c"`
+	// HostsFlagged / FalsePositives / FalsePositiveRate grade the hotspot
+	// map's precision: a false positive is a host that was flagged at some
+	// round but whose measured temperature never crossed the threshold
+	// during the entire run.
+	HostsFlagged      int     `json:"hosts_flagged"`
+	FalsePositives    int     `json:"false_positives"`
+	FalsePositiveRate float64 `json:"false_positive_rate"`
+	// MigrationsApplied vs MigrationBudget: what containment spent against
+	// the per-round cap × rounds.
+	MigrationsApplied int `json:"migrations_applied"`
+	MigrationBudget   int `json:"migration_budget"`
+	// ReadingsRejected counts implausible readings the ingest filter
+	// refused during the run.
+	ReadingsRejected int64 `json:"readings_rejected"`
+	// MaxStaleHosts / Reconverged / ReconvergeRound grade blackout
+	// recovery: Reconverged means the final round had zero stale hosts.
+	MaxStaleHosts   int  `json:"max_stale_hosts"`
+	FinalStaleHosts int  `json:"final_stale_hosts"`
+	Reconverged     bool `json:"reconverged"`
+	ReconvergeRound int  `json:"reconverge_round"`
+	// Passed is the Grade verdict; Failures lists each violated clause.
+	Passed   bool     `json:"passed"`
+	Failures []string `json:"failures,omitempty"`
+}
+
+// Report grades the run so far. Normally called once the timeline is done
+// (Done reports true); calling earlier grades the partial run.
+func (r *Runner) Report() Report {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+
+	onset := r.spec.Onset()
+	rp := Report{
+		Name:               r.spec.Name,
+		Rounds:             r.round,
+		FaultOnsetRound:    onset,
+		FirstFlagRound:     r.firstFlagRound,
+		MeasuredCrossRound: r.measuredCrossRound,
+		LastHotRound:       r.lastHotRound,
+		PeakHotspots:       r.peakHotspots,
+		PeakMeasuredC:      r.peakMeasuredC,
+		HostsFlagged:       len(r.flagged),
+		MigrationsApplied:  r.migrationsApplied,
+		MigrationBudget:    r.ctrl.Config().MaxMigrationsPerRound * r.round,
+		ReadingsRejected:   r.rejected,
+		MaxStaleHosts:      r.maxStaleHosts,
+		FinalStaleHosts:    r.curStale,
+		Reconverged:        r.curStale == 0,
+		ReconvergeRound:    r.reconvergeRound,
+	}
+	if rp.FirstFlagRound > 0 && rp.MeasuredCrossRound > 0 {
+		rp.PredictedLeadRounds = rp.MeasuredCrossRound - rp.FirstFlagRound
+	}
+	rp.Contained = r.lastHotRound == 0 || r.curHotspots == 0
+	if r.lastHotRound > 0 && rp.Contained && onset > 0 {
+		rp.ContainmentRounds = r.lastHotRound - onset + 1
+	}
+	for id := range r.flagged {
+		if !r.crossed[id] {
+			rp.FalsePositives++
+		}
+	}
+	if rp.HostsFlagged > 0 {
+		rp.FalsePositiveRate = float64(rp.FalsePositives) / float64(rp.HostsFlagged)
+	}
+
+	g := r.spec.Grade
+	if g.RequireLead {
+		switch {
+		case rp.FirstFlagRound == 0:
+			rp.Failures = append(rp.Failures, "lead: no hotspot was ever predicted")
+		case rp.MeasuredCrossRound == 0:
+			rp.Failures = append(rp.Failures, "lead: measured temperature never crossed the threshold")
+		case rp.FirstFlagRound >= rp.MeasuredCrossRound:
+			rp.Failures = append(rp.Failures, fmt.Sprintf(
+				"lead: predicted flag at round %d did not precede measured crossing at round %d",
+				rp.FirstFlagRound, rp.MeasuredCrossRound))
+		}
+	}
+	if g.ContainWithinRounds > 0 {
+		switch {
+		case !rp.Contained:
+			rp.Failures = append(rp.Failures, fmt.Sprintf(
+				"containment: %d hotspots still flagged at round %d", r.curHotspots, r.round))
+		case r.lastHotRound == 0:
+			// Never hot at all — containment trivially satisfied.
+		case rp.ContainmentRounds > g.ContainWithinRounds:
+			rp.Failures = append(rp.Failures, fmt.Sprintf(
+				"containment: took %d rounds from onset, budget %d",
+				rp.ContainmentRounds, g.ContainWithinRounds))
+		}
+	}
+	if g.RequireReconverge && !rp.Reconverged {
+		rp.Failures = append(rp.Failures, fmt.Sprintf(
+			"reconverge: %d hosts still stale at round %d", r.curStale, r.round))
+	}
+	if g.RequireRejected && rp.ReadingsRejected == 0 {
+		rp.Failures = append(rp.Failures, "rejection: no implausible reading was ever rejected")
+	}
+	rp.Passed = len(rp.Failures) == 0
+	return rp
+}
+
+// JSON renders the report as indented JSON (the SCENARIO_*.json artifact
+// format CI uploads).
+func (rp Report) JSON() []byte {
+	b, err := json.MarshalIndent(rp, "", "  ")
+	if err != nil { // a flat struct of scalars cannot fail to marshal
+		panic(err)
+	}
+	return append(b, '\n')
+}

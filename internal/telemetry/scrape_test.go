@@ -139,6 +139,72 @@ func TestScrapeSourceFailureAdvancesClock(t *testing.T) {
 	}
 }
 
+// TestScrapeSourceRetriesFlakyExporter: an exporter that fails twice then
+// recovers is absorbed by the retry policy — one Advance, readings
+// delivered, retries and backoffs accounted, no consecutive-error streak.
+func TestScrapeSourceRetriesFlakyExporter(t *testing.T) {
+	calls := 0
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		calls++
+		if calls <= 2 {
+			http.Error(w, "flap", http.StatusServiceUnavailable)
+			return
+		}
+		_, _ = w.Write([]byte("vmtherm_host_temp_celsius{host=\"h0\"} 50\n"))
+	}))
+	defer ts.Close()
+
+	var slept []time.Duration
+	src, err := NewScrapeSource(ScrapeConfig{
+		URL:         ts.URL,
+		MaxRetries:  3,
+		BackoffBase: time.Millisecond,
+		BackoffMax:  4 * time.Millisecond,
+		Sleep:       func(d time.Duration) { slept = append(slept, d) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	emitted := 0
+	if err := src.Advance(15, func(Reading) bool { emitted++; return true }); err != nil {
+		t.Fatalf("flaky exporter not absorbed: %v", err)
+	}
+	if emitted != 1 {
+		t.Fatalf("emitted %d readings, want 1", emitted)
+	}
+	st := src.Stats()
+	if st.Scrapes != 1 || st.Errors != 2 || st.Retries != 2 || st.Backoffs != 2 || st.ConsecutiveErrors != 0 {
+		t.Fatalf("stats after flaky recovery = %+v", st)
+	}
+	if len(slept) != 2 {
+		t.Fatalf("slept %d times, want 2", len(slept))
+	}
+	// Backoff must grow exponentially from the base and stay within the
+	// jitter envelope ([0.75, 1.25]× the nominal) and under the cap.
+	for i, d := range slept {
+		nominal := time.Millisecond << i
+		if d < time.Duration(0.75*float64(nominal)) || d > time.Duration(1.25*float64(nominal)) {
+			t.Fatalf("backoff %d = %v, outside jitter envelope of %v", i, d, nominal)
+		}
+	}
+
+	// Kill the exporter: every attempt fails, the error surfaces, and the
+	// consecutive-error streak accrues per Advance.
+	ts.Close()
+	for i := 0; i < 2; i++ {
+		if err := src.Advance(15, func(Reading) bool { return true }); err == nil {
+			t.Fatal("dead exporter did not error")
+		}
+	}
+	st = src.Stats()
+	if st.ConsecutiveErrors != 2 {
+		t.Fatalf("consecutive errors = %d, want 2", st.ConsecutiveErrors)
+	}
+	if st.Errors != 2+2*4 {
+		t.Fatalf("errors = %d, want %d (2 flaps + 2 dead Advances × 4 attempts)", st.Errors, 2+2*4)
+	}
+}
+
 func TestScrapeSourceValidation(t *testing.T) {
 	if _, err := NewScrapeSource(ScrapeConfig{URL: "ftp://nope"}); err == nil {
 		t.Error("ftp scheme accepted")

@@ -86,6 +86,60 @@ func ValidateReading(r Reading) error {
 	return nil
 }
 
+// Plausibility bounds for sensed CPU temperatures: anything outside is a
+// sensor fault (stuck register, wild bias, dead exporter), not physics,
+// and must never reach a session's calibrator.
+const (
+	MinPlausibleTempC = -40
+	MaxPlausibleTempC = 150
+)
+
+// RejectReason classifies an implausible temperature reading. RejectNone
+// (the zero value) means the reading is usable; the other reasons are the
+// fixed label set behind vmtherm_ingest_rejected_total{reason}.
+type RejectReason uint8
+
+const (
+	RejectNone RejectReason = iota
+	RejectNaN
+	RejectInf
+	RejectTooCold
+	RejectTooHot
+	// NumRejectReasons sizes per-reason counter arrays.
+	NumRejectReasons
+)
+
+// String returns the metric-label spelling of the reason ("" for none).
+func (r RejectReason) String() string {
+	switch r {
+	case RejectNaN:
+		return "nan"
+	case RejectInf:
+		return "inf"
+	case RejectTooCold:
+		return "too_cold"
+	case RejectTooHot:
+		return "too_hot"
+	}
+	return ""
+}
+
+// ClassifyTemp classifies a sensed temperature against the plausibility
+// bounds. Branch-only: safe on allocation-free hot paths.
+func ClassifyTemp(tempC float64) RejectReason {
+	switch {
+	case math.IsNaN(tempC):
+		return RejectNaN
+	case math.IsInf(tempC, 0):
+		return RejectInf
+	case tempC < MinPlausibleTempC:
+		return RejectTooCold
+	case tempC > MaxPlausibleTempC:
+		return RejectTooHot
+	}
+	return RejectNone
+}
+
 // Clamp01 clamps a ratio into [0, 1]; NaN (e.g. from a degenerate exporter
 // sample) maps to 0 rather than propagating through predictions.
 func Clamp01(v float64) float64 {
