@@ -28,6 +28,8 @@
 //	vmtherm-fleetd -source trace -trace run.csv -synthetic
 //	vmtherm-fleetd -source scrape -scrape-url http://kepler:9102/metrics -synthetic
 //	vmtherm-fleetd -anchor-cache=false                    # A/B the anchor cache off
+//	vmtherm-fleetd -source trace -trace run.csv -synthetic -checkpoint-file /var/lib/vmtherm/ckpt
+//	                                                      # crash-safe: restart resumes warm
 package main
 
 import (
@@ -40,6 +42,7 @@ import (
 	"os"
 	"os/signal"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -91,6 +94,8 @@ func run() error {
 		streaming   = flag.Bool("streaming", false, "event-driven ingest: apply pushed readings on arrival (per-arrival calibration, live hotspot index, predict: true on /v1/fleet/ingest); rounds keep running and reconcile")
 		scenarioArg = flag.String("scenario", "", "run a scripted thermal emergency: a built-in name (see docs/SCENARIOS.md) or a JSON spec file; sim source only, exits non-zero when the run fails its grade")
 		scenarioOut = flag.String("scenario-out", "", "write the graded scenario report as JSON here (requires -scenario)")
+		ckptFile    = flag.String("checkpoint-file", "", "crash-safe checkpoint base path (generations at <path>.1/<path>.2): serving state is restored from the newest valid generation on start, checkpointed periodically and on shutdown (trace/scrape sources)")
+		ckptEvery   = flag.Float64("checkpoint-every", 30, "seconds between periodic checkpoints (0 = final shutdown checkpoint only; requires -checkpoint-file)")
 	)
 	flag.Parse()
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -231,6 +236,40 @@ func run() error {
 		}
 	}
 
+	// -checkpoint-file: restore the full serving state (engine sessions with
+	// their γ calibration, round counter, pending placements, hotspot index,
+	// anchor cache) from the newest valid generation, so a restarted control
+	// plane continues exactly where the previous process stopped. Restored
+	// after the anchor-cache warm so the checkpoint's (newer) cache wins.
+	var ckpt *vmtherm.CheckpointManager
+	if *ckptFile != "" {
+		if *source == "sim" {
+			return errors.New("-checkpoint-file requires -source trace or scrape (a simulated substrate is not captured)")
+		}
+		ckpt = vmtherm.NewCheckpointManager(*ckptFile, *ckptEvery)
+		st, err := ckpt.Restore()
+		switch {
+		case err != nil:
+			// Corrupt-only generations: visible (and counted) but not fatal —
+			// a daemon that refuses to start over a bad checkpoint trades one
+			// outage for another.
+			log.Printf("checkpoint restore failed: %v; starting cold", err)
+		case st == nil:
+			log.Printf("no checkpoint at %s.{1,2}; cold start", *ckptFile)
+		default:
+			if err := ctl.Restore(st); err != nil {
+				return fmt.Errorf("restoring checkpoint: %w", err)
+			}
+			log.Printf("restored %d sessions at round %d from checkpoint %s",
+				ctl.RestoredSessions(), st.Round, *ckptFile)
+		}
+	}
+
+	// ready feeds /readyz: false until the first round completes (cold or
+	// restored, the serving state is only trustworthy once a round has run),
+	// false again the moment the loop exits and the HTTP drain begins.
+	var ready atomic.Bool
+
 	// -record: tee every reading the source emits into a recorder, and write
 	// the capture as a replayable trace CSV when the loop ends — closing the
 	// capture→replay loop (-source trace) for operators.
@@ -260,6 +299,26 @@ func run() error {
 		log.Printf("recording telemetry to %s (cap %d readings)", *record, maxRecorded)
 	}
 	finish := func(runErr error) error {
+		// The final checkpoint is the shutdown contract: the in-flight round
+		// has finished (runLoop returned) and HTTP has drained, so this write
+		// captures everything the next process needs to continue warm.
+		if ckpt != nil {
+			if st, err := ctl.Checkpoint(); err != nil {
+				ckpt.NoteFailure(err)
+				log.Printf("final checkpoint: %v", err)
+				if runErr == nil {
+					runErr = err
+				}
+			} else if err := ckpt.Save(st); err != nil {
+				log.Printf("final checkpoint: %v", err)
+				if runErr == nil {
+					runErr = err
+				}
+			} else {
+				log.Printf("final checkpoint written to %s (round %d, %d sessions)",
+					*ckptFile, st.Round, len(st.Engine.Sessions))
+			}
+		}
 		if *anchorFile != "" {
 			if err := saveAnchorCache(ctl, *anchorFile); err != nil {
 				log.Printf("saving anchor cache: %v", err)
@@ -319,6 +378,7 @@ func run() error {
 			model:       model,
 			scenario:    runner,
 			scenarioOut: *scenarioOut,
+			ready:       &ready,
 		}))
 	}
 	if *scenarioOut != "" {
@@ -357,6 +417,7 @@ func run() error {
 			addr:     *addr,
 			model:    model,
 			arrivals: func(round int) { submitArrivals(ctl, arrivalStream, &next, *arrivals) },
+			ready:    &ready,
 		}))
 	}
 	paceInterval := 0.0
@@ -367,13 +428,16 @@ func run() error {
 		paceInterval = cfg.UpdateEveryS / trace.Speed()
 	}
 	return finish(runLoop(ctx, ctl, loopOptions{
-		rounds:    *rounds,
-		pace:      paceInterval > 0,
-		updateS:   cfg.UpdateEveryS,
-		paceS:     paceInterval,
-		addr:      *addr,
-		model:     model,
-		traceDone: func() bool { return trace != nil && trace.Done() },
+		rounds:     *rounds,
+		pace:       paceInterval > 0,
+		updateS:    cfg.UpdateEveryS,
+		paceS:      paceInterval,
+		addr:       *addr,
+		model:      model,
+		traceDone:  func() bool { return trace != nil && trace.Done() },
+		ready:      &ready,
+		ckpt:       ckpt,
+		ckptEveryS: *ckptEvery,
 	}))
 }
 
@@ -444,6 +508,14 @@ type loopOptions struct {
 	// (written to scenarioOut when set; a failed grade fails the process).
 	scenario    *scenario.Runner
 	scenarioOut string
+	// ready gates /readyz: stored true after the first completed round,
+	// false when the loop exits — before the HTTP drain, so load balancers
+	// stop routing to a daemon that is about to stop serving.
+	ready *atomic.Bool
+	// ckpt, when set, checkpoints serving state every ckptEveryS seconds
+	// (0 = shutdown-only) and feeds GET /v1/fleet/checkpoint.
+	ckpt       *vmtherm.CheckpointManager
+	ckptEveryS float64
 }
 
 // submitArrivals feeds the round's VM requests, stopping early when the
@@ -467,6 +539,12 @@ func runLoop(ctx context.Context, ctl *vmtherm.FleetController, opts loopOptions
 		sopts := []predictserver.Option{predictserver.WithFleet(ctl)}
 		if opts.scenario != nil {
 			sopts = append(sopts, predictserver.WithScenario(opts.scenario.Status))
+		}
+		if opts.ready != nil {
+			sopts = append(sopts, predictserver.WithReadiness(opts.ready.Load))
+		}
+		if opts.ckpt != nil {
+			sopts = append(sopts, predictserver.WithCheckpoint(opts.ckpt.Status))
 		}
 		srv, err := predictserver.New(opts.model, sopts...)
 		if err != nil {
@@ -495,6 +573,8 @@ func runLoop(ctx context.Context, ctl *vmtherm.FleetController, opts loopOptions
 		log.Printf("pacing rounds to wall-clock %.3gs", paceS)
 	}
 	start := time.Now()
+	lastCkpt := time.Now()
+	var runErr error
 	var simSeconds float64
 	var totalHotspots, totalMoves, totalPlaced int
 loop:
@@ -518,7 +598,14 @@ loop:
 		}
 		rep, err := runRound()
 		if err != nil {
-			return err
+			// Break instead of returning so the exit path below still runs:
+			// readiness flips off, the scenario report (if any) is written,
+			// and the caller's finish() gets its final checkpoint and flushes.
+			runErr = err
+			break loop
+		}
+		if opts.ready != nil {
+			opts.ready.Store(true)
 		}
 		simSeconds += opts.updateS
 		totalHotspots += rep.Hotspots
@@ -551,6 +638,16 @@ loop:
 			line += fmt.Sprintf(" | errs %d (last: %s)", n, rep.RecentErrors[n-1])
 		}
 		fmt.Println(line)
+		if opts.ckpt != nil && opts.ckptEveryS > 0 && time.Since(lastCkpt).Seconds() >= opts.ckptEveryS {
+			if st, err := ctl.Checkpoint(); err != nil {
+				opts.ckpt.NoteFailure(err)
+				log.Printf("checkpoint: %v", err)
+			} else if err := opts.ckpt.Save(st); err != nil {
+				log.Printf("checkpoint: %v", err)
+			} else {
+				lastCkpt = time.Now()
+			}
+		}
 		if opts.pace {
 			wait := time.Duration(paceS*float64(time.Second)) - rep.Latency
 			if wait > 0 {
@@ -560,6 +657,11 @@ loop:
 				}
 			}
 		}
+	}
+	if opts.ready != nil {
+		// Not ready before the deferred HTTP drain: in-flight requests finish,
+		// new ones see 503 from the balancer's health checks.
+		opts.ready.Store(false)
 	}
 	wall := time.Since(start)
 	log.Printf("processed %.0fs of fleet time in %v (%.0f× real time): %d hotspot-rounds, %d migrations, %d placements",
@@ -571,23 +673,33 @@ loop:
 		log.Printf("WARNING: control loop slower than real time at this fleet size")
 	}
 	if opts.scenario != nil {
+		// The report is written even when a round errored out above: a
+		// half-run emergency's partial grade is still evidence, and losing
+		// it on the failure path is exactly when operators need it most.
 		grade := opts.scenario.Report()
 		if opts.scenarioOut != "" {
 			if err := os.WriteFile(opts.scenarioOut, grade.JSON(), 0o644); err != nil {
-				return fmt.Errorf("writing scenario report: %w", err)
+				log.Printf("writing scenario report: %v", err)
+				if runErr == nil {
+					runErr = fmt.Errorf("writing scenario report: %w", err)
+				}
+			} else {
+				log.Printf("scenario report written to %s", opts.scenarioOut)
 			}
-			log.Printf("scenario report written to %s", opts.scenarioOut)
 		}
 		log.Printf("scenario %s: flagged r%d, crossed r%d (lead %d), contained %v in %d rounds, %d/%d migrations, %d rejected readings, fp rate %.2f",
 			grade.Name, grade.FirstFlagRound, grade.MeasuredCrossRound, grade.PredictedLeadRounds,
 			grade.Contained, grade.ContainmentRounds, grade.MigrationsApplied, grade.MigrationBudget,
 			grade.ReadingsRejected, grade.FalsePositiveRate)
+		if runErr != nil {
+			return runErr
+		}
 		if !grade.Passed {
 			return fmt.Errorf("scenario %s FAILED its grade: %v", grade.Name, grade.Failures)
 		}
 		log.Printf("scenario %s PASSED", grade.Name)
 	}
-	return nil
+	return runErr
 }
 
 // arrivalSpecs generates a deterministic stream of VM requests, using one

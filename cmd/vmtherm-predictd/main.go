@@ -5,6 +5,8 @@
 // Endpoints:
 //
 //	GET    /healthz                      liveness probe
+//	GET    /readyz                       readiness: 503 until restored and the
+//	                                     first round has run, and while draining
 //	GET    /metrics                      Prometheus exposition (scrape-able)
 //	POST   /v1/predict/stable            {"features": [16 floats]} → ψ_stable
 //	POST   /v1/stable/batch              batch ψ_stable through the SVM kernel
@@ -14,6 +16,7 @@
 //	DELETE /v1/session/{id}              drop a session
 //	POST   /v1/fleet/ingest              push telemetry (with -source)
 //	GET    /v1/fleet/hotspots            Δ_gap-ahead hotspot map (with -source)
+//	GET    /v1/fleet/checkpoint          checkpoint counters (with -checkpoint-file)
 //
 // With -source, the daemon additionally runs a fleet control loop in the
 // background — simulated (sim), replaying a recorded trace (trace), or
@@ -36,6 +39,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -95,6 +99,8 @@ func run() error {
 		anchorFile  = flag.String("anchor-cache-file", "", "persist the anchor cache here on exit and warm from it on start (pair the file with -model)")
 		physWorkers = flag.Int("phys-workers", 0, "worker pool sharding the simulated physics tick per rack (0 = min(GOMAXPROCS, 8), 1 = serial; sim source)")
 		streaming   = flag.Bool("streaming", false, "event-driven ingest: apply pushed readings on arrival (per-arrival calibration, live hotspot index, predict: true on /v1/fleet/ingest); rounds keep running and reconcile")
+		ckptFile    = flag.String("checkpoint-file", "", "crash-safe checkpoint base path (generations at <path>.1/<path>.2): serving state is restored from the newest valid generation on start, checkpointed periodically and on shutdown (trace/scrape sources)")
+		ckptEvery   = flag.Float64("checkpoint-every", 30, "seconds between periodic checkpoints (0 = final shutdown checkpoint only; requires -checkpoint-file)")
 	)
 	flag.Parse()
 
@@ -221,6 +227,42 @@ func run() error {
 		}
 	}
 
+	// -checkpoint-file: restore the full serving state from the newest valid
+	// generation before the round loop starts, so a restarted daemon resumes
+	// exactly where the previous process stopped. Restored after the
+	// anchor-cache warm so the checkpoint's (newer) cache wins.
+	var ckpt *vmtherm.CheckpointManager
+	if *ckptFile != "" {
+		if ctl == nil || *source == "sim" {
+			return errors.New("-checkpoint-file requires -source trace or scrape (a simulated substrate is not captured)")
+		}
+		ckpt = vmtherm.NewCheckpointManager(*ckptFile, *ckptEvery)
+		st, rerr := ckpt.Restore()
+		switch {
+		case rerr != nil:
+			log.Printf("checkpoint restore failed: %v; starting cold", rerr)
+		case st == nil:
+			log.Printf("no checkpoint at %s.{1,2}; cold start", *ckptFile)
+		default:
+			if err := ctl.Restore(st); err != nil {
+				return fmt.Errorf("restoring checkpoint: %w", err)
+			}
+			log.Printf("restored %d sessions at round %d from checkpoint %s",
+				ctl.RestoredSessions(), st.Round, *ckptFile)
+		}
+		opts = append(opts, predictserver.WithCheckpoint(ckpt.Status))
+	}
+
+	// ready feeds /readyz: with a fleet attached, false until the first round
+	// completes (restore alone is not proof the loop is serving), and false
+	// again during the shutdown drain. Without a fleet the model itself is
+	// the serving state, ready as soon as the listener is up.
+	var ready atomic.Bool
+	opts = append(opts, predictserver.WithReadiness(ready.Load))
+	if ctl == nil {
+		ready.Store(true)
+	}
+
 	srv, err := predictserver.New(model, opts...)
 	if err != nil {
 		return err
@@ -238,12 +280,26 @@ func run() error {
 		go func() {
 			ticker := time.NewTicker(time.Duration(paceS * float64(time.Second)))
 			defer ticker.Stop()
+			lastCkpt := time.Now()
 			for {
 				rep, err := ctl.RunRound()
 				if err != nil {
 					log.Printf("fleet round: %v", err)
-				} else if rep.SourceError != "" {
-					log.Printf("fleet round %d: source error: %s", rep.Round, rep.SourceError)
+				} else {
+					ready.Store(true)
+					if rep.SourceError != "" {
+						log.Printf("fleet round %d: source error: %s", rep.Round, rep.SourceError)
+					}
+					if ckpt != nil && *ckptEvery > 0 && time.Since(lastCkpt).Seconds() >= *ckptEvery {
+						if st, cerr := ctl.Checkpoint(); cerr != nil {
+							ckpt.NoteFailure(cerr)
+							log.Printf("checkpoint: %v", cerr)
+						} else if cerr := ckpt.Save(st); cerr != nil {
+							log.Printf("checkpoint: %v", cerr)
+						} else {
+							lastCkpt = time.Now()
+						}
+					}
 				}
 				select {
 				case <-ctx.Done():
@@ -263,6 +319,10 @@ func run() error {
 		return err
 	case <-ctx.Done():
 		log.Print("shutting down")
+		// Flip /readyz to 503 first so balancers stop routing, then drain
+		// in-flight requests, then cut the final checkpoint: it lands after
+		// the last ingest push that could still have mutated serving state.
+		ready.Store(false)
 		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		if err := httpSrv.Shutdown(shutCtx); err != nil {
@@ -270,6 +330,15 @@ func run() error {
 		}
 		if err := <-errCh; !errors.Is(err, http.ErrServerClosed) {
 			return err
+		}
+		if ckpt != nil {
+			if st, err := ctl.Checkpoint(); err != nil {
+				ckpt.NoteFailure(err)
+				return fmt.Errorf("final checkpoint: %w", err)
+			} else if err := ckpt.Save(st); err != nil {
+				return fmt.Errorf("final checkpoint: %w", err)
+			}
+			log.Printf("final checkpoint written to %s", *ckptFile)
 		}
 		return nil
 	}

@@ -4,6 +4,7 @@ import (
 	"io"
 
 	"vmtherm/internal/anchorcache"
+	"vmtherm/internal/checkpoint"
 	"vmtherm/internal/dataset"
 	"vmtherm/internal/fleet"
 	"vmtherm/internal/telemetry"
@@ -95,6 +96,29 @@ func FleetHeavyVMSpec(id string, vcpus int, memGB float64) VMSpec {
 // AnchorCacheStats are the quantized ψ_stable anchor cache's cumulative
 // counters (hits, misses, evictions, invalidations).
 type AnchorCacheStats = anchorcache.Stats
+
+// Checkpoint re-exports: the crash-safe snapshot/restore layer
+// (internal/checkpoint) behind fleetd/predictd's -checkpoint-file. A
+// controller's full serving state — engine sessions with their γ
+// calibration and staleness clocks, the round counter, pending placements,
+// the hotspot index, the anchor cache — round-trips through a versioned,
+// CRC-protected, atomically written two-generation file set.
+type (
+	// CheckpointState is one captured controller state
+	// (FleetController.Checkpoint / Restore).
+	CheckpointState = checkpoint.State
+	// CheckpointManager owns the two-generation store plus the counters
+	// served by GET /v1/fleet/checkpoint.
+	CheckpointManager = checkpoint.Manager
+	// CheckpointStatus is the checkpoint subsystem's observable state.
+	CheckpointStatus = checkpoint.Status
+)
+
+// NewCheckpointManager roots a checkpoint manager at the -checkpoint-file
+// base path (generations at <path>.1 / <path>.2).
+func NewCheckpointManager(path string, intervalS float64) *CheckpointManager {
+	return checkpoint.NewManager(path, intervalS)
+}
 
 // Telemetry-source re-exports: the pluggable data path that lets the same
 // closed loop run against synthetic fleets, recorded experiments, or live

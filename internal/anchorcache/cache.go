@@ -22,6 +22,7 @@ package anchorcache
 import (
 	"fmt"
 	"math"
+	"sort"
 	"sync/atomic"
 )
 
@@ -281,4 +282,73 @@ func (c *Cache) Stats() Stats {
 		Evicted:       c.evicted.Load(),
 		Invalidations: c.invalidations.Load(),
 	}
+}
+
+// Entry is one key → ψ_stable pair, the unit of generation dump/restore.
+type Entry struct {
+	Key   Key
+	Value float64
+}
+
+// DumpGenerations returns the young and old generations separately, each
+// sorted by key. Restoring both sides (RestoreGenerations) reproduces the
+// cache bit-for-bit — including future rotation and eviction timing, which
+// a flat Save/Load round-trip (everything reloaded young) would not.
+// Requires external synchronization, like Get/Put.
+func (c *Cache) DumpGenerations() (cur, prev []Entry) {
+	cur = make([]Entry, 0, len(c.cur))
+	for k, v := range c.cur {
+		cur = append(cur, Entry{Key: k, Value: v})
+	}
+	prev = make([]Entry, 0, len(c.prev))
+	for k, v := range c.prev {
+		prev = append(prev, Entry{Key: k, Value: v})
+	}
+	sortEntries(cur)
+	sortEntries(prev)
+	return cur, prev
+}
+
+// RestoreGenerations replaces the cache contents with the dumped
+// generations, preserving the young/old split. Counter state is restored
+// separately (RestoreStats). Requires external synchronization.
+func (c *Cache) RestoreGenerations(cur, prev []Entry) error {
+	if len(cur) > c.half || len(prev) > c.half {
+		return fmt.Errorf("anchorcache: restore of %d+%d entries exceeds per-generation budget %d",
+			len(cur), len(prev), c.half)
+	}
+	clear(c.cur)
+	c.prev = make(map[Key]float64, c.half)
+	for _, e := range cur {
+		if math.IsNaN(e.Value) {
+			continue
+		}
+		c.cur[e.Key] = e.Value
+	}
+	for _, e := range prev {
+		if math.IsNaN(e.Value) {
+			continue
+		}
+		if _, dup := c.cur[e.Key]; dup {
+			continue // no key may be resident in both generations
+		}
+		c.prev[e.Key] = e.Value
+	}
+	return nil
+}
+
+// RestoreStats overwrites the cumulative counters and the epoch — the
+// checkpoint path uses it so restored fleets report continuous totals
+// (RoundReport's AnchorEvictedTotal, the /metrics counters) instead of
+// restarting from zero.
+func (c *Cache) RestoreStats(st Stats, epoch int64) {
+	c.hits.Store(st.Hits)
+	c.misses.Store(st.Misses)
+	c.evicted.Store(st.Evicted)
+	c.invalidations.Store(st.Invalidations)
+	c.epoch.Store(epoch)
+}
+
+func sortEntries(es []Entry) {
+	sort.Slice(es, func(i, j int) bool { return es[i].Key < es[j].Key })
 }

@@ -1,0 +1,59 @@
+package anchorcache
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzLoad: the cache-file decoder must never panic and never insert
+// entries from a file it rejected, no matter how the bytes are mangled
+// (fuzzed headers, forged counts, truncations, flipped CRCs).
+func FuzzLoad(f *testing.F) {
+	// Seed with a valid v2 file, a valid empty file, and targeted mutants.
+	src, err := New(Config{MaxEntries: 32})
+	if err != nil {
+		f.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		src.Put(NewHash().Uint64(uint64(i)).Key(), 20+float64(i))
+	}
+	var valid bytes.Buffer
+	if err := src.Save(&valid); err != nil {
+		f.Fatal(err)
+	}
+	empty, err := New(Config{MaxEntries: 32})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var emptyFile bytes.Buffer
+	if err := empty.Save(&emptyFile); err != nil {
+		f.Fatal(err)
+	}
+
+	f.Add(valid.Bytes())
+	f.Add(emptyFile.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("vmtacppc"))                                           // magic only
+	f.Add(append([]byte("vmtacppc"), 1, 0, 0, 0))                       // v1 header, no body
+	f.Add(append([]byte("vmtacppc"), 2, 0, 0, 0))                       // v2 header, no body
+	f.Add(valid.Bytes()[:valid.Len()-4])                                // CRC trailer chopped
+	f.Add(valid.Bytes()[:valid.Len()/2])                                // torn mid-file
+	f.Add(append(bytes.Clone(valid.Bytes()), 0xde, 0xad))               // trailing garbage
+	huge := bytes.Clone(valid.Bytes()[:44])                             // header + quantizer
+	huge = append(huge, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f) // forged count
+	f.Add(huge)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := New(Config{MaxEntries: 32})
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, err := c.Load(bytes.NewReader(data))
+		if err != nil && (n != 0 || c.Len() != 0) {
+			t.Fatalf("rejected file still inserted entries (reported %d, cache holds %d)", n, c.Len())
+		}
+		if err == nil && n != c.Len() {
+			t.Fatalf("loaded %d but cache holds %d", n, c.Len())
+		}
+	})
+}

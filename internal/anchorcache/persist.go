@@ -4,6 +4,8 @@ import (
 	"bufio"
 	"encoding/binary"
 	"fmt"
+	"hash"
+	"hash/crc32"
 	"io"
 	"math"
 	"slices"
@@ -12,20 +14,29 @@ import (
 // Serialized cache format (little-endian, versioned):
 //
 //	[8]byte  magic "vmtacppc" (vmtherm anchor-cache persisted predictions)
-//	uint32   format version (1)
+//	uint32   format version (2)
 //	float64  UtilQuant    ┐ the quantizer the keys were derived with —
 //	float64  MemQuant     │ a cache is only valid against the exact bucket
 //	float64  AmbientQuantC┘ widths that produced its keys
 //	uint64   entry count
 //	entry count × (uint64 key, float64 ψ_stable)
+//	uint32   CRC-32 (IEEE) over every preceding byte (version >= 2 only)
 //
 // Keys are written in ascending order so identical cache contents always
-// serialize to identical bytes. The file memoizes model *outputs*: it is
-// only meaningful for the model that produced it — loading a cache saved
-// against a different model silently serves that model's anchors, exactly
-// like skipping Invalidate after a hot-swap. Pair the file with the model
-// artifact it was warmed by.
-const persistVersion = 1
+// serialize to identical bytes. Version 2 adds the CRC trailer so a torn
+// write or a flipped bit is rejected instead of silently seeding the fleet
+// with corrupt anchors; version 1 files (no trailer) still load. A
+// malformed file of either version inserts nothing — rejection is total,
+// never partial.
+//
+// The file memoizes model *outputs*: it is only meaningful for the model
+// that produced it — loading a cache saved against a different model
+// silently serves that model's anchors, exactly like skipping Invalidate
+// after a hot-swap. Pair the file with the model artifact it was warmed by.
+const (
+	persistVersion       = 2
+	persistVersionLegacy = 1 // pre-CRC format, still accepted by Load
+)
 
 var persistMagic = [8]byte{'v', 'm', 't', 'a', 'c', 'p', 'p', 'c'}
 
@@ -45,22 +56,24 @@ func (c *Cache) Save(w io.Writer) error {
 	slices.Sort(keys)
 
 	bw := bufio.NewWriter(w)
-	if _, err := bw.Write(persistMagic[:]); err != nil {
+	sum := crc32.NewIEEE()
+	body := io.MultiWriter(bw, sum)
+	if _, err := body.Write(persistMagic[:]); err != nil {
 		return err
 	}
 	var scratch [8]byte
 	binary.LittleEndian.PutUint32(scratch[:4], persistVersion)
-	if _, err := bw.Write(scratch[:4]); err != nil {
+	if _, err := body.Write(scratch[:4]); err != nil {
 		return err
 	}
 	for _, q := range []float64{c.quant.UtilQuant, c.quant.MemQuant, c.quant.AmbientQuantC} {
 		binary.LittleEndian.PutUint64(scratch[:], math.Float64bits(q))
-		if _, err := bw.Write(scratch[:]); err != nil {
+		if _, err := body.Write(scratch[:]); err != nil {
 			return err
 		}
 	}
 	binary.LittleEndian.PutUint64(scratch[:], uint64(len(keys)))
-	if _, err := bw.Write(scratch[:]); err != nil {
+	if _, err := body.Write(scratch[:]); err != nil {
 		return err
 	}
 	for _, k := range keys {
@@ -69,41 +82,64 @@ func (c *Cache) Save(w io.Writer) error {
 			v = c.prev[k]
 		}
 		binary.LittleEndian.PutUint64(scratch[:], uint64(k))
-		if _, err := bw.Write(scratch[:]); err != nil {
+		if _, err := body.Write(scratch[:]); err != nil {
 			return err
 		}
 		binary.LittleEndian.PutUint64(scratch[:], math.Float64bits(v))
-		if _, err := bw.Write(scratch[:]); err != nil {
+		if _, err := body.Write(scratch[:]); err != nil {
 			return err
 		}
 	}
+	binary.LittleEndian.PutUint32(scratch[:4], sum.Sum32())
+	if _, err := bw.Write(scratch[:4]); err != nil {
+		return err
+	}
 	return bw.Flush()
+}
+
+// hashingReader tees every consumed byte into a CRC accumulator without
+// hashing the reader's lookahead (a plain TeeReader under bufio would).
+type hashingReader struct {
+	br  *bufio.Reader
+	sum hash.Hash32
+}
+
+func (h *hashingReader) full(buf []byte) error {
+	if _, err := io.ReadFull(h.br, buf); err != nil {
+		return err
+	}
+	_, _ = h.sum.Write(buf)
+	return nil
 }
 
 // Load restores entries saved by Save into the cache, returning how many
 // were inserted. The file's quantizer must match the cache's exactly: keys
 // derived under different bucket widths address different buckets, so a
-// mismatch is rejected rather than silently serving wrong anchors. Existing
-// entries are kept (loaded entries overwrite on key collision) and the size
-// bound is enforced as usual. Requires external synchronization, like Put.
+// mismatch is rejected rather than silently serving wrong anchors. A version
+// 2 file whose CRC trailer does not match its bytes — a torn write, a
+// flipped bit — is rejected the same way, before anything is inserted.
+// Existing entries are kept (loaded entries overwrite on key collision) and
+// the size bound is enforced as usual. Requires external synchronization,
+// like Put.
 func (c *Cache) Load(r io.Reader) (int, error) {
-	br := bufio.NewReader(r)
+	hr := &hashingReader{br: bufio.NewReader(r), sum: crc32.NewIEEE()}
 	var header [8]byte
-	if _, err := io.ReadFull(br, header[:]); err != nil {
+	if err := hr.full(header[:]); err != nil {
 		return 0, fmt.Errorf("%w: %v", ErrPersistFormat, err)
 	}
 	if header != persistMagic {
 		return 0, fmt.Errorf("%w: bad magic %q", ErrPersistFormat, header[:])
 	}
-	if _, err := io.ReadFull(br, header[:4]); err != nil {
+	if err := hr.full(header[:4]); err != nil {
 		return 0, fmt.Errorf("%w: %v", ErrPersistFormat, err)
 	}
-	if v := binary.LittleEndian.Uint32(header[:4]); v != persistVersion {
-		return 0, fmt.Errorf("%w: unsupported version %d", ErrPersistFormat, v)
+	version := binary.LittleEndian.Uint32(header[:4])
+	if version != persistVersion && version != persistVersionLegacy {
+		return 0, fmt.Errorf("%w: unsupported version %d", ErrPersistFormat, version)
 	}
 	var quants [3]float64
 	for i := range quants {
-		if _, err := io.ReadFull(br, header[:]); err != nil {
+		if err := hr.full(header[:]); err != nil {
 			return 0, fmt.Errorf("%w: %v", ErrPersistFormat, err)
 		}
 		quants[i] = math.Float64frombits(binary.LittleEndian.Uint64(header[:]))
@@ -113,24 +149,43 @@ func (c *Cache) Load(r io.Reader) (int, error) {
 		return 0, fmt.Errorf("%w: quantizer %+v does not match cache %+v",
 			ErrPersistFormat, saved, c.quant)
 	}
-	if _, err := io.ReadFull(br, header[:]); err != nil {
+	if err := hr.full(header[:]); err != nil {
 		return 0, fmt.Errorf("%w: %v", ErrPersistFormat, err)
 	}
 	count := binary.LittleEndian.Uint64(header[:])
-	loaded := 0
+	// Bound the staging allocation by what the stream can actually hold
+	// (16 bytes per entry), so a forged count cannot balloon memory.
+	if count > uint64(math.MaxInt/16) {
+		return 0, fmt.Errorf("%w: implausible entry count %d", ErrPersistFormat, count)
+	}
+	keys := make([]Key, 0, min(count, 1<<16))
+	vals := make([]float64, 0, min(count, 1<<16))
 	for i := uint64(0); i < count; i++ {
-		if _, err := io.ReadFull(br, header[:]); err != nil {
-			return loaded, fmt.Errorf("%w: truncated at entry %d: %v", ErrPersistFormat, i, err)
+		if err := hr.full(header[:]); err != nil {
+			return 0, fmt.Errorf("%w: truncated at entry %d: %v", ErrPersistFormat, i, err)
 		}
 		k := Key(binary.LittleEndian.Uint64(header[:]))
-		if _, err := io.ReadFull(br, header[:]); err != nil {
-			return loaded, fmt.Errorf("%w: truncated at entry %d: %v", ErrPersistFormat, i, err)
+		if err := hr.full(header[:]); err != nil {
+			return 0, fmt.Errorf("%w: truncated at entry %d: %v", ErrPersistFormat, i, err)
 		}
-		v := math.Float64frombits(binary.LittleEndian.Uint64(header[:]))
-		if math.IsNaN(v) {
+		keys = append(keys, k)
+		vals = append(vals, math.Float64frombits(binary.LittleEndian.Uint64(header[:])))
+	}
+	if version >= persistVersion {
+		want := hr.sum.Sum32()
+		if _, err := io.ReadFull(hr.br, header[:4]); err != nil {
+			return 0, fmt.Errorf("%w: missing CRC trailer: %v", ErrPersistFormat, err)
+		}
+		if got := binary.LittleEndian.Uint32(header[:4]); got != want {
+			return 0, fmt.Errorf("%w: CRC mismatch (file %08x, computed %08x)", ErrPersistFormat, got, want)
+		}
+	}
+	loaded := 0
+	for i, k := range keys {
+		if math.IsNaN(vals[i]) {
 			continue // never admit a degenerate anchor, matching the put path
 		}
-		c.Put(k, v)
+		c.Put(k, vals[i])
 		loaded++
 	}
 	return loaded, nil

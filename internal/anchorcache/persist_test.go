@@ -2,7 +2,10 @@ package anchorcache
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
+	"math"
+	"slices"
 	"testing"
 )
 
@@ -137,7 +140,7 @@ func TestLoadRejectsGarbage(t *testing.T) {
 	}
 }
 
-func TestLoadTruncatedReportsPartial(t *testing.T) {
+func TestLoadTruncatedRejectedEntirely(t *testing.T) {
 	src, err := New(Config{MaxEntries: 32})
 	if err != nil {
 		t.Fatal(err)
@@ -149,20 +152,106 @@ func TestLoadTruncatedReportsPartial(t *testing.T) {
 	if err := src.Save(&buf); err != nil {
 		t.Fatal(err)
 	}
-	cut := buf.Bytes()[:buf.Len()-12] // chop mid-entry
-	dst, err := New(Config{MaxEntries: 32})
+	// A torn write can cut anywhere: mid-entry, mid-trailer, mid-header.
+	for _, cutAt := range []int{buf.Len() - 12, buf.Len() - 2, 30, 9} {
+		dst, err := New(Config{MaxEntries: 32})
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, err := dst.Load(bytes.NewReader(buf.Bytes()[:cutAt]))
+		if !errors.Is(err, ErrPersistFormat) {
+			t.Fatalf("file truncated at %d accepted (err = %v)", cutAt, err)
+		}
+		if n != 0 || dst.Len() != 0 {
+			t.Fatalf("truncation at %d still inserted entries (reported %d, cache holds %d)",
+				cutAt, n, dst.Len())
+		}
+	}
+}
+
+// TestLoadRejectsBitFlips: every single-bit corruption of a saved file must
+// fail the CRC check (or the structural checks it shadows) and insert
+// nothing — the integrity contract behind warm restarts.
+func TestLoadRejectsBitFlips(t *testing.T) {
+	src, err := New(Config{MaxEntries: 32})
 	if err != nil {
 		t.Fatal(err)
 	}
-	n, err := dst.Load(bytes.NewReader(cut))
-	if !errors.Is(err, ErrPersistFormat) {
-		t.Fatalf("truncated file accepted (err = %v)", err)
+	for i := 0; i < 8; i++ {
+		src.Put(NewHash().Uint64(uint64(i)).Key(), 20+float64(i))
 	}
-	if n != dst.Len() {
-		t.Fatalf("reported %d loaded but cache holds %d", n, dst.Len())
+	var buf bytes.Buffer
+	if err := src.Save(&buf); err != nil {
+		t.Fatal(err)
 	}
-	if n == 0 {
-		t.Fatal("no prefix entries restored from truncated file")
+	orig := buf.Bytes()
+	for byteIdx := 0; byteIdx < len(orig); byteIdx++ {
+		for bit := 0; bit < 8; bit++ {
+			mut := append([]byte(nil), orig...)
+			mut[byteIdx] ^= 1 << bit
+			dst, err := New(Config{MaxEntries: 32})
+			if err != nil {
+				t.Fatal(err)
+			}
+			n, err := dst.Load(bytes.NewReader(mut))
+			if err == nil {
+				t.Fatalf("bit flip at byte %d bit %d accepted", byteIdx, bit)
+			}
+			if n != 0 || dst.Len() != 0 {
+				t.Fatalf("bit flip at byte %d bit %d inserted %d entries", byteIdx, bit, n)
+			}
+		}
+	}
+}
+
+// TestLoadAcceptsLegacyV1: files written by the pre-CRC format (version 1,
+// no trailer) must keep loading — a fleet upgrading in place keeps its warm
+// anchors.
+func TestLoadAcceptsLegacyV1(t *testing.T) {
+	c, err := New(Config{MaxEntries: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := c.Quant()
+	var buf bytes.Buffer
+	buf.Write(persistMagic[:])
+	var scratch [8]byte
+	binary.LittleEndian.PutUint32(scratch[:4], persistVersionLegacy)
+	buf.Write(scratch[:4])
+	for _, f := range []float64{q.UtilQuant, q.MemQuant, q.AmbientQuantC} {
+		binary.LittleEndian.PutUint64(scratch[:], math.Float64bits(f))
+		buf.Write(scratch[:])
+	}
+	entries := map[Key]float64{
+		NewHash().Uint64(1).Key(): 41.5,
+		NewHash().Uint64(2).Key(): 55.25,
+	}
+	keys := make([]Key, 0, len(entries))
+	for k := range entries {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	binary.LittleEndian.PutUint64(scratch[:], uint64(len(keys)))
+	buf.Write(scratch[:])
+	for _, k := range keys {
+		binary.LittleEndian.PutUint64(scratch[:], uint64(k))
+		buf.Write(scratch[:])
+		binary.LittleEndian.PutUint64(scratch[:], math.Float64bits(entries[k]))
+		buf.Write(scratch[:])
+	}
+
+	n, err := c.Load(&buf)
+	if err != nil {
+		t.Fatalf("legacy v1 file rejected: %v", err)
+	}
+	if n != len(entries) {
+		t.Fatalf("loaded %d legacy entries, want %d", n, len(entries))
+	}
+	for k, v := range entries {
+		got, ok := c.Get(k)
+		if !ok || got != v {
+			t.Fatalf("legacy key %v = %v (hit=%v), want %v", k, got, ok, v)
+		}
 	}
 }
 

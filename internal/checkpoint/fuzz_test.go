@@ -1,0 +1,81 @@
+package checkpoint
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// Regenerate the committed seed corpus with:
+//
+//	go test ./internal/checkpoint -run TestWriteFuzzCorpus -write-corpus
+var writeCorpus = flag.Bool("write-corpus", false, "regenerate testdata/fuzz seed corpus")
+
+// corpusSeeds are the byte inputs seeded both via f.Add and as committed
+// corpus files, so `go test` exercises them even without -fuzz.
+func corpusSeeds(t testing.TB) [][]byte {
+	small := &State{Round: 3, SourceName: "trace", SourceNowS: 45, Order: []string{"h0"}}
+	var valid bytes.Buffer
+	if _, err := Encode(&valid, 1, small); err != nil {
+		t.Fatal(err)
+	}
+	var empty bytes.Buffer
+	if _, err := Encode(&empty, 2, &State{}); err != nil {
+		t.Fatal(err)
+	}
+	forged := bytes.Clone(valid.Bytes())
+	for i := 20; i < 28; i++ { // payload-length field
+		forged[i] = 0xff
+	}
+	return [][]byte{
+		valid.Bytes(),
+		empty.Bytes(),
+		{},
+		[]byte("vmtckpt1"),                     // magic only
+		append([]byte("vmtckpt1"), 1, 0, 0, 0), // header, no body
+		valid.Bytes()[:valid.Len()-4],          // CRC chopped
+		valid.Bytes()[:valid.Len()/2],          // torn mid-frame
+		append(bytes.Clone(valid.Bytes()), 0xff, 0xff), // trailing garbage
+		forged,
+	}
+}
+
+// TestWriteFuzzCorpus regenerates the committed seed corpus files under
+// testdata/fuzz/FuzzDecode when run with -write-corpus (no-op otherwise).
+func TestWriteFuzzCorpus(t *testing.T) {
+	if !*writeCorpus {
+		t.Skip("run with -write-corpus to regenerate the seed corpus")
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzDecode")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for i, seed := range corpusSeeds(t) {
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", seed)
+		if err := os.WriteFile(filepath.Join(dir, fmt.Sprintf("seed%d", i)), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// FuzzDecode: the checkpoint decoder must never panic and must reject —
+// with an error — every malformed frame: bad magic, wrong version, forged
+// length, truncation, flipped CRC, garbage gob payload.
+func FuzzDecode(f *testing.F) {
+	for _, seed := range corpusSeeds(f) {
+		f.Add(seed)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		st, _, err := Decode(bytes.NewReader(data))
+		if err != nil && st != nil {
+			t.Fatal("Decode returned both a state and an error")
+		}
+		if err == nil && st == nil {
+			t.Fatal("Decode returned neither a state nor an error")
+		}
+	})
+}

@@ -1,0 +1,130 @@
+package checkpoint
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Status is the checkpoint subsystem's observable state, served by
+// GET /v1/fleet/checkpoint and scraped into the vmtherm_checkpoint_*
+// counters.
+type Status struct {
+	// Enabled reports whether checkpointing is configured at all.
+	Enabled bool
+	// Path is the base path (generations at <Path>.1 / <Path>.2).
+	Path string `json:",omitempty"`
+	// IntervalS is the periodic checkpoint cadence (0 = final-only).
+	IntervalS float64 `json:",omitempty"`
+	// Writes/BytesWritten/Restores/Failures are cumulative totals.
+	Writes       int64
+	BytesWritten int64
+	Restores     int64
+	Failures     int64
+	// LastWriteUnix is the wall-clock time of the last successful write.
+	LastWriteUnix int64 `json:",omitempty"`
+	// LastSequence is the newest generation's sequence number.
+	LastSequence uint64 `json:",omitempty"`
+	// LastError describes the most recent failure, if any.
+	LastError string `json:",omitempty"`
+}
+
+// Manager wraps a Store with the counters and status surface the daemons
+// and the HTTP plane share. Save and Restore are serialized internally;
+// Status is safe to call concurrently with both.
+type Manager struct {
+	store     *Store
+	intervalS float64
+
+	mu      sync.Mutex // serializes store access; guards lastErr
+	lastErr string
+
+	writes, bytesW, restores, failures atomic.Int64
+	lastWriteUnix                      atomic.Int64
+	lastSeq                            atomic.Uint64
+}
+
+// NewManager roots a manager at the -checkpoint-file base path.
+func NewManager(path string, intervalS float64) *Manager {
+	return &Manager{store: NewStore(path), intervalS: intervalS}
+}
+
+// Path returns the base path.
+func (m *Manager) Path() string { return m.store.Base() }
+
+// IntervalS returns the configured periodic cadence in seconds.
+func (m *Manager) IntervalS() float64 { return m.intervalS }
+
+// Save persists st as the next generation, updating the counters.
+func (m *Manager) Save(st *State) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n, err := m.store.Save(st)
+	if err != nil {
+		m.failures.Add(1)
+		m.lastErr = err.Error()
+		return err
+	}
+	m.writes.Add(1)
+	m.bytesW.Add(n)
+	m.lastWriteUnix.Store(time.Now().Unix())
+	m.lastSeq.Store(m.store.nextSeq - 1)
+	m.lastErr = ""
+	return nil
+}
+
+// Restore loads the newest valid checkpoint. A cold start (no files)
+// returns (nil, nil); corrupt-only files count as a failure and return the
+// decode error so the caller can log it and proceed cold.
+func (m *Manager) Restore() (*State, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st, seq, err := m.store.Load()
+	if err != nil {
+		if errors.Is(err, ErrNoCheckpoint) {
+			return nil, nil
+		}
+		m.failures.Add(1)
+		m.lastErr = err.Error()
+		return nil, err
+	}
+	m.restores.Add(1)
+	m.lastSeq.Store(seq)
+	return st, nil
+}
+
+// NoteFailure records a checkpoint-adjacent failure that happened outside
+// Save/Restore (e.g. the controller failed to assemble its state).
+func (m *Manager) NoteFailure(err error) {
+	if err == nil {
+		return
+	}
+	m.failures.Add(1)
+	m.mu.Lock()
+	m.lastErr = err.Error()
+	m.mu.Unlock()
+}
+
+// Status snapshots the counters. Safe on a nil manager (checkpointing
+// disabled): every field zero, Enabled false.
+func (m *Manager) Status() Status {
+	if m == nil {
+		return Status{}
+	}
+	m.mu.Lock()
+	lastErr := m.lastErr
+	m.mu.Unlock()
+	return Status{
+		Enabled:       true,
+		Path:          m.store.Base(),
+		IntervalS:     m.intervalS,
+		Writes:        m.writes.Load(),
+		BytesWritten:  m.bytesW.Load(),
+		Restores:      m.restores.Load(),
+		Failures:      m.failures.Load(),
+		LastWriteUnix: m.lastWriteUnix.Load(),
+		LastSequence:  m.lastSeq.Load(),
+		LastError:     lastErr,
+	}
+}

@@ -38,11 +38,11 @@ func NewCurve(phi0, stable, tBreakS, deltaS float64) (Curve, error) {
 
 // Validate checks curve parameters.
 func (c Curve) Validate() error {
-	if c.TBreakS <= 0 {
-		return fmt.Errorf("core: t_break must be > 0, got %v", c.TBreakS)
+	if !(c.TBreakS > 0) || math.IsInf(c.TBreakS, 0) {
+		return fmt.Errorf("core: t_break must be finite and > 0, got %v", c.TBreakS)
 	}
-	if c.DeltaS <= 0 {
-		return fmt.Errorf("core: delta must be > 0, got %v", c.DeltaS)
+	if !(c.DeltaS > 0) || math.IsInf(c.DeltaS, 0) {
+		return fmt.Errorf("core: delta must be finite and > 0, got %v", c.DeltaS)
 	}
 	if math.IsNaN(c.Phi0) || math.IsNaN(c.Stable) {
 		return fmt.Errorf("core: curve anchors NaN (phi0 %v, stable %v)", c.Phi0, c.Stable)

@@ -137,6 +137,49 @@ func (d *DynamicPredictor) Gamma() float64 { return d.cal.Gamma() }
 // Config returns the predictor's configuration.
 func (d *DynamicPredictor) Config() DynamicConfig { return d.cfg }
 
+// PredictorState is the complete serializable state of a DynamicPredictor —
+// everything needed to rebuild one that behaves bit-identically: the curve
+// anchors, the configuration, the calibration γ and its update count, and
+// the Δ_update gating clock. Used by the checkpoint layer for warm restarts.
+type PredictorState struct {
+	Curve       Curve
+	Config      DynamicConfig
+	Gamma       float64
+	Updates     int
+	LastUpdateS float64
+	Seeded      bool
+}
+
+// State captures the predictor's full serializable state.
+func (d *DynamicPredictor) State() PredictorState {
+	return PredictorState{
+		Curve:       d.curve,
+		Config:      d.cfg,
+		Gamma:       d.cal.gamma,
+		Updates:     d.cal.updates,
+		LastUpdateS: d.lastUpdate,
+		Seeded:      d.seeded,
+	}
+}
+
+// RestorePredictor rebuilds a predictor from a captured state. The restored
+// predictor observes, calibrates and predicts exactly as the original would
+// have from the capture point onward.
+func RestorePredictor(st PredictorState) (*DynamicPredictor, error) {
+	d, err := NewDynamicPredictor(st.Curve, st.Config)
+	if err != nil {
+		return nil, err
+	}
+	if st.Updates < 0 {
+		return nil, fmt.Errorf("core: negative calibration update count %d", st.Updates)
+	}
+	d.cal.gamma = st.Gamma
+	d.cal.updates = st.Updates
+	d.lastUpdate = st.LastUpdateS
+	d.seeded = st.Seeded
+	return d, nil
+}
+
 // ReplayPoint is one prediction/outcome pair from a trace replay.
 type ReplayPoint struct {
 	// MadeAt is when the prediction was issued.

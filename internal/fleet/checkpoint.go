@@ -1,0 +1,248 @@
+package fleet
+
+// Checkpoint/Restore: the controller's crash-safety surface. Checkpoint cuts
+// the full serving state at a round boundary — every engine session's γ
+// calibration and staleness clocks, the round counter, the pending placement
+// queue, in-flight migration proposals, cumulative ingest counters, the
+// streaming hotspot index, and the anchor cache with its generation split —
+// into a checkpoint.State; Restore rebuilds all of it on a freshly
+// constructed controller of the same configuration. A restored controller
+// continues bit-identically to a never-restarted twin: same RoundReports,
+// same recorded trace bytes (proved by TestCheckpointRestoreTwin).
+
+import (
+	"fmt"
+	"slices"
+	"time"
+
+	"vmtherm/internal/checkpoint"
+	"vmtherm/internal/telemetry"
+)
+
+// Checkpoint captures the controller's full serving state at a round
+// boundary. Safe to call concurrently with Submit/Ingest (it takes the round
+// lock); call it between rounds, not from inside one.
+//
+// Readings sitting in the bounded ingest pipeline but not yet drained by a
+// round are NOT captured: a checkpoint is a round-boundary cut, and an
+// undrained reading is indistinguishable from one that arrived during the
+// outage — the staleness machinery handles both identically.
+func (c *Controller) Checkpoint() (*checkpoint.State, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.sim != nil {
+		return nil, fmt.Errorf("fleet: checkpointing a simulated fleet is not supported (the substrate is not captured); run source-driven")
+	}
+
+	st := &checkpoint.State{
+		SavedUnixNano: time.Now().UnixNano(),
+		Round:         c.round,
+		SourceName:    c.src.Name(),
+		SourceNowS:    c.src.NowS(),
+		Engine:        c.eng.Snapshot(),
+		Order:         slices.Clone(c.order),
+		OrderDirty:    c.orderDirty,
+		RecentErrors:  slices.Clone(c.recentErrs),
+		LastRejected:  c.lastRejected,
+		LastFanout:    c.lastFanout.Load(),
+	}
+
+	st.Latest = make([]telemetry.Reading, 0, len(c.latest))
+	for _, r := range c.latest {
+		st.Latest = append(st.Latest, r)
+	}
+	slices.SortFunc(st.Latest, func(a, b telemetry.Reading) int {
+		if a.HostID < b.HostID {
+			return -1
+		}
+		if a.HostID > b.HostID {
+			return 1
+		}
+		return 0
+	})
+
+	if len(c.pendingP) > 0 {
+		st.Proposals = make([]checkpoint.Proposal, len(c.pendingP))
+		for i, p := range c.pendingP {
+			st.Proposals[i] = checkpoint.Proposal{
+				VMID:       p.VMID,
+				FromHostID: p.FromHostID,
+				ToHostID:   p.ToHostID,
+				MarginC:    p.MarginC,
+			}
+		}
+	}
+
+	c.pendMu.Lock()
+	st.PendingVMs = slices.Clone(c.pending)
+	c.pendMu.Unlock()
+
+	st.Ingest.Received, st.Ingest.Dropped, st.Ingest.Superseded = c.ingest.stats()
+	st.Ingest.Rejected = c.ingest.rejectedByReason()
+
+	if s := c.stream; s != nil {
+		ss := &checkpoint.StreamState{
+			Applied:     s.applied.Load(),
+			Created:     s.created.Load(),
+			Deferred:    s.deferred.Load(),
+			Predictions: s.predictions.Load(),
+		}
+		s.idx.mu.RLock()
+		for _, h := range s.idx.entries {
+			ss.Hotspots = append(ss.Hotspots, checkpoint.Hotspot{
+				HostID:         h.HostID,
+				PredictedTempC: h.PredictedTempC,
+				MarginC:        h.MarginC,
+				UncertaintyC:   h.UncertaintyC,
+			})
+		}
+		s.idx.mu.RUnlock()
+		slices.SortFunc(ss.Hotspots, func(a, b checkpoint.Hotspot) int {
+			if a.HostID < b.HostID {
+				return -1
+			}
+			if a.HostID > b.HostID {
+				return 1
+			}
+			return 0
+		})
+		st.Stream = ss
+	}
+
+	if c.cache != nil {
+		cur, prev := c.cache.DumpGenerations()
+		st.AnchorCache = &checkpoint.CacheState{
+			Cur:   cur,
+			Prev:  prev,
+			Stats: c.cache.Stats(),
+			Epoch: c.cache.Epoch(),
+		}
+	}
+
+	return st, nil
+}
+
+// Restore rebuilds the checkpointed serving state on this controller, which
+// must be freshly constructed with the same configuration and source kind
+// the checkpoint was taken under. The telemetry source's clock is
+// fast-forwarded to the checkpoint's clock with readings discarded — the
+// restored process resumes at the cut, and replayed arrivals before it would
+// double-observe. On error the controller must be discarded (state may be
+// partially applied).
+func (c *Controller) Restore(st *checkpoint.State) error {
+	if st == nil {
+		return fmt.Errorf("fleet: restore: nil checkpoint state")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.sim != nil {
+		return fmt.Errorf("fleet: restore into a simulated fleet is not supported")
+	}
+	if got := c.src.Name(); got != st.SourceName {
+		return fmt.Errorf("fleet: restore: checkpoint was taken under source %q, controller runs %q", st.SourceName, got)
+	}
+	if st.Round < 0 {
+		return fmt.Errorf("fleet: restore: negative round %d", st.Round)
+	}
+	if len(st.Engine.Sessions) > c.cfg.MaxHosts {
+		return fmt.Errorf("fleet: restore: checkpoint has %d sessions, MaxHosts is %d", len(st.Engine.Sessions), c.cfg.MaxHosts)
+	}
+
+	if err := c.eng.Restore(st.Engine); err != nil {
+		return fmt.Errorf("fleet: restore: %w", err)
+	}
+
+	clear(c.latest)
+	for _, r := range st.Latest {
+		c.latest[r.HostID] = r
+	}
+	c.order = append(c.order[:0], st.Order...)
+	c.orderDirty = st.OrderDirty
+
+	c.pendingP = c.pendingP[:0]
+	for _, p := range st.Proposals {
+		c.pendingP = append(c.pendingP, MigrationProposal{
+			VMID:       p.VMID,
+			FromHostID: p.FromHostID,
+			ToHostID:   p.ToHostID,
+			MarginC:    p.MarginC,
+		})
+	}
+
+	c.pendMu.Lock()
+	c.pending = append(c.pending[:0], st.PendingVMs...)
+	c.pendMu.Unlock()
+
+	c.ingest.received.Store(st.Ingest.Received)
+	c.ingest.dropped.Store(st.Ingest.Dropped)
+	c.ingest.superseded.Store(st.Ingest.Superseded)
+	for i := range c.ingest.rejected {
+		c.ingest.rejected[i].Store(st.Ingest.Rejected[i])
+	}
+
+	c.recentErrs = append(c.recentErrs[:0], st.RecentErrors...)
+	if len(c.recentErrs) == 0 {
+		c.recentErrs = nil
+	}
+	c.lastRejected = st.LastRejected
+	c.lastFanout.Store(st.LastFanout)
+	c.round = st.Round
+
+	if ss := st.Stream; ss != nil {
+		s := c.stream
+		if s == nil {
+			return fmt.Errorf("fleet: restore: checkpoint carries streaming state but streaming ingest is off")
+		}
+		s.applied.Store(ss.Applied)
+		s.created.Store(ss.Created)
+		s.deferred.Store(ss.Deferred)
+		s.predictions.Store(ss.Predictions)
+		// Per-round deltas restart from the restored totals, not from zero —
+		// otherwise the first restored round would report the whole history.
+		s.lastApplied, s.lastCreated, s.lastDeferred = ss.Applied, ss.Created, ss.Deferred
+		s.idx.mu.Lock()
+		clear(s.idx.entries)
+		for _, h := range ss.Hotspots {
+			s.idx.entries[h.HostID] = Hotspot{
+				HostID:         h.HostID,
+				PredictedTempC: h.PredictedTempC,
+				MarginC:        h.MarginC,
+				UncertaintyC:   h.UncertaintyC,
+			}
+		}
+		s.idx.dirty = true
+		s.idx.mu.Unlock()
+	} else if c.stream != nil {
+		// Checkpoint taken with streaming off, restored with it on: start the
+		// streaming counters cold but leave the controller usable.
+		c.stream.idx.mu.Lock()
+		clear(c.stream.idx.entries)
+		c.stream.idx.dirty = true
+		c.stream.idx.mu.Unlock()
+	}
+
+	if cs := st.AnchorCache; cs != nil && c.cache != nil {
+		if err := c.cache.RestoreGenerations(cs.Cur, cs.Prev); err != nil {
+			return fmt.Errorf("fleet: restore: anchor cache: %w", err)
+		}
+		c.cache.RestoreStats(cs.Stats, cs.Epoch)
+	}
+
+	// Fast-forward the fresh source's clock to the checkpoint's, discarding
+	// whatever it emits on the way: those readings were already observed (or
+	// already superseded) before the cut. TraceSource emission depends only
+	// on its clock, so one big Advance lands on exactly the same next-reading
+	// boundary the original source had.
+	if dt := st.SourceNowS - c.src.NowS(); dt > 0 {
+		if err := c.src.Advance(dt, func(telemetry.Reading) bool { return true }); err != nil {
+			return fmt.Errorf("fleet: restore: fast-forward source: %w", err)
+		}
+	}
+
+	return nil
+}
+
+// RestoredSessions reports the live session count — the daemons log it after
+// a restore so operators (and the CI kill-and-restart job) can verify warm
+// state survived.
+func (c *Controller) RestoredSessions() int { return c.eng.Len() }

@@ -1,0 +1,53 @@
+package predictserver
+
+// Readiness and checkpoint observability: the restart-aware surface of the
+// HTTP plane. /healthz answers "the process is up"; /readyz answers "this
+// process restored its state and is serving" — load balancers and the CI
+// kill-and-restart job gate on the latter so a warming (or draining) daemon
+// takes no traffic. GET /v1/fleet/checkpoint exposes the durability
+// subsystem's counters as JSON; the same numbers feed the
+// vmtherm_checkpoint_* metric families.
+
+import (
+	"errors"
+	"net/http"
+
+	"vmtherm/internal/checkpoint"
+)
+
+// WithReadiness attaches a readiness probe: /readyz answers 200 only while
+// ready() reports true. Daemons flip it true after restore + first round
+// and false again when draining. Servers without a probe (tests, library
+// embedders) are always ready.
+func WithReadiness(ready func() bool) Option {
+	return func(s *Server) { s.ready = ready }
+}
+
+// WithCheckpoint attaches the checkpoint subsystem's status feed (normally
+// the daemon's checkpoint.Manager.Status), enabling GET /v1/fleet/checkpoint
+// and populating the vmtherm_checkpoint_* counters.
+func WithCheckpoint(status func() checkpoint.Status) Option {
+	return func(s *Server) { s.ckptStatus = status }
+}
+
+// handleReadyz is the serving-readiness probe, distinct from /healthz: a
+// process that is up but still restoring (or draining for shutdown) answers
+// 503 here while /healthz stays 200.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if s.ready != nil && !s.ready() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "not ready"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+}
+
+// handleFleetCheckpoint serves the durability subsystem's status. Servers
+// with no checkpoint feed answer 503 — same contract as the other optional
+// attachments.
+func (s *Server) handleFleetCheckpoint(w http.ResponseWriter, _ *http.Request) {
+	if s.ckptStatus == nil {
+		writeError(w, http.StatusServiceUnavailable, errors.New("no checkpoint subsystem attached"))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.ckptStatus())
+}

@@ -7,6 +7,7 @@ import (
 	"strconv"
 	"strings"
 
+	"vmtherm/internal/checkpoint"
 	"vmtherm/internal/fleet"
 	"vmtherm/internal/scenario"
 	"vmtherm/internal/telemetry"
@@ -44,6 +45,10 @@ func boolGauge(b bool) float64 {
 //	vmtherm_scenario_round                  when no scenario is bound)
 //	vmtherm_scenario_faults_active
 //	vmtherm_scenario_contained
+//	vmtherm_checkpoint_writes_total         durability counters (counter;
+//	vmtherm_checkpoint_bytes_total          fleet-attached servers — flat zero
+//	vmtherm_checkpoint_restores_total       unless checkpointing is enabled)
+//	vmtherm_checkpoint_failures_total
 //	vmtherm_ingest_stream_applied_total     streaming-ingest counters (counter;
 //	vmtherm_ingest_stream_created_total     fleet-attached servers — flat zero
 //	vmtherm_ingest_stream_deferred_total    unless streaming is enabled)
@@ -112,6 +117,22 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 			"Fault conditions currently injected by the scenario.", "", float64(st.FaultsActive))
 		writeMetric(&sb, "vmtherm_scenario_contained", "gauge",
 			"1 once a past emergency's hotspot set has returned to empty.", "", boolGauge(st.Contained))
+
+		// Checkpoint counters are part of the stable exposition on every
+		// fleet-attached server: flat zero when checkpointing is disabled, so
+		// durability dashboards need no conditional scrape config.
+		var ck checkpoint.Status
+		if s.ckptStatus != nil {
+			ck = s.ckptStatus()
+		}
+		writeMetric(&sb, "vmtherm_checkpoint_writes_total", "counter",
+			"Checkpoint generations written successfully.", "", float64(ck.Writes))
+		writeMetric(&sb, "vmtherm_checkpoint_bytes_total", "counter",
+			"Bytes written across all successful checkpoints.", "", float64(ck.BytesWritten))
+		writeMetric(&sb, "vmtherm_checkpoint_restores_total", "counter",
+			"Successful restores from a checkpoint at startup.", "", float64(ck.Restores))
+		writeMetric(&sb, "vmtherm_checkpoint_failures_total", "counter",
+			"Checkpoint write or restore failures (corrupt files, I/O errors).", "", float64(ck.Failures))
 
 		applied, created, deferred, predictions := s.fleet.StreamTotals()
 		writeMetric(&sb, "vmtherm_ingest_stream_applied_total", "counter",

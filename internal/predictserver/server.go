@@ -23,6 +23,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"vmtherm/internal/checkpoint"
 	"vmtherm/internal/core"
 	"vmtherm/internal/engine"
 	"vmtherm/internal/fleet"
@@ -72,6 +73,11 @@ type Server struct {
 	// scenario, when attached via WithScenario, feeds GET
 	// /v1/fleet/scenario and the vmtherm_scenario_* gauges.
 	scenario func() scenario.Status
+	// ready, when attached via WithReadiness, gates GET /readyz (nil: always
+	// ready); ckptStatus, when attached via WithCheckpoint, feeds GET
+	// /v1/fleet/checkpoint and the vmtherm_checkpoint_* counters.
+	ready      func() bool
+	ckptStatus func() checkpoint.Status
 	// metrics are the /metrics exposition counters.
 	metrics serverMetrics
 	// scratch pools PredictScratch instances across batch requests so the
@@ -149,6 +155,7 @@ func (s *Server) routes() []route {
 		{"GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 			writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 		}},
+		{"GET /readyz", s.handleReadyz},
 		{"POST /v1/predict/stable", s.handleStable},
 		{"POST /v1/stable/batch", s.handleStableBatch},
 		{"POST /v1/session", s.handleCreateSession},
@@ -159,6 +166,7 @@ func (s *Server) routes() []route {
 		{"DELETE /v1/session/{id}", s.handleDeleteSession},
 		{"GET /v1/fleet/hotspots", s.handleFleetHotspots},
 		{"GET /v1/fleet/scenario", s.handleFleetScenario},
+		{"GET /v1/fleet/checkpoint", s.handleFleetCheckpoint},
 		{"POST /v1/fleet/place", s.handleFleetPlace},
 		{"POST /v1/fleet/place/batch", s.handleFleetPlaceBatch},
 		{"POST /v1/fleet/ingest", s.handleFleetIngest},

@@ -6,7 +6,9 @@
 package workload
 
 import (
+	"bytes"
 	"encoding/csv"
+	"encoding/gob"
 	"errors"
 	"fmt"
 	"io"
@@ -122,6 +124,33 @@ func NewTrace(points []TracePoint) (*Trace, error) {
 	cp := make([]TracePoint, len(points))
 	copy(cp, points)
 	return &Trace{points: cp}, nil
+}
+
+// GobEncode implements encoding/gob.GobEncoder: a Trace serializes as its
+// sample points, so a checkpointed pending placement carrying trace-driven
+// tasks survives a control-plane restart intact.
+func (tr *Trace) GobEncode() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(tr.points); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode implements encoding/gob.GobDecoder, revalidating the points the
+// way NewTrace does — a corrupt byte stream must not yield a Trace that
+// panics later.
+func (tr *Trace) GobDecode(b []byte) error {
+	var pts []TracePoint
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&pts); err != nil {
+		return err
+	}
+	nt, err := NewTrace(pts)
+	if err != nil {
+		return err
+	}
+	*tr = *nt
+	return nil
 }
 
 // At implements Profile.
